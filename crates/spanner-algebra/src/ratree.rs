@@ -1,0 +1,532 @@
+//! RA trees and extraction complexity (Section 5).
+//!
+//! An *RA tree* is a logical query plan whose inner nodes are the relational
+//! operators (projection, union, natural join, difference) and whose leaves
+//! are placeholders for atomic spanners. An [`Instantiation`] assigns an
+//! atomic spanner — a regex formula, a vset-automaton, or an arbitrary
+//! tractable degree-bounded black box — to every placeholder.
+//!
+//! The paper's *extraction complexity* regards the RA tree as fixed and takes
+//! the instantiation and the document as input. Theorem 5.2 / Corollary 5.3:
+//! if every join and difference node shares at most `k` variables between its
+//! subtrees, the instantiated tree can be evaluated with polynomial delay.
+//! The evaluator below follows the paper's recipe: positive operators are
+//! compiled statically (automaton product / union / projection), the
+//! difference and black-box leaves use ad-hoc (document-dependent)
+//! compilation, and the final automaton is enumerated with the
+//! polynomial-delay enumerator.
+
+use crate::adhoc::mapping_set_to_vsa;
+use crate::difference::{difference_product, DifferenceOptions};
+use crate::spanner::{Spanner, SpannerRef};
+use spanner_core::{Document, MappingSet, SpannerError, SpannerResult, VarSet};
+use spanner_rgx::Rgx;
+use spanner_vset::{join, Vsa};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a leaf placeholder in an RA tree.
+pub type LeafId = usize;
+
+/// An RA tree over the operators of Section 2.4 with placeholder leaves.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RaTree {
+    /// A placeholder for an atomic spanner.
+    Leaf(LeafId),
+    /// Projection `π_Y`.
+    Project(VarSet, Box<RaTree>),
+    /// Union.
+    Union(Box<RaTree>, Box<RaTree>),
+    /// Natural join.
+    Join(Box<RaTree>, Box<RaTree>),
+    /// Difference.
+    Difference(Box<RaTree>, Box<RaTree>),
+}
+
+impl RaTree {
+    /// A leaf placeholder.
+    pub fn leaf(id: LeafId) -> RaTree {
+        RaTree::Leaf(id)
+    }
+
+    /// `π_vars(child)`.
+    pub fn project<V: Into<VarSet>>(vars: V, child: RaTree) -> RaTree {
+        RaTree::Project(vars.into(), Box::new(child))
+    }
+
+    /// `left ∪ right`.
+    pub fn union(left: RaTree, right: RaTree) -> RaTree {
+        RaTree::Union(Box::new(left), Box::new(right))
+    }
+
+    /// `left ⋈ right`.
+    pub fn join(left: RaTree, right: RaTree) -> RaTree {
+        RaTree::Join(Box::new(left), Box::new(right))
+    }
+
+    /// `left \ right`.
+    pub fn difference(left: RaTree, right: RaTree) -> RaTree {
+        RaTree::Difference(Box::new(left), Box::new(right))
+    }
+
+    /// All placeholder ids occurring in the tree.
+    pub fn leaves(&self) -> Vec<LeafId> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves(&self, out: &mut Vec<LeafId>) {
+        match self {
+            RaTree::Leaf(id) => out.push(*id),
+            RaTree::Project(_, child) => child.collect_leaves(out),
+            RaTree::Union(l, r) | RaTree::Join(l, r) | RaTree::Difference(l, r) => {
+                l.collect_leaves(out);
+                r.collect_leaves(out);
+            }
+        }
+    }
+
+    /// Number of operator nodes (a size measure).
+    pub fn size(&self) -> usize {
+        match self {
+            RaTree::Leaf(_) => 1,
+            RaTree::Project(_, child) => 1 + child.size(),
+            RaTree::Union(l, r) | RaTree::Join(l, r) | RaTree::Difference(l, r) => {
+                1 + l.size() + r.size()
+            }
+        }
+    }
+}
+
+impl fmt::Display for RaTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaTree::Leaf(id) => write!(f, "?{id}"),
+            RaTree::Project(vars, child) => {
+                write!(f, "π{{")?;
+                for (i, v) in vars.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}({child})")
+            }
+            RaTree::Union(l, r) => write!(f, "({l} ∪ {r})"),
+            RaTree::Join(l, r) => write!(f, "({l} ⋈ {r})"),
+            RaTree::Difference(l, r) => write!(f, "({l} \\ {r})"),
+        }
+    }
+}
+
+/// The atomic spanner assigned to a placeholder.
+#[derive(Clone)]
+pub enum Atom {
+    /// A sequential regex formula.
+    Rgx(Rgx),
+    /// A sequential vset-automaton.
+    Vsa(Vsa),
+    /// A tractable, degree-bounded black-box spanner (Corollary 5.3).
+    BlackBox(SpannerRef),
+}
+
+impl Atom {
+    /// The declared variables of the atom.
+    pub fn vars(&self) -> VarSet {
+        match self {
+            Atom::Rgx(r) => r.vars(),
+            Atom::Vsa(a) => a.vars().clone(),
+            Atom::BlackBox(s) => s.vars(),
+        }
+    }
+
+    /// A short description.
+    pub fn describe(&self) -> String {
+        match self {
+            Atom::Rgx(r) => format!("rgx({r})"),
+            Atom::Vsa(a) => format!("vsa({} states)", a.state_count()),
+            Atom::BlackBox(s) => format!("blackbox({})", s.name()),
+        }
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+impl From<Rgx> for Atom {
+    fn from(r: Rgx) -> Self {
+        Atom::Rgx(r)
+    }
+}
+
+impl From<Vsa> for Atom {
+    fn from(a: Vsa) -> Self {
+        Atom::Vsa(a)
+    }
+}
+
+/// An instantiation of an RA tree: the assignment of atomic spanners to the
+/// placeholders (Figure 2 in the paper).
+#[derive(Clone, Debug, Default)]
+pub struct Instantiation {
+    atoms: BTreeMap<LeafId, Atom>,
+}
+
+impl Instantiation {
+    /// An empty instantiation.
+    pub fn new() -> Self {
+        Instantiation::default()
+    }
+
+    /// Assigns an atom to a placeholder (builder style).
+    pub fn with(mut self, id: LeafId, atom: impl Into<Atom>) -> Self {
+        self.atoms.insert(id, atom.into());
+        self
+    }
+
+    /// Assigns a black-box spanner to a placeholder (builder style).
+    pub fn with_black_box(mut self, id: LeafId, spanner: impl Spanner + 'static) -> Self {
+        self.atoms.insert(id, Atom::BlackBox(Arc::new(spanner)));
+        self
+    }
+
+    /// The atom assigned to a placeholder.
+    pub fn atom(&self, id: LeafId) -> Option<&Atom> {
+        self.atoms.get(&id)
+    }
+
+    /// Number of assigned placeholders.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Whether no placeholder is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+}
+
+/// Options controlling RA-tree evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct RaOptions {
+    /// Bound on intermediate automaton sizes.
+    pub max_states: usize,
+    /// Bound on the Lemma 4.2 signature materialization.
+    pub max_signatures: usize,
+}
+
+impl Default for RaOptions {
+    fn default() -> Self {
+        RaOptions {
+            max_states: 4_000_000,
+            max_signatures: 1_000_000,
+        }
+    }
+}
+
+/// The declared variable set of an instantiated subtree (used to compute the
+/// shared-variable parameter of Theorem 5.2).
+pub fn tree_vars(tree: &RaTree, inst: &Instantiation) -> SpannerResult<VarSet> {
+    Ok(match tree {
+        RaTree::Leaf(id) => {
+            let atom = inst
+                .atom(*id)
+                .ok_or_else(|| SpannerError::Instantiation(format!("placeholder ?{id} unassigned")))?;
+            atom.vars()
+        }
+        RaTree::Project(vars, child) => tree_vars(child, inst)?.intersection(vars),
+        RaTree::Union(l, r) | RaTree::Join(l, r) => {
+            tree_vars(l, inst)?.union(&tree_vars(r, inst)?)
+        }
+        RaTree::Difference(l, _) => tree_vars(l, inst)?,
+    })
+}
+
+/// The extraction-complexity parameter of Theorem 5.2: the maximum number of
+/// variables shared between the two subtrees of any join or difference node.
+pub fn shared_variable_bound(tree: &RaTree, inst: &Instantiation) -> SpannerResult<usize> {
+    Ok(match tree {
+        RaTree::Leaf(_) => 0,
+        RaTree::Project(_, child) => shared_variable_bound(child, inst)?,
+        RaTree::Union(l, r) => {
+            shared_variable_bound(l, inst)?.max(shared_variable_bound(r, inst)?)
+        }
+        RaTree::Join(l, r) | RaTree::Difference(l, r) => {
+            let here = tree_vars(l, inst)?.intersection(&tree_vars(r, inst)?).len();
+            here.max(shared_variable_bound(l, inst)?)
+                .max(shared_variable_bound(r, inst)?)
+        }
+    })
+}
+
+/// Compiles an instantiated RA tree into an **ad-hoc** sequential VA for the
+/// given document (Theorem 5.2 / Corollary 5.3) and returns it.
+///
+/// Positive operators over automaton subtrees are compiled statically (the
+/// same construction would be valid for every document); difference nodes and
+/// black-box leaves force the compilation to become document-dependent.
+pub fn compile_ra(
+    tree: &RaTree,
+    inst: &Instantiation,
+    doc: &Document,
+    options: RaOptions,
+) -> SpannerResult<Vsa> {
+    let diff_options = DifferenceOptions {
+        max_states: options.max_states,
+        max_signatures: options.max_signatures,
+    };
+    Ok(match tree {
+        RaTree::Leaf(id) => {
+            let atom = inst
+                .atom(*id)
+                .ok_or_else(|| SpannerError::Instantiation(format!("placeholder ?{id} unassigned")))?;
+            match atom {
+                Atom::Rgx(r) => {
+                    if !spanner_rgx::is_sequential(r) {
+                        return Err(SpannerError::requirement(
+                            "sequential",
+                            format!("leaf ?{id}: regex formula is not sequential"),
+                        ));
+                    }
+                    spanner_vset::compile(r)
+                }
+                Atom::Vsa(a) => {
+                    if !spanner_vset::is_sequential(a) {
+                        return Err(SpannerError::requirement(
+                            "sequential",
+                            format!("leaf ?{id}: automaton is not sequential"),
+                        ));
+                    }
+                    a.clone()
+                }
+                Atom::BlackBox(s) => {
+                    // Ad-hoc incorporation of a black box: evaluate it on the
+                    // document and compile the relation into a path automaton.
+                    let relation = s.eval(doc)?;
+                    mapping_set_to_vsa(&relation, doc)?
+                }
+            }
+        }
+        RaTree::Project(vars, child) => compile_ra(child, inst, doc, options)?.project(vars),
+        RaTree::Union(l, r) => {
+            let left = compile_ra(l, inst, doc, options)?;
+            let right = compile_ra(r, inst, doc, options)?;
+            left.union(&right)
+        }
+        RaTree::Join(l, r) => {
+            let left = compile_ra(l, inst, doc, options)?;
+            let right = compile_ra(r, inst, doc, options)?;
+            join::join_with_options(
+                &left,
+                &right,
+                join::JoinOptions {
+                    max_states: options.max_states,
+                },
+            )?
+        }
+        RaTree::Difference(l, r) => {
+            let left = compile_ra(l, inst, doc, options)?;
+            let right = compile_ra(r, inst, doc, options)?;
+            difference_product(&left, &right, doc, diff_options)?
+        }
+    })
+}
+
+/// Evaluates an instantiated RA tree on a document through the ad-hoc
+/// compilation pipeline (compile, then enumerate with polynomial delay).
+pub fn evaluate_ra(
+    tree: &RaTree,
+    inst: &Instantiation,
+    doc: &Document,
+    options: RaOptions,
+) -> SpannerResult<MappingSet> {
+    let vsa = compile_ra(tree, inst, doc, options)?;
+    if vsa.accepting_states().is_empty() {
+        return Ok(MappingSet::new());
+    }
+    spanner_enum::evaluate(&vsa, doc)
+}
+
+/// Evaluates an instantiated RA tree by materializing every node — the
+/// semantic oracle for [`evaluate_ra`] (exponential in the worst case).
+pub fn evaluate_ra_materialized(
+    tree: &RaTree,
+    inst: &Instantiation,
+    doc: &Document,
+) -> SpannerResult<MappingSet> {
+    Ok(match tree {
+        RaTree::Leaf(id) => {
+            let atom = inst
+                .atom(*id)
+                .ok_or_else(|| SpannerError::Instantiation(format!("placeholder ?{id} unassigned")))?;
+            match atom {
+                Atom::Rgx(r) => spanner_enum::evaluate_rgx(r, doc)?,
+                Atom::Vsa(a) => spanner_enum::evaluate(a, doc)?,
+                Atom::BlackBox(s) => s.eval(doc)?,
+            }
+        }
+        RaTree::Project(vars, child) => evaluate_ra_materialized(child, inst, doc)?.project(vars),
+        RaTree::Union(l, r) => evaluate_ra_materialized(l, inst, doc)?
+            .union(&evaluate_ra_materialized(r, inst, doc)?),
+        RaTree::Join(l, r) => evaluate_ra_materialized(l, inst, doc)?
+            .join(&evaluate_ra_materialized(r, inst, doc)?),
+        RaTree::Difference(l, r) => evaluate_ra_materialized(l, inst, doc)?
+            .difference(&evaluate_ra_materialized(r, inst, doc)?),
+    })
+}
+
+/// Builds the RA tree of the paper's Figure 2:
+/// `π_{xstdnt}((?0 ⋈ ?1) \ ?2)`.
+pub fn figure_2_tree(projected: impl Into<VarSet>) -> RaTree {
+    RaTree::project(
+        projected,
+        RaTree::difference(
+            RaTree::join(RaTree::leaf(0), RaTree::leaf(1)),
+            RaTree::leaf(2),
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blackbox::{SentimentSpanner, TokenizerSpanner};
+    use spanner_rgx::parse;
+
+    fn opts() -> RaOptions {
+        RaOptions::default()
+    }
+
+    /// Ad-hoc pipeline and materialized oracle must agree.
+    fn check(tree: &RaTree, inst: &Instantiation, texts: &[&str]) {
+        for text in texts {
+            let doc = Document::new(*text);
+            let expected = evaluate_ra_materialized(tree, inst, &doc).unwrap();
+            let actual = evaluate_ra(tree, inst, &doc, opts()).unwrap();
+            assert_eq!(actual, expected, "mismatch on {text:?} for {tree}");
+        }
+    }
+
+    #[test]
+    fn tree_structure_helpers() {
+        let tree = figure_2_tree(VarSet::from_iter(["xstdnt"]));
+        assert_eq!(tree.leaves(), vec![0, 1, 2]);
+        assert_eq!(tree.size(), 6);
+        assert_eq!(format!("{tree}"), "π{xstdnt}(((?0 ⋈ ?1) \\ ?2))");
+    }
+
+    #[test]
+    fn missing_placeholder_is_reported() {
+        let tree = RaTree::join(RaTree::leaf(0), RaTree::leaf(7));
+        let inst = Instantiation::new().with(0, parse("{x:a}").unwrap());
+        let doc = Document::new("a");
+        assert!(matches!(
+            evaluate_ra(&tree, &inst, &doc, opts()),
+            Err(SpannerError::Instantiation(_))
+        ));
+        assert!(tree_vars(&tree, &inst).is_err());
+    }
+
+    #[test]
+    fn positive_tree_over_regex_formulas() {
+        // (emails ⋈ names) ∪ phones, projected.
+        let tree = RaTree::project(
+            VarSet::from_iter(["name", "mail", "phone"]),
+            RaTree::union(
+                RaTree::join(RaTree::leaf(0), RaTree::leaf(1)),
+                RaTree::leaf(2),
+            ),
+        );
+        let inst = Instantiation::new()
+            .with(0, parse(r".*{name:\u\l+} {mail:\l+@\l+}.*").unwrap())
+            .with(1, parse(r".*{name:\u\l+}.*").unwrap())
+            .with(2, parse(r".*{phone:\d\d\d}.*").unwrap());
+        check(&tree, &inst, &["Bob bob@edu 123", "Ann x@y", "42"]);
+    }
+
+    #[test]
+    fn figure_2_query_with_regex_atoms() {
+        // π_{student}((mail ⋈ phone) \ recommended)
+        let tree = figure_2_tree(VarSet::from_iter(["student"]));
+        let inst = Instantiation::new()
+            .with(0, parse(r".*{student:\u\l+} mail:{mail:\l+}.*").unwrap())
+            .with(1, parse(r".*{student:\u\l+} .*phone:{phone:\d+}.*").unwrap())
+            .with(2, parse(r".*{student:\u\l+} .*rec:{rec:\l+}.*").unwrap());
+        check(
+            &tree,
+            &inst,
+            &[
+                "Bob mail:b phone:1 rec:good",
+                "Ann mail:a phone:2",
+                "Cid mail:c phone:3 rec:fine Ann mail:a phone:2",
+            ],
+        );
+    }
+
+    #[test]
+    fn black_box_leaf_via_adhoc_compilation() {
+        // Tokens that are not "student names" (difference with a black box on
+        // the right), Corollary 5.3 style.
+        let tree = RaTree::difference(RaTree::leaf(0), RaTree::leaf(1));
+        let inst = Instantiation::new()
+            .with(0, parse(r".* {tok:\l+} .*|{tok:\l+} .*|.* {tok:\l+}|{tok:\l+}").unwrap())
+            .with_black_box(1, SentimentSpanner::new("tok", "rest", ["good"]));
+        check(&tree, &inst, &["alpha beta", "good beta", "x good y"]);
+    }
+
+    #[test]
+    fn black_box_tokenizer_join() {
+        // Join a tokenizer black box with a regex that extracts the token
+        // right after a marker word.
+        let tree = RaTree::join(RaTree::leaf(0), RaTree::leaf(1));
+        let inst = Instantiation::new()
+            .with_black_box(0, TokenizerSpanner::new("t"))
+            .with(1, parse(r".*important {t:\w+}.*").unwrap());
+        check(&tree, &inst, &["this is important stuff here", "important x"]);
+    }
+
+    #[test]
+    fn shared_variable_bound_computation() {
+        let tree = figure_2_tree(VarSet::from_iter(["student"]));
+        let inst = Instantiation::new()
+            .with(0, parse(r"{student:\l+}{mail:\l+}").unwrap())
+            .with(1, parse(r"{student:\l+}{phone:\d+}").unwrap())
+            .with(2, parse(r"{student:\l+}{rec:\l+}").unwrap());
+        // Join shares {student}; difference shares {student}.
+        assert_eq!(shared_variable_bound(&tree, &inst).unwrap(), 1);
+
+        let wide = RaTree::join(RaTree::leaf(0), RaTree::leaf(1));
+        let inst2 = Instantiation::new()
+            .with(0, parse(r"{a:x}{b:x}{c:x}").unwrap())
+            .with(1, parse(r"{a:x}{b:x}{c:x}").unwrap());
+        assert_eq!(shared_variable_bound(&wide, &inst2).unwrap(), 3);
+    }
+
+    #[test]
+    fn non_sequential_atoms_are_rejected() {
+        let tree = RaTree::leaf(0);
+        let inst = Instantiation::new().with(0, parse("({x:a})*").unwrap());
+        let doc = Document::new("aa");
+        assert!(matches!(
+            evaluate_ra(&tree, &inst, &doc, opts()),
+            Err(SpannerError::Requirement { .. })
+        ));
+    }
+
+    #[test]
+    fn projection_and_union_compose() {
+        let tree = RaTree::project(
+            VarSet::from_iter(["x"]),
+            RaTree::union(RaTree::leaf(0), RaTree::leaf(1)),
+        );
+        let inst = Instantiation::new()
+            .with(0, parse("{x:a+}{y:b*}").unwrap())
+            .with(1, parse("{y:a*}{x:b+}").unwrap());
+        check(&tree, &inst, &["ab", "aab", "b", "a", ""]);
+    }
+}

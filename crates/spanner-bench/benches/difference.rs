@@ -1,0 +1,64 @@
+//! E7 — the difference operator: ad-hoc compilations vs. the filter baseline
+//! (Lemma 4.2 / Theorem 4.3).
+//!
+//! Two workloads:
+//! * a realistic one (student mails minus UK mails) swept over the document
+//!   length, and
+//! * the adversarial family where `VA₁W(d)` is huge but the difference is
+//!   empty — the case in which the filter baseline's total time explodes
+//!   while the ad-hoc constructions stay polynomial.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spanner_algebra::{
+    difference_adhoc_eval, difference_filter, difference_product_eval, DifferenceOptions,
+};
+use spanner_core::Document;
+use spanner_rgx::parse;
+use spanner_vset::compile;
+use spanner_workloads::{student_records, uk_mail_extractor};
+
+fn bench_realistic_difference(c: &mut Criterion) {
+    let info = compile(&parse(r"(.*\n)?\u\l+ (\d+ )?{mail:\l+@\l+(\.\l+)+}\n.*").unwrap());
+    let uk = compile(&uk_mail_extractor().unwrap());
+    let opts = DifferenceOptions::default();
+
+    let mut group = c.benchmark_group("difference/realistic");
+    group.sample_size(10);
+    for lines in [16usize, 32, 64] {
+        let doc = student_records(lines, 3);
+        group.bench_with_input(BenchmarkId::new("filter", doc.len()), &doc, |b, doc| {
+            b.iter(|| difference_filter(&info, &uk, doc).unwrap().len());
+        });
+        group.bench_with_input(BenchmarkId::new("product", doc.len()), &doc, |b, doc| {
+            b.iter(|| difference_product_eval(&info, &uk, doc, opts).unwrap().len());
+        });
+        group.bench_with_input(BenchmarkId::new("lemma42", doc.len()), &doc, |b, doc| {
+            b.iter(|| difference_adhoc_eval(&info, &uk, doc, opts).unwrap().len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_adversarial_empty_difference(c: &mut Criterion) {
+    // VA₁W(d) has Θ(n²) mappings; the difference is empty. The ad-hoc
+    // constructions answer without enumerating the left side.
+    let a1 = compile(&parse(".*{x:.*}.*").unwrap());
+    let a2 = compile(&parse(".*{x:.*}.*").unwrap());
+    let opts = DifferenceOptions::default();
+
+    let mut group = c.benchmark_group("difference/adversarial-empty");
+    group.sample_size(10);
+    for n in [8usize, 16, 32, 64] {
+        let doc = Document::new("ab".repeat(n / 2));
+        group.bench_with_input(BenchmarkId::new("filter", n), &doc, |b, doc| {
+            b.iter(|| difference_filter(&a1, &a2, doc).unwrap().len());
+        });
+        group.bench_with_input(BenchmarkId::new("product", n), &doc, |b, doc| {
+            b.iter(|| difference_product_eval(&a1, &a2, doc, opts).unwrap().len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_realistic_difference, bench_adversarial_empty_difference);
+criterion_main!(benches);

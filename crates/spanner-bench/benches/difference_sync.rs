@@ -1,0 +1,77 @@
+//! E8 — difference with a synchronized right operand (Theorem 4.8 /
+//! Corollary 4.9).
+//!
+//! The number of common variables is *not* bounded here; tractability comes
+//! from the right operand being synchronized for the common variables (and
+//! the left operand semi-functional for them).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spanner_algebra::{difference_product_eval, DifferenceOptions};
+use spanner_core::Document;
+use spanner_rgx::parse;
+use spanner_vset::{compile, Vsa};
+
+/// Left operand: k functional digit captures. Right operand: the same shape
+/// but with the first field pinned — synchronized for every variable.
+fn pair(k: usize) -> (Vsa, Vsa) {
+    let mut left = String::new();
+    let mut right = String::new();
+    for i in 0..k {
+        left.push_str(&format!("{{f{i}:\\d}}"));
+        if i == 0 {
+            right.push_str("{f0:7}");
+        } else {
+            right.push_str(&format!("{{f{i}:\\d}}"));
+        }
+    }
+    (compile(&parse(&left).unwrap()), compile(&parse(&right).unwrap()))
+}
+
+fn digits_doc(k: usize) -> Document {
+    Document::new(
+        (0..k)
+            .map(|i| char::from_digit((i % 10) as u32, 10).unwrap())
+            .collect::<String>(),
+    )
+}
+
+fn bench_common_variable_count(c: &mut Criterion) {
+    let opts = DifferenceOptions::default();
+    let mut group = c.benchmark_group("difference/synchronized-common-vars");
+    group.sample_size(10);
+    for k in [2usize, 4, 6, 8, 10, 12] {
+        let (a1, a2) = pair(k);
+        let doc = digits_doc(k);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(k),
+            &(a1, a2, doc),
+            |b, (a1, a2, doc)| {
+                b.iter(|| difference_product_eval(a1, a2, doc, opts).unwrap().len());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_document_scaling(c: &mut Criterion) {
+    // Fixed spanners (3 common variables), growing document.
+    let a1 = compile(&parse(r".*a{x:\d+}b{y:\d+}c{z:\d+}d.*").unwrap());
+    let a2 = compile(&parse(r".*a{x:\d+}b{y:\d+}c{z:9\d*}d.*").unwrap());
+    let opts = DifferenceOptions::default();
+    let mut group = c.benchmark_group("difference/synchronized-doc-scaling");
+    group.sample_size(10);
+    for blocks in [4usize, 8, 16, 32] {
+        let doc = Document::new(
+            (0..blocks)
+                .map(|i| format!("a{}b{}c{}d ", i, i * 7 % 100, 90 + i % 10))
+                .collect::<String>(),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(doc.len()), &doc, |b, doc| {
+            b.iter(|| difference_product_eval(&a1, &a2, doc, opts).unwrap().len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_common_variable_count, bench_document_scaling);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E1 — polynomial-delay enumeration (Theorem 2.5).
+//!
+//! Measures (a) full-result enumeration throughput as the document grows and
+//! (b) the time to the first mapping (a proxy for the delay bound) as the
+//! automaton grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spanner_enum::{count_mappings, Enumerator};
+use spanner_vset::compile;
+use spanner_workloads::{random_sequential_vsa, student_info_extractor, student_records, RandomVsaConfig};
+
+fn bench_document_scaling(c: &mut Criterion) {
+    let vsa = compile(&student_info_extractor().unwrap());
+    let mut group = c.benchmark_group("enumeration/document-scaling");
+    group.sample_size(10);
+    for lines in [32usize, 64, 128, 256] {
+        let doc = student_records(lines, 7);
+        group.throughput(Throughput::Bytes(doc.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(doc.len()), &doc, |b, doc| {
+            b.iter(|| count_mappings(&vsa, doc, usize::MAX).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_first_mapping_delay(c: &mut Criterion) {
+    let doc = student_records(128, 7);
+    let mut group = c.benchmark_group("enumeration/first-mapping-delay");
+    group.sample_size(10);
+    for states in [3usize, 6, 12, 24] {
+        let cfg = RandomVsaConfig {
+            layers: states,
+            width: 3,
+            num_vars: 2,
+            alphabet: b"abcdefgh ",
+            ..RandomVsaConfig::default()
+        };
+        let vsa = random_sequential_vsa(cfg, 11);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(vsa.state_count()),
+            &vsa,
+            |b, vsa| {
+                b.iter(|| {
+                    let mut e = Enumerator::new(vsa, &doc).unwrap();
+                    e.next()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_document_scaling, bench_first_mapping_delay);
+criterion_main!(benches);

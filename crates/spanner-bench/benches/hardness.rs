@@ -1,0 +1,67 @@
+//! E2 / E6 — the NP-hardness reductions as scaling benchmarks
+//! (Theorems 3.1 and 4.1).
+//!
+//! The spanner instances produced by the reductions are evaluated through the
+//! general-purpose pipeline (FPT join + enumeration, ad-hoc difference);
+//! their running time grows exponentially with the formula size, while the
+//! DPLL baseline solves the same formulas directly. The numbers of variables
+//! are intentionally tiny — that is the point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spanner_algebra::{difference_product_eval, DifferenceOptions};
+use spanner_vset::nfa_accepts;
+use spanner_reductions::{
+    difference_hardness_instance, is_satisfiable, join_hardness_instance, random_3cnf,
+};
+use spanner_vset::{compile, join};
+
+fn bench_join_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hardness/join-reduction");
+    group.sample_size(10);
+    for n in [2usize, 3] {
+        let cnf = random_3cnf(n, 2.0, n as u64);
+        let instance = join_hardness_instance(&cnf);
+        let a1 = compile(&instance.gamma1);
+        let a2 = compile(&instance.gamma2);
+        group.bench_with_input(
+            BenchmarkId::new("spanner", n),
+            &(a1, a2, instance.doc.clone()),
+            |b, (a1, a2, doc)| {
+                b.iter(|| {
+                    let joined = join(a1, a2).unwrap();
+                    nfa_accepts(&joined.project(&spanner_core::VarSet::new()), doc).unwrap()
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("dpll", n), &cnf, |b, cnf| {
+            b.iter(|| is_satisfiable(cnf));
+        });
+    }
+    group.finish();
+}
+
+fn bench_difference_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hardness/difference-reduction");
+    group.sample_size(10);
+    let opts = DifferenceOptions::default();
+    for n in [2usize, 3, 4, 5] {
+        let cnf = random_3cnf(n, 2.0, 50 + n as u64);
+        let instance = difference_hardness_instance(&cnf);
+        let a1 = compile(&instance.gamma1);
+        let a2 = compile(&instance.gamma2);
+        group.bench_with_input(
+            BenchmarkId::new("spanner", n),
+            &(a1, a2, instance.doc.clone()),
+            |b, (a1, a2, doc)| {
+                b.iter(|| !difference_product_eval(a1, a2, doc, opts).unwrap().is_empty());
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("dpll", n), &cnf, |b, cnf| {
+            b.iter(|| is_satisfiable(cnf));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join_reduction, bench_difference_reduction);
+criterion_main!(benches);

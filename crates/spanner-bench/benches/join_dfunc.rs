@@ -1,0 +1,48 @@
+//! E5 — disjunctive-functional join (Proposition 3.12 / Corollary 3.13).
+//!
+//! Measures the pairwise join of disjunctive-functional VAs as the number of
+//! functional components grows: the compilation stays polynomial (quadratic
+//! in the number of components), with no dependence on the number of shared
+//! variables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spanner_rgx::parse;
+use spanner_vset::{compile, join_disjunctive_functional, Vsa};
+
+/// `count` functional components, each binding the same two variables to a
+/// different digit pair.
+fn components(count: usize, offset: usize) -> Vec<Vsa> {
+    (0..count)
+        .map(|i| {
+            let a = (i + offset) % 10;
+            let b = (i * 3 + offset) % 10;
+            compile(&parse(&format!(".*{{x:{a}}}.*{{y:{b}}}.*")).unwrap())
+        })
+        .collect()
+}
+
+fn bench_component_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join/disjunctive-functional");
+    group.sample_size(10);
+    for count in [2usize, 4, 8, 16, 32] {
+        let left = components(count, 0);
+        let right = components(count, 1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(count),
+            &(left, right),
+            |b, (left, right)| {
+                b.iter(|| {
+                    join_disjunctive_functional(left, right)
+                        .unwrap()
+                        .iter()
+                        .map(Vsa::state_count)
+                        .sum::<usize>()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_component_count);
+criterion_main!(benches);

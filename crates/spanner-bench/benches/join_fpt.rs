@@ -1,0 +1,64 @@
+//! E3 — FPT join compilation (Lemma 3.2 / Theorem 3.3).
+//!
+//! Sweeps the number of shared variables k (the FPT parameter) and the
+//! operand size, measuring the compilation time of the join product.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spanner_rgx::{parse, Rgx};
+use spanner_vset::{compile, join, Vsa};
+
+/// A pair of sequential operands sharing exactly `k` optional variables.
+fn shared_k_pair(k: usize) -> (Vsa, Vsa) {
+    let make = |tail: &str| {
+        let mut pattern = String::new();
+        for i in 0..k {
+            pattern.push_str(&format!("({{s{i}:\\l}})?"));
+        }
+        pattern.push_str(tail);
+        compile(&parse(&pattern).unwrap())
+    };
+    (make(r"{left:\d*}.*"), make(r".*{right:\d*}"))
+}
+
+fn bench_shared_variables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join/shared-variables");
+    group.sample_size(10);
+    for k in [0usize, 1, 2, 3, 4] {
+        let (a1, a2) = shared_k_pair(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &(a1, a2), |b, (a1, a2)| {
+            b.iter(|| join(a1, a2).unwrap().state_count());
+        });
+    }
+    group.finish();
+}
+
+fn bench_operand_size(c: &mut Criterion) {
+    // Fixed k = 1, growing operand size (longer alternations).
+    let mut group = c.benchmark_group("join/operand-size");
+    group.sample_size(10);
+    for blocks in [2usize, 4, 8, 16] {
+        let big = |var: &str| {
+            let alternation: Vec<Rgx> = (0..blocks)
+                .map(|i| Rgx::literal(&format!("tok{i}")))
+                .collect();
+            Rgx::concat([
+                Rgx::star(Rgx::union(alternation)),
+                Rgx::capture(var, Rgx::Class(spanner_core::ByteClass::ascii_digit())),
+                Rgx::any_string(),
+            ])
+        };
+        let a1 = compile(&Rgx::concat([big("shared"), Rgx::capture("l", Rgx::any_string())]));
+        let a2 = compile(&Rgx::concat([big("shared"), Rgx::capture("r", Rgx::any_string())]));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(a1.state_count()),
+            &(a1, a2),
+            |b, (a1, a2)| {
+                b.iter(|| join(a1, a2).unwrap().state_count());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shared_variables, bench_operand_size);
+criterion_main!(benches);

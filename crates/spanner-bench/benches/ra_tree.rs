@@ -1,0 +1,58 @@
+//! E9 — extraction complexity of a fixed RA tree (Theorem 5.2 /
+//! Corollary 5.3).
+//!
+//! The Figure 2 query `π_{student}((mail ⋈ phone) \ rec)` is evaluated over a
+//! growing student corpus, with a regex-formula recommendation leaf and with
+//! a black-box sentiment leaf.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spanner_algebra::{evaluate_ra, figure_2_tree, Instantiation, RaOptions, SentimentSpanner};
+use spanner_core::VarSet;
+use spanner_rgx::parse;
+use spanner_workloads::student_records_with_recommendations;
+
+fn instantiations() -> (Instantiation, Instantiation) {
+    let alpha_sm =
+        parse(r"(.*\n)?(\u\l+ )?{student:\u\l+} (\d+ )?{mail:\l+@\l+(\.\l+)+}\n.*").unwrap();
+    let alpha_sp = parse(r"(.*\n)?(\u\l+ )?{student:\u\l+} {phone:\d+} .*").unwrap();
+    let alpha_nr = parse(r"(.*\n)?{student:\u\l+} rec {rec:[\l ]+}\n.*").unwrap();
+    let regex_inst = Instantiation::new()
+        .with(0, alpha_sm.clone())
+        .with(1, alpha_sp.clone())
+        .with(2, alpha_nr);
+    let blackbox_inst = Instantiation::new()
+        .with(0, alpha_sm)
+        .with(1, alpha_sp)
+        .with_black_box(
+            2,
+            SentimentSpanner::new("student", "posrec", SentimentSpanner::default_lexicon()),
+        );
+    (regex_inst, blackbox_inst)
+}
+
+fn bench_figure_2_query(c: &mut Criterion) {
+    let tree = figure_2_tree(VarSet::from_iter(["student"]));
+    let (regex_inst, blackbox_inst) = instantiations();
+    let opts = RaOptions::default();
+
+    let mut group = c.benchmark_group("ra-tree/figure-2");
+    group.sample_size(10);
+    for lines in [4usize, 8, 16] {
+        let doc = student_records_with_recommendations(lines, 0.5, 13);
+        group.throughput(Throughput::Bytes(doc.len() as u64));
+        group.bench_with_input(BenchmarkId::new("regex-leaves", doc.len()), &doc, |b, doc| {
+            b.iter(|| evaluate_ra(&tree, &regex_inst, doc, opts).unwrap().len());
+        });
+        group.bench_with_input(
+            BenchmarkId::new("blackbox-leaf", doc.len()),
+            &doc,
+            |b, doc| {
+                b.iter(|| evaluate_ra(&tree, &blackbox_inst, doc, opts).unwrap().len());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure_2_query);
+criterion_main!(benches);

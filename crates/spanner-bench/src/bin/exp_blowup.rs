@@ -1,0 +1,25 @@
+//! E4 — the sequential → disjunctive-functional blow-up (Propositions 3.9 / 3.11).
+
+use spanner_bench::{header, ms, row, timed};
+use spanner_rgx::to_disjunctive_functional;
+use spanner_vset::compile;
+use spanner_workloads::example_3_10_formula;
+
+fn main() {
+    println!("## E4 — Example 3.10 family: sequential vs disjunctive functional (Prop. 3.11)\n");
+    header(&["n", "sequential formula size", "sequential VA states", "dfunc disjuncts", "2^n", "rewrite ms"]);
+    for n in 1..=14usize {
+        let alpha = example_3_10_formula(n);
+        let vsa = compile(&alpha);
+        let (disjuncts, elapsed) = timed(|| to_disjunctive_functional(&alpha, 1 << 22).unwrap());
+        row(&[
+            n.to_string(),
+            alpha.size().to_string(),
+            vsa.state_count().to_string(),
+            disjuncts.len().to_string(),
+            (1usize << n).to_string(),
+            ms(elapsed),
+        ]);
+    }
+    println!("\nexpected shape: the sequential representation grows linearly in n while every equivalent disjunctive-functional formula needs exactly 2^n disjuncts.");
+}

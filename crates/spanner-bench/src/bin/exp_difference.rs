@@ -1,0 +1,40 @@
+//! E7 — difference: ad-hoc compilation vs the enumerate-and-filter baseline.
+
+use spanner_algebra::{difference_adhoc_eval, difference_filter, difference_product_eval, DifferenceOptions};
+use spanner_bench::{header, ms, row, timed};
+use spanner_core::Document;
+use spanner_enum::count_mappings;
+use spanner_rgx::parse;
+use spanner_vset::compile;
+use spanner_workloads::{student_records, uk_mail_extractor};
+
+fn main() {
+    let opts = DifferenceOptions::default();
+    println!("## E7a — realistic difference (student mails minus UK mails), Lemma 4.2 / Theorem 4.3\n");
+    let info = compile(&parse(r"(.*\n)?\u\l+ (\d+ )?{mail:\l+@\l+(\.\l+)+}\n.*").unwrap());
+    let uk = compile(&uk_mail_extractor().unwrap());
+    header(&["doc bytes", "|result|", "filter ms", "product (T4.8) ms", "markers (L4.2) ms"]);
+    for lines in [16usize, 32, 64, 128] {
+        let doc = student_records(lines, 3);
+        let (r1, t_filter) = timed(|| difference_filter(&info, &uk, &doc).unwrap());
+        let (r2, t_prod) = timed(|| difference_product_eval(&info, &uk, &doc, opts).unwrap());
+        let (r3, t_adhoc) = timed(|| difference_adhoc_eval(&info, &uk, &doc, opts).unwrap());
+        assert_eq!(r1, r2);
+        assert_eq!(r1, r3);
+        row(&[doc.len().to_string(), r1.len().to_string(), ms(t_filter), ms(t_prod), ms(t_adhoc)]);
+    }
+
+    println!("\n## E7b — adversarial empty difference: |VA1W(d)| is Θ(n²) but the output is empty\n");
+    let a1 = compile(&parse(".*{x:.*}.*").unwrap());
+    let a2 = compile(&parse(".*{x:.*}.*").unwrap());
+    header(&["|d|", "|VA1W(d)|", "filter ms", "product ms"]);
+    for n in [16usize, 32, 64, 128, 256] {
+        let doc = Document::new("ab".repeat(n / 2));
+        let left_size = count_mappings(&a1, &doc, usize::MAX).unwrap();
+        let (r1, t_filter) = timed(|| difference_filter(&a1, &a2, &doc).unwrap());
+        let (r2, t_prod) = timed(|| difference_product_eval(&a1, &a2, &doc, opts).unwrap());
+        assert!(r1.is_empty() && r2.is_empty());
+        row(&[n.to_string(), left_size.to_string(), ms(t_filter), ms(t_prod)]);
+    }
+    println!("\nexpected shape: the filter baseline scales with |VA1W(d)| (quadratic and worse), the ad-hoc constructions with the document.");
+}

@@ -1,0 +1,44 @@
+//! E1 — enumeration delay and throughput table (Theorem 2.5).
+
+use spanner_bench::{header, log_log_slope, ms, row, timed};
+use spanner_enum::Enumerator;
+use spanner_vset::compile;
+use spanner_workloads::{student_info_extractor, student_records};
+use std::time::Duration;
+
+fn main() {
+    println!("## E1 — polynomial-delay enumeration (Theorem 2.5)\n");
+    let vsa = compile(&student_info_extractor().unwrap());
+    header(&["doc bytes", "mappings", "total ms", "mean delay µs", "max delay µs"]);
+    let mut points = Vec::new();
+    for lines in [32usize, 64, 128, 256, 512] {
+        let doc = student_records(lines, 7);
+        let ((count, max_delay), total) = timed(|| {
+            let mut e = Enumerator::new(&vsa, &doc).unwrap();
+            let mut count = 0usize;
+            let mut max_delay = Duration::ZERO;
+            let mut last = std::time::Instant::now();
+            for m in &mut e {
+                m.unwrap();
+                let now = std::time::Instant::now();
+                max_delay = max_delay.max(now - last);
+                last = now;
+                count += 1;
+            }
+            (count, max_delay)
+        });
+        let mean = total / count.max(1) as u32;
+        row(&[
+            doc.len().to_string(),
+            count.to_string(),
+            ms(total),
+            format!("{:.1}", mean.as_secs_f64() * 1e6),
+            format!("{:.1}", max_delay.as_secs_f64() * 1e6),
+        ]);
+        points.push((doc.len() as f64, max_delay.as_secs_f64()));
+    }
+    println!(
+        "\nempirical log-log slope of max delay vs document size: {:.2} (polynomial-delay ⇒ small constant degree)",
+        log_log_slope(&points)
+    );
+}

@@ -1,0 +1,72 @@
+//! Shared helpers for the benchmark harness and the `exp_*` experiment
+//! binaries (see EXPERIMENTS.md for the experiment index).
+
+use std::time::{Duration, Instant};
+
+/// Times a closure, returning its result and the elapsed wall-clock time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+/// Formats a duration in milliseconds with three decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// Prints a Markdown-style table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Prints a Markdown-style table header (with the separator line).
+pub fn header(cells: &[&str]) {
+    println!("| {} |", cells.join(" | "));
+    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+/// Least-squares slope of `log(y)` against `log(x)` — the empirical
+/// polynomial degree of a scaling series. Points with non-positive values
+/// are skipped.
+pub fn log_log_slope(points: &[(f64, f64)]) -> f64 {
+    let filtered: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    let n = filtered.len() as f64;
+    if filtered.len() < 2 {
+        return f64::NAN;
+    }
+    let sx: f64 = filtered.iter().map(|(x, _)| x).sum();
+    let sy: f64 = filtered.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = filtered.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = filtered.iter().map(|(x, y)| x * y).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_of_quadratic_series_is_two() {
+        let points: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64, (i * i) as f64)).collect();
+        let slope = log_log_slope(&points);
+        assert!((slope - 2.0).abs() < 1e-9, "slope {slope}");
+    }
+
+    #[test]
+    fn slope_handles_degenerate_input() {
+        assert!(log_log_slope(&[]).is_nan());
+        assert!(log_log_slope(&[(1.0, 1.0)]).is_nan());
+    }
+
+    #[test]
+    fn timing_and_formatting() {
+        let (value, d) = timed(|| 40 + 2);
+        assert_eq!(value, 42);
+        assert!(!ms(d).is_empty());
+    }
+}

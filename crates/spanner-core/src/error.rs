@@ -1,0 +1,101 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Errors produced while parsing, analyzing, compiling, or evaluating
+/// spanner representations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpannerError {
+    /// A regex formula could not be parsed.
+    Parse {
+        /// Human-readable description of the problem.
+        message: String,
+        /// Byte offset in the input at which the problem was detected.
+        position: usize,
+    },
+    /// A representation does not satisfy a syntactic restriction that an
+    /// algorithm requires (e.g. a non-sequential operand passed to the FPT
+    /// join compilation).
+    Requirement {
+        /// The requirement that is violated (e.g. "sequential").
+        requirement: &'static str,
+        /// Explanation of where the violation occurs.
+        detail: String,
+    },
+    /// A size or cardinality limit was exceeded (guards against the
+    /// exponential blow-ups the paper proves unavoidable).
+    LimitExceeded {
+        /// What limit was exceeded.
+        what: &'static str,
+        /// The configured limit.
+        limit: usize,
+        /// The size that was requested/produced.
+        actual: usize,
+    },
+    /// An RA-tree instantiation is malformed (e.g. a placeholder is missing).
+    Instantiation(String),
+    /// Any other invariant violation.
+    Invalid(String),
+}
+
+impl fmt::Display for SpannerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpannerError::Parse { message, position } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            SpannerError::Requirement { requirement, detail } => {
+                write!(f, "requirement `{requirement}` violated: {detail}")
+            }
+            SpannerError::LimitExceeded { what, limit, actual } => {
+                write!(f, "{what} limit exceeded: {actual} > {limit}")
+            }
+            SpannerError::Instantiation(msg) => write!(f, "invalid instantiation: {msg}"),
+            SpannerError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpannerError {}
+
+/// Convenient result alias.
+pub type SpannerResult<T> = Result<T, SpannerError>;
+
+impl SpannerError {
+    /// Builds a parse error.
+    pub fn parse(message: impl Into<String>, position: usize) -> Self {
+        SpannerError::Parse {
+            message: message.into(),
+            position,
+        }
+    }
+
+    /// Builds a requirement-violation error.
+    pub fn requirement(requirement: &'static str, detail: impl Into<String>) -> Self {
+        SpannerError::Requirement {
+            requirement,
+            detail: detail.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SpannerError::parse("unexpected `}`", 7);
+        assert_eq!(e.to_string(), "parse error at byte 7: unexpected `}`");
+
+        let e = SpannerError::requirement("sequential", "variable x occurs twice");
+        assert!(e.to_string().contains("sequential"));
+
+        let e = SpannerError::LimitExceeded {
+            what: "states",
+            limit: 10,
+            actual: 200,
+        };
+        assert_eq!(e.to_string(), "states limit exceeded: 200 > 10");
+    }
+}

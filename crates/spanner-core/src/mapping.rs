@@ -1,0 +1,244 @@
+//! Mappings: partial assignments of spans to variables.
+
+use crate::span::Span;
+use crate::variable::{VarSet, Variable};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A mapping `µ` to a document: a function from a finite set of variables
+/// (its *domain*) to spans of the document.
+///
+/// This is the schemaless notion of Maturana et al.: different mappings
+/// produced by the same spanner may have different domains. The schema-based
+/// spanners of Fagin et al. are the special case where all mappings share the
+/// same domain.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Mapping {
+    assignments: BTreeMap<Variable, Span>,
+}
+
+impl Mapping {
+    /// The empty mapping (empty domain).
+    pub fn new() -> Self {
+        Mapping::default()
+    }
+
+    /// Builds a mapping from `(variable, span)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same variable appears twice with different spans.
+    pub fn from_pairs<I, V>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (V, Span)>,
+        V: Into<Variable>,
+    {
+        let mut m = Mapping::new();
+        for (v, s) in pairs {
+            let v = v.into();
+            if let Some(prev) = m.assignments.insert(v.clone(), s) {
+                assert_eq!(
+                    prev, s,
+                    "variable {v} assigned two different spans ({prev} and {s})"
+                );
+            }
+        }
+        m
+    }
+
+    /// The domain `dom(µ)` of the mapping.
+    pub fn domain(&self) -> VarSet {
+        self.assignments.keys().cloned().collect()
+    }
+
+    /// The span assigned to `v`, if `v ∈ dom(µ)`.
+    #[inline]
+    pub fn get(&self, v: &Variable) -> Option<Span> {
+        self.assignments.get(v).copied()
+    }
+
+    /// Whether `v ∈ dom(µ)`.
+    #[inline]
+    pub fn contains(&self, v: &Variable) -> bool {
+        self.assignments.contains_key(v)
+    }
+
+    /// Number of variables in the domain (the mapping's *cardinality*; the
+    /// maximum over all documents is the spanner's *degree*, Section 5).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Whether the domain is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// Assigns `span` to `v`. Returns the previously assigned span, if any.
+    pub fn insert(&mut self, v: impl Into<Variable>, span: Span) -> Option<Span> {
+        self.assignments.insert(v.into(), span)
+    }
+
+    /// Removes `v` from the domain.
+    pub fn remove(&mut self, v: &Variable) -> Option<Span> {
+        self.assignments.remove(v)
+    }
+
+    /// Iterates over `(variable, span)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Variable, Span)> + '_ {
+        self.assignments.iter().map(|(v, s)| (v, *s))
+    }
+
+    /// Two mappings are *compatible* if they agree on every common variable
+    /// (Section 2.4).
+    pub fn is_compatible_with(&self, other: &Mapping) -> bool {
+        // Iterate over the smaller mapping.
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small
+            .iter()
+            .all(|(v, s)| large.get(v).map_or(true, |t| t == s))
+    }
+
+    /// The union `µ1 ∪ µ2` of two compatible mappings.
+    ///
+    /// Returns `None` if the mappings are incompatible.
+    pub fn union(&self, other: &Mapping) -> Option<Mapping> {
+        if !self.is_compatible_with(other) {
+            return None;
+        }
+        let mut out = self.clone();
+        for (v, s) in other.iter() {
+            out.assignments.insert(v.clone(), s);
+        }
+        Some(out)
+    }
+
+    /// The restriction `µ ↾ Y` of the mapping to the variables in `Y`
+    /// (the projection operator of Section 2.4 applies this to every mapping).
+    pub fn restrict(&self, vars: &VarSet) -> Mapping {
+        Mapping {
+            assignments: self
+                .assignments
+                .iter()
+                .filter(|(v, _)| vars.contains(v))
+                .map(|(v, s)| (v.clone(), *s))
+                .collect(),
+        }
+    }
+
+    /// Whether the domain equals exactly `vars` (the schema-based /
+    /// "complete" condition).
+    pub fn is_total_over(&self, vars: &VarSet) -> bool {
+        self.len() == vars.len() && vars.iter().all(|v| self.contains(v))
+    }
+}
+
+impl fmt::Debug for Mapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (v, s)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v} ↦ {s}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for Mapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl<V: Into<Variable>> FromIterator<(V, Span)> for Mapping {
+    fn from_iter<I: IntoIterator<Item = (V, Span)>>(iter: I) -> Self {
+        Mapping::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variable::var;
+
+    fn sp(a: u32, b: u32) -> Span {
+        Span::new(a, b)
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let m = Mapping::from_pairs([("x", sp(1, 3)), ("y", sp(3, 5))]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(&var("x")), Some(sp(1, 3)));
+        assert_eq!(m.get(&var("z")), None);
+        assert_eq!(m.domain(), VarSet::from_iter(["x", "y"]));
+        assert!(!m.is_empty());
+        assert_eq!(format!("{m:?}"), "{x ↦ [1, 3⟩, y ↦ [3, 5⟩}");
+    }
+
+    #[test]
+    fn compatibility_follows_sparql_semantics() {
+        let m1 = Mapping::from_pairs([("x", sp(1, 3)), ("y", sp(3, 5))]);
+        let m2 = Mapping::from_pairs([("y", sp(3, 5)), ("z", sp(5, 6))]);
+        let m3 = Mapping::from_pairs([("y", sp(4, 5))]);
+        // Disjoint-domain mappings are always compatible.
+        let m4 = Mapping::from_pairs([("w", sp(1, 1))]);
+        assert!(m1.is_compatible_with(&m2));
+        assert!(!m1.is_compatible_with(&m3));
+        assert!(m1.is_compatible_with(&m4));
+        assert!(Mapping::new().is_compatible_with(&m1));
+    }
+
+    #[test]
+    fn union_of_compatible_mappings() {
+        let m1 = Mapping::from_pairs([("x", sp(1, 3))]);
+        let m2 = Mapping::from_pairs([("y", sp(3, 5))]);
+        let u = m1.union(&m2).unwrap();
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.get(&var("x")), Some(sp(1, 3)));
+        assert_eq!(u.get(&var("y")), Some(sp(3, 5)));
+
+        let m3 = Mapping::from_pairs([("x", sp(2, 3))]);
+        assert!(m1.union(&m3).is_none());
+    }
+
+    #[test]
+    fn restriction() {
+        let m = Mapping::from_pairs([("x", sp(1, 3)), ("y", sp(3, 5)), ("z", sp(5, 5))]);
+        let r = m.restrict(&VarSet::from_iter(["x", "z", "unused"]));
+        assert_eq!(r.domain(), VarSet::from_iter(["x", "z"]));
+        assert_eq!(r.get(&var("z")), Some(sp(5, 5)));
+    }
+
+    #[test]
+    fn totality_check() {
+        let m = Mapping::from_pairs([("x", sp(1, 1)), ("y", sp(1, 2))]);
+        assert!(m.is_total_over(&VarSet::from_iter(["x", "y"])));
+        assert!(!m.is_total_over(&VarSet::from_iter(["x", "y", "z"])));
+        assert!(!m.is_total_over(&VarSet::from_iter(["x"])));
+    }
+
+    #[test]
+    fn empty_span_positions_matter() {
+        // The paper: [i, i⟩ and [j, j⟩ are different objects even though the
+        // substrings are both empty.
+        let m1 = Mapping::from_pairs([("x", Span::empty(2))]);
+        let m2 = Mapping::from_pairs([("x", Span::empty(3))]);
+        assert!(!m1.is_compatible_with(&m2));
+        assert_ne!(m1, m2);
+    }
+
+    #[test]
+    #[should_panic(expected = "two different spans")]
+    fn conflicting_pairs_panic() {
+        let _ = Mapping::from_pairs([("x", sp(1, 2)), ("x", sp(1, 3))]);
+    }
+}

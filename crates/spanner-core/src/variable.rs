@@ -1,0 +1,249 @@
+//! Capture variables and ordered variable sets.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A capture variable (an element of the countably infinite set `Vars`).
+///
+/// Variables are identified by name. Cloning is cheap (reference-counted),
+/// and the ordering is the lexicographic ordering of names, which gives every
+/// structure built on top of variables a deterministic iteration order.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Variable(Arc<str>);
+
+impl Variable {
+    /// Creates (or references) the variable with the given name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Variable(Arc::from(name.as_ref()))
+    }
+
+    /// The variable's name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Variable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.0)
+    }
+}
+
+impl fmt::Display for Variable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Variable {
+    fn from(s: &str) -> Self {
+        Variable::new(s)
+    }
+}
+
+impl From<String> for Variable {
+    fn from(s: String) -> Self {
+        Variable::new(s)
+    }
+}
+
+/// Convenience constructor: `var("x")`.
+pub fn var(name: impl AsRef<str>) -> Variable {
+    Variable::new(name)
+}
+
+/// A finite, ordered set of variables.
+///
+/// `VarSet` is used for declared variable sets of spanners (`Vars(α)`,
+/// `Vars(A)`), for projection lists, and for the shared-variable sets that
+/// parameterize the FPT results of the paper.
+#[derive(Clone, PartialEq, Eq, Default, Hash, PartialOrd, Ord)]
+pub struct VarSet {
+    vars: BTreeSet<Variable>,
+}
+
+impl VarSet {
+    /// The empty variable set.
+    pub fn new() -> Self {
+        VarSet::default()
+    }
+
+    /// Builds a variable set from anything iterable over variables.
+    pub fn from_iter<I, V>(iter: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Variable>,
+    {
+        VarSet {
+            vars: iter.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Inserts a variable; returns `true` if it was not already present.
+    pub fn insert(&mut self, v: impl Into<Variable>) -> bool {
+        self.vars.insert(v.into())
+    }
+
+    /// Removes a variable; returns `true` if it was present.
+    pub fn remove(&mut self, v: &Variable) -> bool {
+        self.vars.remove(v)
+    }
+
+    /// Whether the set contains `v`.
+    #[inline]
+    pub fn contains(&self, v: &Variable) -> bool {
+        self.vars.contains(v)
+    }
+
+    /// Number of variables.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Iterates over the variables in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = &Variable> + '_ {
+        self.vars.iter()
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &VarSet) -> VarSet {
+        VarSet {
+            vars: self.vars.union(&other.vars).cloned().collect(),
+        }
+    }
+
+    /// Set intersection — the "common variables" of the paper's FPT bounds.
+    pub fn intersection(&self, other: &VarSet) -> VarSet {
+        VarSet {
+            vars: self.vars.intersection(&other.vars).cloned().collect(),
+        }
+    }
+
+    /// Set difference.
+    pub fn difference(&self, other: &VarSet) -> VarSet {
+        VarSet {
+            vars: self.vars.difference(&other.vars).cloned().collect(),
+        }
+    }
+
+    /// Whether the two sets are disjoint.
+    pub fn is_disjoint(&self, other: &VarSet) -> bool {
+        self.vars.is_disjoint(&other.vars)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &VarSet) -> bool {
+        self.vars.is_subset(&other.vars)
+    }
+
+    /// Returns the variables as a vector (lexicographic order).
+    pub fn to_vec(&self) -> Vec<Variable> {
+        self.vars.iter().cloned().collect()
+    }
+
+    /// Iterates over all subsets of this set (2^n of them).
+    ///
+    /// Used by the ad-hoc difference construction of Lemma 4.2, where the
+    /// set is the (bounded) set of common variables.
+    pub fn subsets(&self) -> impl Iterator<Item = VarSet> + '_ {
+        let elems: Vec<Variable> = self.to_vec();
+        let n = elems.len();
+        assert!(n < 32, "subsets() is only intended for small (bounded) sets");
+        (0u32..(1u32 << n)).map(move |mask| {
+            VarSet::from_iter(
+                elems
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, v)| v.clone()),
+            )
+        })
+    }
+}
+
+impl fmt::Debug for VarSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.vars.iter()).finish()
+    }
+}
+
+impl FromIterator<Variable> for VarSet {
+    fn from_iter<I: IntoIterator<Item = Variable>>(iter: I) -> Self {
+        VarSet {
+            vars: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a VarSet {
+    type Item = &'a Variable;
+    type IntoIter = std::collections::btree_set::Iter<'a, Variable>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.vars.iter()
+    }
+}
+
+impl IntoIterator for VarSet {
+    type Item = Variable;
+    type IntoIter = std::collections::btree_set::IntoIter<Variable>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.vars.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variable_identity() {
+        let x1 = Variable::new("x");
+        let x2 = var("x");
+        let y = var("y");
+        assert_eq!(x1, x2);
+        assert_ne!(x1, y);
+        assert_eq!(x1.name(), "x");
+        assert_eq!(format!("{x1:?}"), "$x");
+    }
+
+    #[test]
+    fn varset_ops() {
+        let a = VarSet::from_iter(["x", "y", "z"]);
+        let b = VarSet::from_iter(["y", "z", "w"]);
+        assert_eq!(a.len(), 3);
+        assert!(a.contains(&var("x")));
+        assert_eq!(a.intersection(&b), VarSet::from_iter(["y", "z"]));
+        assert_eq!(a.union(&b).len(), 4);
+        assert_eq!(a.difference(&b), VarSet::from_iter(["x"]));
+        assert!(!a.is_disjoint(&b));
+        assert!(VarSet::from_iter(["x"]).is_subset(&a));
+        assert!(a.is_disjoint(&VarSet::from_iter(["q"])));
+    }
+
+    #[test]
+    fn varset_iteration_is_sorted() {
+        let a = VarSet::from_iter(["zz", "aa", "mm"]);
+        let names: Vec<_> = a.iter().map(|v| v.name().to_string()).collect();
+        assert_eq!(names, vec!["aa", "mm", "zz"]);
+    }
+
+    #[test]
+    fn subsets_enumeration() {
+        let a = VarSet::from_iter(["x", "y"]);
+        let subs: Vec<_> = a.subsets().collect();
+        assert_eq!(subs.len(), 4);
+        assert!(subs.contains(&VarSet::new()));
+        assert!(subs.contains(&VarSet::from_iter(["x", "y"])));
+        assert!(subs.contains(&VarSet::from_iter(["x"])));
+        assert!(subs.contains(&VarSet::from_iter(["y"])));
+    }
+}

@@ -1,0 +1,284 @@
+//! Polynomial-delay enumeration of sequential vset-automata (Theorem 2.5).
+//!
+//! [`Enumerator`] walks the mappings of `VAW(d)` one by one, without
+//! duplicates and without dead ends: a partial choice of per-position
+//! operation sets is extended only when a reachability certificate (computed
+//! on the [`MatchGraph`]) guarantees that it completes to an accepted
+//! mapping. The delay between two consecutive mappings is therefore bounded
+//! by a polynomial in the document and the automaton for any fixed number of
+//! variables — see DESIGN.md §2 for how this substitutes for the
+//! combined-complexity algorithm of Amarilli et al. that the paper cites.
+
+use crate::matchgraph::MatchGraph;
+use crate::opset::OpSet;
+use spanner_core::{Document, Mapping, MappingSet, SpannerError, SpannerResult};
+use spanner_vset::{StateId, Vsa};
+
+/// A lazily evaluated stream of the mappings of `VAW(d)`.
+pub struct Enumerator<'a> {
+    graph: MatchGraph<'a>,
+    /// DFS stack; one frame per document position on the current path.
+    stack: Vec<Frame>,
+    /// The operation sets chosen on the current path (parallel to `stack`).
+    path: Vec<(u32, OpSet)>,
+    finished: bool,
+}
+
+struct Frame {
+    /// Position of this frame (1-based; `|d| + 1` is the final frame).
+    pos: u32,
+    /// Candidate operation sets at this position, each with the automaton
+    /// states reached after performing it.
+    candidates: Vec<(OpSet, Vec<StateId>)>,
+    /// Index of the next candidate to try.
+    next: usize,
+}
+
+impl<'a> Enumerator<'a> {
+    /// Creates an enumerator for `VAW(d)`.
+    ///
+    /// Fails if the automaton is not sequential or has too many variables for
+    /// the bitset representation.
+    pub fn new(vsa: &'a Vsa, doc: &'a Document) -> SpannerResult<Self> {
+        let graph = MatchGraph::build(vsa, doc)?;
+        let mut e = Enumerator {
+            graph,
+            stack: Vec::new(),
+            path: Vec::new(),
+            finished: false,
+        };
+        if e.graph.is_nonempty() {
+            let initial = vec![e.graph.vsa.initial()];
+            let candidates = e.graph.op_closures(1, &initial);
+            e.stack.push(Frame {
+                pos: 1,
+                candidates,
+                next: 0,
+            });
+        } else {
+            e.finished = true;
+        }
+        Ok(e)
+    }
+
+    /// The match graph driving the enumeration.
+    pub fn graph(&self) -> &MatchGraph<'a> {
+        &self.graph
+    }
+
+    fn next_mapping(&mut self) -> Option<SpannerResult<Mapping>> {
+        if self.finished {
+            return None;
+        }
+        let n = self.graph.doc.len() as u32;
+        loop {
+            let Some(frame) = self.stack.last_mut() else {
+                self.finished = true;
+                return None;
+            };
+            if frame.next >= frame.candidates.len() {
+                // Backtrack.
+                self.stack.pop();
+                self.path.pop();
+                continue;
+            }
+            let pos = frame.pos;
+            let (set, states) = frame.candidates[frame.next].clone();
+            frame.next += 1;
+            // Record the choice (replacing any previous choice at this depth).
+            self.path.truncate(self.stack.len() - 1);
+            self.path.push((pos, set));
+
+            if pos == n + 1 {
+                // Complete mapping.
+                return Some(self.graph.ops.mapping_from_positions(&self.path));
+            }
+            // Consume the letter at `pos` and descend.
+            let next_states = self.graph.advance(pos, &states);
+            debug_assert!(
+                !next_states.is_empty(),
+                "candidate op-sets are viability-checked"
+            );
+            let candidates = self.graph.op_closures(pos + 1, &next_states);
+            debug_assert!(
+                !candidates.is_empty(),
+                "viable prefixes always have a continuation"
+            );
+            self.stack.push(Frame {
+                pos: pos + 1,
+                candidates,
+                next: 0,
+            });
+        }
+    }
+}
+
+impl<'a> Iterator for Enumerator<'a> {
+    type Item = SpannerResult<Mapping>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_mapping()
+    }
+}
+
+/// Enumerates `VAW(d)` into a materialized [`MappingSet`].
+///
+/// Prefer [`Enumerator`] when the result may be large.
+pub fn evaluate(vsa: &Vsa, doc: &Document) -> SpannerResult<MappingSet> {
+    let e = Enumerator::new(vsa, doc)?;
+    let mut out = MappingSet::new();
+    for m in e {
+        out.insert(m?);
+    }
+    Ok(out)
+}
+
+/// Whether `VAW(d)` is nonempty (polynomial time; Theorem 2.5's
+/// nonemptiness).
+pub fn is_nonempty(vsa: &Vsa, doc: &Document) -> SpannerResult<bool> {
+    Ok(MatchGraph::build(vsa, doc)?.is_nonempty())
+}
+
+/// Counts the mappings of `VAW(d)` by enumeration, stopping at `limit`.
+///
+/// Returns `Ok(count)` with `count ≤ limit`; a result equal to `limit` means
+/// "at least `limit`".
+pub fn count_mappings(vsa: &Vsa, doc: &Document, limit: usize) -> SpannerResult<usize> {
+    let e = Enumerator::new(vsa, doc)?;
+    let mut count = 0usize;
+    for m in e {
+        m?;
+        count += 1;
+        if count >= limit {
+            break;
+        }
+    }
+    Ok(count)
+}
+
+/// Convenience: evaluates a regex formula by compiling it to a VA and
+/// enumerating (the production counterpart of
+/// `spanner_rgx::reference_eval`).
+pub fn evaluate_rgx(alpha: &spanner_rgx::Rgx, doc: &Document) -> SpannerResult<MappingSet> {
+    if !spanner_rgx::is_sequential(alpha) {
+        return Err(SpannerError::requirement(
+            "sequential",
+            format!("regex formula {alpha} is not sequential"),
+        ));
+    }
+    evaluate(&spanner_vset::compile(alpha), doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanner_rgx::{parse, reference_eval};
+    use spanner_vset::compile;
+
+    /// The compiled + enumerated pipeline must agree with the reference
+    /// evaluator.
+    fn assert_agrees(pattern: &str, texts: &[&str]) {
+        let alpha = parse(pattern).unwrap();
+        let vsa = compile(&alpha);
+        for text in texts {
+            let doc = Document::new(*text);
+            let expected = reference_eval(&alpha, &doc);
+            let actual = evaluate(&vsa, &doc).unwrap();
+            assert_eq!(actual, expected, "mismatch for {pattern:?} on {text:?}");
+        }
+    }
+
+    #[test]
+    fn simple_patterns() {
+        assert_agrees("a*", &["", "a", "aa", "b"]);
+        assert_agrees("{x:a*}b", &["b", "ab", "aab", ""]);
+        assert_agrees(".*{x:a+}.*", &["baab", "a", "", "bbb"]);
+        assert_agrees("({x:a})?{y:b}", &["ab", "b", "a"]);
+        assert_agrees("{x:a}|{y:a}", &["a"]);
+    }
+
+    #[test]
+    fn schemaless_extraction() {
+        assert_agrees(
+            r"({first:\l+} )?{last:\l+}( {phone:\d+})?",
+            &["bob smith 42", "smith", "ann lee", "x 1"],
+        );
+    }
+
+    #[test]
+    fn empty_document_and_empty_language() {
+        assert_agrees("a", &[""]);
+        assert_agrees("()", &["", "a"]);
+        assert_agrees("[]", &["", "a"]);
+        assert_agrees("{x:()}", &["", "a"]);
+    }
+
+    #[test]
+    fn enumeration_has_no_duplicates() {
+        // A deliberately ambiguous automaton: many runs produce the same
+        // mapping, but each mapping must be reported exactly once.
+        let alpha = parse("(a|a)*{x:(a|a)*}(a|a)*").unwrap();
+        let vsa = compile(&alpha);
+        let doc = Document::new("aaaa");
+        let mappings: Vec<Mapping> = Enumerator::new(&vsa, &doc)
+            .unwrap()
+            .map(|m| m.unwrap())
+            .collect();
+        let unique: std::collections::BTreeSet<_> = mappings.iter().cloned().collect();
+        assert_eq!(mappings.len(), unique.len(), "duplicates produced");
+        // x ranges over all 15 spans of "aaaa".
+        assert_eq!(mappings.len(), 15);
+    }
+
+    #[test]
+    fn nonemptiness_and_counting() {
+        let vsa = compile(&parse("{x:a+}b").unwrap());
+        assert!(is_nonempty(&vsa, &Document::new("aab")).unwrap());
+        assert!(!is_nonempty(&vsa, &Document::new("ba")).unwrap());
+        assert_eq!(count_mappings(&vsa, &Document::new("aab"), 100).unwrap(), 1);
+
+        let many = compile(&parse(".*{x:.*}.*").unwrap());
+        // |d| = 4 ⇒ 15 spans.
+        assert_eq!(count_mappings(&many, &Document::new("abcd"), 100).unwrap(), 15);
+        // The limit caps the work.
+        assert_eq!(count_mappings(&many, &Document::new("abcd"), 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn lazy_iteration_yields_incrementally() {
+        let vsa = compile(&parse(".*{x:.*}.*").unwrap());
+        let doc = Document::new(&"a".repeat(40));
+        let mut e = Enumerator::new(&vsa, &doc).unwrap();
+        // Pull just a few mappings from a large result set.
+        for _ in 0..5 {
+            assert!(e.next().is_some());
+        }
+    }
+
+    #[test]
+    fn evaluate_rgx_matches_reference() {
+        let alpha = parse(r".*{w:\w+}.*").unwrap();
+        let doc = Document::new("ab cd");
+        assert_eq!(
+            evaluate_rgx(&alpha, &doc).unwrap(),
+            reference_eval(&alpha, &doc)
+        );
+        // Non-sequential formulas are rejected.
+        let bad = parse("({x:a})*").unwrap();
+        assert!(evaluate_rgx(&bad, &doc).is_err());
+    }
+
+    #[test]
+    fn larger_document_smoke_test() {
+        // A realistic-ish extractor over a 2 KB document; just check that
+        // enumeration terminates and produces a plausible count.
+        let vsa = compile(&parse(r".* {kv:\w+=\d+} .*").unwrap());
+        let mut text = String::new();
+        for i in 0..100 {
+            text.push_str(&format!(" key{i}={i} "));
+        }
+        let doc = Document::new(text);
+        let count = count_mappings(&vsa, &doc, usize::MAX).unwrap();
+        assert!(count >= 100, "found {count}");
+    }
+}

@@ -1,0 +1,251 @@
+//! The match graph of a vset-automaton on a document.
+//!
+//! The match graph (called "match structure" when viewed as an NFA over
+//! variable configurations in Freydenberger et al. and in the proof of
+//! Theorem 4.8) has one node per pair `(position, state)`. The enumerator of
+//! this crate and the ad-hoc difference constructions of `spanner-algebra`
+//! both work on top of it.
+
+use crate::opset::{OpSet, OpTable};
+use spanner_core::{Document, SpannerError, SpannerResult};
+use spanner_vset::{analysis, Label, StateId, Vsa};
+use std::collections::HashMap;
+
+/// The match graph of an automaton on a document.
+pub struct MatchGraph<'a> {
+    /// The (trimmed) automaton.
+    pub vsa: &'a Vsa,
+    /// The document.
+    pub doc: &'a Document,
+    /// Operation-bit table over `Vars(A)`.
+    pub ops: OpTable,
+    /// `coaccessible[p - 1][q]`: whether some accepting configuration is
+    /// reachable from state `q` at position `p` (1-based positions up to
+    /// `|d| + 1`).
+    coaccessible: Vec<Vec<bool>>,
+}
+
+impl<'a> MatchGraph<'a> {
+    /// Builds the match graph.
+    ///
+    /// The automaton must be sequential (Theorem 2.5's precondition); this is
+    /// checked and an error is returned otherwise.
+    pub fn build(vsa: &'a Vsa, doc: &'a Document) -> SpannerResult<Self> {
+        if !analysis::is_sequential(vsa) {
+            return Err(SpannerError::requirement(
+                "sequential",
+                "polynomial-delay enumeration requires a sequential vset-automaton",
+            ));
+        }
+        let ops = OpTable::new(vsa.vars())?;
+        let n = doc.len();
+        let states = vsa.state_count();
+
+        // Backward dynamic programming over positions.
+        // `zero_reach[q]` = states reachable from q via ε / variable ops only.
+        let zero_reach: Vec<Vec<StateId>> = (0..states)
+            .map(|q| {
+                let mut seen = vec![false; states];
+                let mut stack = vec![q];
+                seen[q] = true;
+                let mut out = vec![q];
+                while let Some(s) = stack.pop() {
+                    for t in vsa.transitions_from(s) {
+                        if !t.label.consumes_input() && !seen[t.target] {
+                            seen[t.target] = true;
+                            stack.push(t.target);
+                            out.push(t.target);
+                        }
+                    }
+                }
+                out
+            })
+            .collect();
+
+        let mut coaccessible = vec![vec![false; states]; n + 1];
+        // Position n + 1: co-accessible iff an accepting state is reachable
+        // without consuming input.
+        for q in 0..states {
+            coaccessible[n][q] = zero_reach[q].iter().any(|&r| vsa.is_accepting(r));
+        }
+        // Positions n .. 1: reachable-without-input to a state with a letter
+        // transition on d[p] into a co-accessible state at p + 1.
+        for p in (1..=n).rev() {
+            let symbol = doc.symbol_at(p as u32).expect("position in range");
+            for q in 0..states {
+                let ok = zero_reach[q].iter().any(|&r| {
+                    vsa.transitions_from(r).iter().any(|t| match &t.label {
+                        Label::Class(c) => c.contains(symbol) && coaccessible[p][t.target],
+                        _ => false,
+                    })
+                });
+                coaccessible[p - 1][q] = ok;
+            }
+        }
+
+        Ok(MatchGraph {
+            vsa,
+            doc,
+            ops,
+            coaccessible,
+        })
+    }
+
+    /// Whether state `q` at position `pos` can still reach acceptance.
+    #[inline]
+    pub fn is_coaccessible(&self, pos: u32, q: StateId) -> bool {
+        self.coaccessible[pos as usize - 1][q]
+    }
+
+    /// Whether the automaton has any valid accepting run on the document.
+    pub fn is_nonempty(&self) -> bool {
+        self.is_coaccessible(1, self.vsa.initial())
+    }
+
+    /// Computes, from the set `from` of states at position `pos`, every pair
+    /// `(op_set, state)` reachable by performing exactly `op_set` (via ε and
+    /// variable-operation transitions, no operation twice) such that the
+    /// reached state is useful:
+    ///
+    /// * if `pos ≤ |d|`: the state has a letter transition on `d[pos]` into a
+    ///   co-accessible state of position `pos + 1`;
+    /// * if `pos = |d| + 1`: the state is accepting.
+    ///
+    /// The result groups, for every such useful operation set, the full set
+    /// of reachable states (useful or not — they matter for later
+    /// positions).
+    pub fn op_closures(&self, pos: u32, from: &[StateId]) -> Vec<(OpSet, Vec<StateId>)> {
+        let n = self.doc.len() as u32;
+        // Explore (state, opset) pairs.
+        let mut seen: HashMap<(StateId, OpSet), ()> = HashMap::new();
+        let mut stack: Vec<(StateId, OpSet)> = Vec::new();
+        for &q in from {
+            if seen.insert((q, OpSet::EMPTY), ()).is_none() {
+                stack.push((q, OpSet::EMPTY));
+            }
+        }
+        // opset -> (states reached, any useful state reached)
+        let mut by_set: HashMap<OpSet, (Vec<StateId>, bool)> = HashMap::new();
+        let record = |q: StateId, set: OpSet, by_set: &mut HashMap<OpSet, (Vec<StateId>, bool)>| {
+            let entry = by_set.entry(set).or_default();
+            entry.0.push(q);
+            let useful = if pos == n + 1 {
+                self.vsa.is_accepting(q)
+            } else {
+                let symbol = self.doc.symbol_at(pos).expect("position in range");
+                self.vsa.transitions_from(q).iter().any(|t| match &t.label {
+                    Label::Class(c) => c.contains(symbol) && self.is_coaccessible(pos + 1, t.target),
+                    _ => false,
+                })
+            };
+            entry.1 |= useful;
+        };
+        for &q in from {
+            record(q, OpSet::EMPTY, &mut by_set);
+        }
+        while let Some((q, set)) = stack.pop() {
+            for t in self.vsa.transitions_from(q) {
+                let next_set = match &t.label {
+                    Label::Epsilon => set,
+                    Label::Open(v) => {
+                        let bit = self.ops.open_bit(v).expect("variable registered");
+                        if set.contains(bit) {
+                            continue;
+                        }
+                        set.with(bit)
+                    }
+                    Label::Close(v) => {
+                        let bit = self.ops.close_bit(v).expect("variable registered");
+                        if set.contains(bit) {
+                            continue;
+                        }
+                        set.with(bit)
+                    }
+                    Label::Class(_) => continue,
+                };
+                if seen.insert((t.target, next_set), ()).is_none() {
+                    record(t.target, next_set, &mut by_set);
+                    stack.push((t.target, next_set));
+                }
+            }
+        }
+        let mut out: Vec<(OpSet, Vec<StateId>)> = by_set
+            .into_iter()
+            .filter(|(_, (_, useful))| *useful)
+            .map(|(set, (states, _))| (set, states))
+            .collect();
+        // Canonical (deterministic) order of candidates.
+        out.sort_by_key(|(set, _)| *set);
+        out
+    }
+
+    /// Advances a set of states over the letter at `pos` (1-based, `≤ |d|`),
+    /// keeping only co-accessible successors.
+    pub fn advance(&self, pos: u32, states: &[StateId]) -> Vec<StateId> {
+        let symbol = self.doc.symbol_at(pos).expect("position in range");
+        let mut out: Vec<StateId> = Vec::new();
+        let mut seen = vec![false; self.vsa.state_count()];
+        for &q in states {
+            for t in self.vsa.transitions_from(q) {
+                if let Label::Class(c) = &t.label {
+                    if c.contains(symbol)
+                        && self.is_coaccessible(pos + 1, t.target)
+                        && !seen[t.target]
+                    {
+                        seen[t.target] = true;
+                        out.push(t.target);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanner_rgx::parse;
+    use spanner_vset::compile;
+
+    #[test]
+    fn coaccessibility_and_nonemptiness() {
+        let a = compile(&parse("a{x:b*}c").unwrap());
+        let doc = Document::new("abbc");
+        let g = MatchGraph::build(&a, &doc).unwrap();
+        assert!(g.is_nonempty());
+
+        let doc2 = Document::new("abb");
+        let g2 = MatchGraph::build(&a, &doc2).unwrap();
+        assert!(!g2.is_nonempty());
+    }
+
+    #[test]
+    fn non_sequential_automata_are_rejected() {
+        use spanner_core::Variable;
+        let mut a = Vsa::new();
+        let q1 = a.add_state();
+        a.add_transition(0, Label::Open(Variable::new("x")), q1);
+        a.set_accepting(q1, true);
+        let doc = Document::new("");
+        assert!(MatchGraph::build(&a, &doc).is_err());
+    }
+
+    #[test]
+    fn op_closures_enumerate_candidate_sets() {
+        // ({x:a})?a* on "a": at position 1 the useful op sets are ∅ (skip x)
+        // and {x⊢} is not complete without the close... the closures group
+        // whole per-position op sets, so the useful sets are ∅, {x⊢}, and
+        // {x⊢, ⊣x} (empty capture).
+        let a = compile(&parse("({x:a})?a*").unwrap());
+        let doc = Document::new("a");
+        let g = MatchGraph::build(&a, &doc).unwrap();
+        let closures = g.op_closures(1, &[a.initial()]);
+        assert!(!closures.is_empty());
+        // All candidate sets must be distinct.
+        let mut sets: Vec<OpSet> = closures.iter().map(|(s, _)| *s).collect();
+        sets.dedup();
+        assert_eq!(sets.len(), closures.len());
+    }
+}

@@ -1,0 +1,198 @@
+//! Compact representation of sets of variable operations.
+
+use spanner_core::{SpannerError, SpannerResult, Span, Variable, VarSet};
+use std::collections::BTreeMap;
+
+/// Maximum number of variables a single automaton may use with the bitset
+/// representation (open + close bits must fit into a `u64`).
+pub const MAX_VARS: usize = 32;
+
+/// A set of variable operations (`x⊢` / `⊣x`), stored as a bitmask.
+///
+/// Bit `2i` is the *open* operation of variable `i`, bit `2i + 1` its *close*
+/// operation, where `i` is the index of the variable in the sorted variable
+/// list of the automaton ([`OpTable`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct OpSet(pub u64);
+
+impl OpSet {
+    /// The empty operation set.
+    pub const EMPTY: OpSet = OpSet(0);
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether the set contains the given bit.
+    #[inline]
+    pub fn contains(self, bit: u64) -> bool {
+        self.0 & bit != 0
+    }
+
+    /// Adds a bit.
+    #[inline]
+    pub fn with(self, bit: u64) -> OpSet {
+        OpSet(self.0 | bit)
+    }
+
+    /// Number of operations in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+}
+
+/// Maps the variables of an automaton to operation-bit indices.
+#[derive(Debug, Clone)]
+pub struct OpTable {
+    vars: Vec<Variable>,
+}
+
+impl OpTable {
+    /// Builds the table for a variable set.
+    ///
+    /// Fails if there are more than [`MAX_VARS`] variables.
+    pub fn new(vars: &VarSet) -> SpannerResult<OpTable> {
+        if vars.len() > MAX_VARS {
+            return Err(SpannerError::LimitExceeded {
+                what: "variables per automaton (bitset operation sets)",
+                limit: MAX_VARS,
+                actual: vars.len(),
+            });
+        }
+        Ok(OpTable { vars: vars.to_vec() })
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// The bit for the open operation of `x`, if `x` is known.
+    pub fn open_bit(&self, x: &Variable) -> Option<u64> {
+        self.index(x).map(|i| 1u64 << (2 * i))
+    }
+
+    /// The bit for the close operation of `x`, if `x` is known.
+    pub fn close_bit(&self, x: &Variable) -> Option<u64> {
+        self.index(x).map(|i| 1u64 << (2 * i + 1))
+    }
+
+    /// The index of a variable.
+    pub fn index(&self, x: &Variable) -> Option<usize> {
+        self.vars.binary_search(x).ok()
+    }
+
+    /// The variables in index order.
+    pub fn vars(&self) -> &[Variable] {
+        &self.vars
+    }
+
+    /// Reconstructs a [`spanner_core::Mapping`] from the positions at which
+    /// each operation of a run was performed.
+    ///
+    /// `ops_at` lists, for every document position, the operation set
+    /// performed there. Returns an error if an open operation has no matching
+    /// close (which cannot happen for accepting runs of sequential automata).
+    pub fn mapping_from_positions(
+        &self,
+        ops_at: &[(u32, OpSet)],
+    ) -> SpannerResult<spanner_core::Mapping> {
+        let mut opens: BTreeMap<usize, u32> = BTreeMap::new();
+        let mut closes: BTreeMap<usize, u32> = BTreeMap::new();
+        for &(pos, set) in ops_at {
+            for (i, _) in self.vars.iter().enumerate() {
+                if set.contains(1u64 << (2 * i)) {
+                    opens.insert(i, pos);
+                }
+                if set.contains(1u64 << (2 * i + 1)) {
+                    closes.insert(i, pos);
+                }
+            }
+        }
+        let mut mapping = spanner_core::Mapping::new();
+        for (i, open_pos) in &opens {
+            match closes.get(i) {
+                Some(close_pos) if close_pos >= open_pos => {
+                    mapping.insert(self.vars[*i].clone(), Span::new(*open_pos, *close_pos));
+                }
+                _ => {
+                    return Err(SpannerError::Invalid(format!(
+                        "variable {} opened at {} but not properly closed",
+                        self.vars[*i], open_pos
+                    )))
+                }
+            }
+        }
+        if closes.keys().any(|i| !opens.contains_key(i)) {
+            return Err(SpannerError::Invalid(
+                "a variable was closed without being opened".to_string(),
+            ));
+        }
+        Ok(mapping)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanner_core::Mapping;
+
+    #[test]
+    fn bit_assignment_is_stable() {
+        let vars = VarSet::from_iter(["b", "a", "c"]);
+        let table = OpTable::new(&vars).unwrap();
+        // Sorted order: a, b, c.
+        assert_eq!(table.open_bit(&"a".into()), Some(1));
+        assert_eq!(table.close_bit(&"a".into()), Some(2));
+        assert_eq!(table.open_bit(&"b".into()), Some(4));
+        assert_eq!(table.open_bit(&"z".into()), None);
+        assert_eq!(table.len(), 3);
+    }
+
+    #[test]
+    fn too_many_variables_rejected() {
+        let vars: VarSet = (0..40).map(|i| Variable::new(format!("v{i:02}"))).collect();
+        assert!(OpTable::new(&vars).is_err());
+    }
+
+    #[test]
+    fn opset_operations() {
+        let s = OpSet::EMPTY.with(1).with(4);
+        assert!(s.contains(1));
+        assert!(!s.contains(2));
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert!(OpSet::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn mapping_reconstruction() {
+        let vars = VarSet::from_iter(["x", "y"]);
+        let table = OpTable::new(&vars).unwrap();
+        let xo = table.open_bit(&"x".into()).unwrap();
+        let xc = table.close_bit(&"x".into()).unwrap();
+        let yo = table.open_bit(&"y".into()).unwrap();
+        let yc = table.close_bit(&"y".into()).unwrap();
+        let ops = vec![
+            (1, OpSet::EMPTY.with(xo)),
+            (3, OpSet::EMPTY.with(xc).with(yo).with(yc)),
+        ];
+        let m = table.mapping_from_positions(&ops).unwrap();
+        assert_eq!(
+            m,
+            Mapping::from_pairs([("x", Span::new(1, 3)), ("y", Span::new(3, 3))])
+        );
+
+        // Unclosed variable is an error.
+        let bad = vec![(1, OpSet::EMPTY.with(xo))];
+        assert!(table.mapping_from_positions(&bad).is_err());
+    }
+}

@@ -1,0 +1,349 @@
+//! Syntactic classes of regex formulas.
+//!
+//! The paper studies several syntactic restrictions of regex formulas:
+//!
+//! * **functional** (`funcRGX`, Fagin et al.): every parse tree contains
+//!   exactly one occurrence of every variable — these are the schema-based
+//!   spanners;
+//! * **sequential** (`seqRGX`, Maturana et al.): every parse tree contains at
+//!   most one occurrence of every variable — the schemaless spanners;
+//! * **disjunctive functional** (`dfuncRGX`, Section 3.2): a disjunction of
+//!   functional formulas;
+//! * **synchronized for a set X** (Section 4.2): no variable of X occurs
+//!   under a disjunction;
+//! * **disjunction-free** (Proposition 4.10): no `∨` at all.
+//!
+//! The containments are `funcRGX ⊊ dfuncRGX ⊊ seqRGX` (Section 3.2).
+
+use crate::ast::Rgx;
+use spanner_core::{VarSet, Variable};
+
+/// Checks whether `alpha` is *sequential* (Section 2.2):
+///
+/// * every sub-formula `α₁ · α₂` satisfies `Vars(α₁) ∩ Vars(α₂) = ∅`;
+/// * every sub-formula `α*` satisfies `Vars(α) = ∅`;
+/// * every sub-formula `x{α}` satisfies `x ∉ Vars(α)`.
+pub fn is_sequential(alpha: &Rgx) -> bool {
+    fn rec(alpha: &Rgx) -> Option<VarSet> {
+        match alpha {
+            Rgx::Empty | Rgx::Epsilon | Rgx::Class(_) => Some(VarSet::new()),
+            Rgx::Concat(parts) => {
+                let mut seen = VarSet::new();
+                for p in parts {
+                    let vs = rec(p)?;
+                    if !seen.is_disjoint(&vs) {
+                        return None;
+                    }
+                    seen = seen.union(&vs);
+                }
+                Some(seen)
+            }
+            Rgx::Union(parts) => {
+                let mut all = VarSet::new();
+                for p in parts {
+                    all = all.union(&rec(p)?);
+                }
+                Some(all)
+            }
+            Rgx::Star(inner) => {
+                let vs = rec(inner)?;
+                if vs.is_empty() {
+                    Some(vs)
+                } else {
+                    None
+                }
+            }
+            Rgx::Capture(v, inner) => {
+                let vs = rec(inner)?;
+                if vs.contains(v) {
+                    None
+                } else {
+                    let mut out = vs;
+                    out.insert(v.clone());
+                    Some(out)
+                }
+            }
+        }
+    }
+    rec(alpha).is_some()
+}
+
+/// Checks whether `alpha` is *functional for* the variable set `vars`
+/// (the inductive definition of Section 2.2).
+pub fn is_functional_for(alpha: &Rgx, vars: &VarSet) -> bool {
+    match alpha {
+        Rgx::Empty | Rgx::Epsilon | Rgx::Class(_) => vars.is_empty(),
+        Rgx::Union(parts) => parts.iter().all(|p| is_functional_for(p, vars)),
+        Rgx::Concat(parts) => {
+            // The split V₁ ⊎ V₂ ⊎ ⋯ is forced: part i can only be functional
+            // for a subset of its own variables, so Vᵢ = Vars(αᵢ) ∩ V, and the
+            // Vᵢ must be pairwise disjoint and cover V.
+            let mut covered = VarSet::new();
+            for p in parts {
+                let vi = p.vars().intersection(vars);
+                if !covered.is_disjoint(&vi) {
+                    return false;
+                }
+                if !is_functional_for(p, &vi) {
+                    return false;
+                }
+                covered = covered.union(&vi);
+            }
+            covered == *vars
+        }
+        Rgx::Star(inner) => vars.is_empty() && is_functional_for(inner, &VarSet::new()),
+        Rgx::Capture(v, inner) => {
+            if !vars.contains(v) {
+                return false;
+            }
+            let mut rest = vars.clone();
+            rest.remove(v);
+            is_functional_for(inner, &rest)
+        }
+    }
+}
+
+/// Checks whether `alpha` is *functional*: functional for `Vars(alpha)`.
+///
+/// Every functional formula is sequential (Maturana et al.).
+pub fn is_functional(alpha: &Rgx) -> bool {
+    is_functional_for(alpha, &alpha.vars())
+}
+
+/// Checks whether `alpha` is *disjunctive functional*: a finite disjunction
+/// of functional regex formulas (a single functional formula counts, as a
+/// disjunction with one disjunct).
+pub fn is_disjunctive_functional(alpha: &Rgx) -> bool {
+    match alpha {
+        Rgx::Union(parts) => parts.iter().all(is_functional),
+        other => is_functional(other),
+    }
+}
+
+/// Checks whether `alpha` is *synchronized for* the variable `x`
+/// (Section 4.2): no sub-formula `α₁ ∨ α₂` mentions `x` in either operand.
+pub fn is_synchronized_for_var(alpha: &Rgx, x: &Variable) -> bool {
+    let mut ok = true;
+    alpha.visit(&mut |sub| {
+        if let Rgx::Union(parts) = sub {
+            if parts.iter().any(|p| p.vars().contains(x)) {
+                ok = false;
+            }
+        }
+    });
+    ok
+}
+
+/// Checks whether `alpha` is synchronized for every variable in `vars`.
+pub fn is_synchronized_for(alpha: &Rgx, vars: &VarSet) -> bool {
+    vars.iter().all(|x| is_synchronized_for_var(alpha, x))
+}
+
+/// Checks whether `alpha` contains no disjunction at all
+/// (the restriction of Proposition 4.10).
+pub fn is_disjunction_free(alpha: &Rgx) -> bool {
+    let mut ok = true;
+    alpha.visit(&mut |sub| {
+        if matches!(sub, Rgx::Union(_)) {
+            ok = false;
+        }
+    });
+    ok
+}
+
+/// A summary of the syntactic classes a formula belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RgxClass {
+    /// `funcRGX` membership.
+    pub functional: bool,
+    /// `seqRGX` membership.
+    pub sequential: bool,
+    /// `dfuncRGX` membership.
+    pub disjunctive_functional: bool,
+    /// No `∨` anywhere.
+    pub disjunction_free: bool,
+    /// Synchronized for all of its own variables.
+    pub synchronized: bool,
+}
+
+impl RgxClass {
+    /// Classifies a formula.
+    pub fn of(alpha: &Rgx) -> RgxClass {
+        RgxClass {
+            functional: is_functional(alpha),
+            sequential: is_sequential(alpha),
+            disjunctive_functional: is_disjunctive_functional(alpha),
+            disjunction_free: is_disjunction_free(alpha),
+            synchronized: is_synchronized_for(alpha, &alpha.vars()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanner_core::ByteClass;
+
+    fn sym(b: u8) -> Rgx {
+        Rgx::symbol(b)
+    }
+
+    /// The paper's Example 2.2 name extractor:
+    /// `(xfirst{δ} ␣ xlast{δ}) ∨ (xlast{δ})` — sequential but not functional.
+    fn alpha_name() -> Rgx {
+        let delta = Rgx::concat([
+            Rgx::Class(ByteClass::ascii_upper()),
+            Rgx::star(Rgx::Class(ByteClass::ascii_lower())),
+        ]);
+        Rgx::union([
+            Rgx::concat([
+                Rgx::capture("xfirst", delta.clone()),
+                sym(b' '),
+                Rgx::capture("xlast", delta.clone()),
+            ]),
+            Rgx::capture("xlast", delta),
+        ])
+    }
+
+    #[test]
+    fn functional_formulas() {
+        // x{a*}·y{b} is functional.
+        let f = Rgx::concat([
+            Rgx::capture("x", Rgx::star(sym(b'a'))),
+            Rgx::capture("y", sym(b'b')),
+        ]);
+        assert!(is_functional(&f));
+        assert!(is_sequential(&f));
+        assert!(is_disjunctive_functional(&f));
+
+        // Variable-free formulas are functional.
+        assert!(is_functional(&Rgx::any_string()));
+
+        // A variable under a star is not functional (and not sequential).
+        let bad = Rgx::star(Rgx::capture("x", sym(b'a')));
+        assert!(!is_functional(&bad));
+        assert!(!is_sequential(&bad));
+
+        // A variable missing from one disjunct is not functional.
+        assert!(!is_functional(&alpha_name()));
+        assert!(is_sequential(&alpha_name()));
+    }
+
+    #[test]
+    fn functional_requires_single_occurrence() {
+        // x{a}·x{a}: the same variable twice in a concatenation.
+        let twice = Rgx::concat([Rgx::capture("x", sym(b'a')), Rgx::capture("x", sym(b'a'))]);
+        assert!(!is_functional(&twice));
+        assert!(!is_sequential(&twice));
+
+        // Nested re-capture x{x{a}}.
+        let nested = Rgx::capture("x", Rgx::capture("x", sym(b'a')));
+        assert!(!is_functional(&nested));
+        assert!(!is_sequential(&nested));
+    }
+
+    #[test]
+    fn sequential_but_not_disjunctive_functional() {
+        // The paper's Section 3.2 example: z{Σ*}·(x{Σ*} ∨ y{Σ*}).
+        let r = Rgx::concat([
+            Rgx::capture("z", Rgx::any_string()),
+            Rgx::union([
+                Rgx::capture("x", Rgx::any_string()),
+                Rgx::capture("y", Rgx::any_string()),
+            ]),
+        ]);
+        assert!(is_sequential(&r));
+        assert!(!is_disjunctive_functional(&r));
+        assert!(!is_functional(&r));
+    }
+
+    #[test]
+    fn disjunctive_functional_examples() {
+        // (x{a}·y{b}) ∨ (x{b}·y{a}) — disjunction of functional formulas.
+        let df = Rgx::union([
+            Rgx::concat([Rgx::capture("x", sym(b'a')), Rgx::capture("y", sym(b'b'))]),
+            Rgx::concat([Rgx::capture("x", sym(b'b')), Rgx::capture("y", sym(b'a'))]),
+        ]);
+        assert!(is_disjunctive_functional(&df));
+        // Both disjuncts bind exactly {x, y}, so the union is functional too.
+        assert!(is_functional(&df));
+    }
+
+    #[test]
+    fn dfunc_with_unequal_disjunct_vars() {
+        // (x{a}) ∨ (y{a}) is disjunctive functional but not functional.
+        let df = Rgx::union([Rgx::capture("x", sym(b'a')), Rgx::capture("y", sym(b'a'))]);
+        assert!(is_disjunctive_functional(&df));
+        assert!(!is_functional(&df));
+        assert!(is_sequential(&df));
+    }
+
+    #[test]
+    fn functional_union_with_equal_vars() {
+        // A union whose disjuncts bind the same variables *is* functional.
+        let f = Rgx::union([
+            Rgx::concat([Rgx::capture("x", sym(b'a')), sym(b'a')]),
+            Rgx::capture("x", sym(b'b')),
+        ]);
+        assert!(is_functional(&f));
+    }
+
+    #[test]
+    fn synchronized_classification() {
+        // (x{Σ*} ∨ ε)·y{Σ*} — Example 4.5: synchronized for y, not for x.
+        let r = Rgx::concat([
+            Rgx::union([Rgx::capture("x", Rgx::any_string()), Rgx::Epsilon]),
+            Rgx::capture("y", Rgx::any_string()),
+        ]);
+        assert!(is_synchronized_for_var(&r, &"y".into()));
+        assert!(!is_synchronized_for_var(&r, &"x".into()));
+        assert!(is_synchronized_for(&r, &VarSet::from_iter(["y"])));
+        assert!(!is_synchronized_for(&r, &VarSet::from_iter(["x", "y"])));
+        // Synchronization for variables not occurring at all is trivially true.
+        assert!(is_synchronized_for_var(&r, &"unused".into()));
+    }
+
+    #[test]
+    fn disjunction_free_classification() {
+        let r = Rgx::concat([Rgx::capture("x", Rgx::star(sym(b'a'))), sym(b'b')]);
+        assert!(is_disjunction_free(&r));
+        assert!(!is_disjunction_free(&Rgx::opt(sym(b'a'))));
+    }
+
+    #[test]
+    fn class_summary() {
+        let c = RgxClass::of(&alpha_name());
+        assert!(c.sequential);
+        assert!(!c.functional);
+        assert!(c.disjunctive_functional);
+        assert!(!c.disjunction_free);
+        assert!(!c.synchronized);
+    }
+
+    #[test]
+    fn containment_chain_funcrgx_dfuncrgx_seqrgx() {
+        // Every functional formula is disjunctive functional; every
+        // disjunctive functional formula is sequential. Spot-check on a
+        // handful of formulas.
+        let formulas = vec![
+            Rgx::capture("x", Rgx::any_string()),
+            alpha_name(),
+            Rgx::union([Rgx::capture("x", sym(b'a')), Rgx::capture("y", sym(b'b'))]),
+            Rgx::concat([
+                Rgx::capture("z", Rgx::any_string()),
+                Rgx::union([
+                    Rgx::capture("x", Rgx::any_string()),
+                    Rgx::capture("y", Rgx::any_string()),
+                ]),
+            ]),
+        ];
+        for f in &formulas {
+            if is_functional(f) {
+                assert!(is_disjunctive_functional(f), "func ⊆ dfunc failed on {f}");
+            }
+            if is_disjunctive_functional(f) {
+                assert!(is_sequential(f), "dfunc ⊆ seq failed on {f}");
+            }
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Brute-force interpretation of vset-automata (test oracle).
+//!
+//! [`interpret`] computes `VAW(d)` by a fixpoint over run configurations.
+//! It materializes every reachable configuration `(position, state, partial
+//! mapping, open variables)`, so it is exponential in the number of variables
+//! and only suitable for small inputs. The production evaluation path lives
+//! in `spanner-enum`; this interpreter exists so that the automaton
+//! constructions in this crate can be validated independently of it.
+
+use crate::automaton::{Label, StateId, Vsa};
+use spanner_core::{Document, Mapping, MappingSet, Span};
+use std::collections::{BTreeMap, HashSet};
+
+/// A run configuration of the interpreter.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct Config {
+    pos: u32,
+    state: StateId,
+    /// Variables already closed, with their spans.
+    closed: Vec<(String, Span)>,
+    /// Variables currently open, with their opening positions.
+    open: Vec<(String, u32)>,
+}
+
+/// Computes `VAW(d)`: the set of mappings of all **valid** accepting runs of
+/// the automaton on the document.
+pub fn interpret(a: &Vsa, doc: &Document) -> MappingSet {
+    let n = doc.len() as u32;
+    let mut result = MappingSet::new();
+    let mut seen: HashSet<Config> = HashSet::new();
+    let start = Config {
+        pos: 1,
+        state: a.initial(),
+        closed: Vec::new(),
+        open: Vec::new(),
+    };
+    let mut stack = vec![start.clone()];
+    seen.insert(start);
+
+    while let Some(cfg) = stack.pop() {
+        if cfg.pos == n + 1 && a.is_accepting(cfg.state) && cfg.open.is_empty() {
+            result.insert(Mapping::from_pairs(
+                cfg.closed.iter().map(|(v, s)| (v.as_str(), *s)),
+            ));
+        }
+        for t in a.transitions_from(cfg.state) {
+            let next = match &t.label {
+                Label::Epsilon => Some(Config {
+                    state: t.target,
+                    ..cfg.clone()
+                }),
+                Label::Class(c) => {
+                    if cfg.pos <= n && c.contains(doc.symbol_at(cfg.pos).unwrap()) {
+                        Some(Config {
+                            pos: cfg.pos + 1,
+                            state: t.target,
+                            closed: cfg.closed.clone(),
+                            open: cfg.open.clone(),
+                        })
+                    } else {
+                        None
+                    }
+                }
+                Label::Open(v) => {
+                    let name = v.name();
+                    // Validity: a variable is opened at most once.
+                    if cfg.open.iter().any(|(o, _)| o == name)
+                        || cfg.closed.iter().any(|(c, _)| c == name)
+                    {
+                        None
+                    } else {
+                        let mut open = cfg.open.clone();
+                        open.push((name.to_string(), cfg.pos));
+                        open.sort();
+                        Some(Config {
+                            state: t.target,
+                            open,
+                            ..cfg.clone()
+                        })
+                    }
+                }
+                Label::Close(v) => {
+                    let name = v.name();
+                    // Validity: only an open variable can be closed.
+                    if let Some(idx) = cfg.open.iter().position(|(o, _)| o == name) {
+                        let mut open = cfg.open.clone();
+                        let (_, start_pos) = open.remove(idx);
+                        let mut closed = cfg.closed.clone();
+                        closed.push((name.to_string(), Span::new(start_pos, cfg.pos)));
+                        closed.sort();
+                        Some(Config {
+                            state: t.target,
+                            open,
+                            closed,
+                            ..cfg.clone()
+                        })
+                    } else {
+                        None
+                    }
+                }
+            };
+            if let Some(next) = next {
+                if seen.insert(next.clone()) {
+                    stack.push(next);
+                }
+            }
+        }
+    }
+    result
+}
+
+/// Computes `VAW(d)` restricted to mappings over a specific domain set
+/// (convenience for tests).
+pub fn interpret_with_domain(a: &Vsa, doc: &Document, domain: &spanner_core::VarSet) -> MappingSet {
+    MappingSet::from_mappings(
+        interpret(a, doc)
+            .into_iter()
+            .filter(|m| m.is_total_over(domain)),
+    )
+}
+
+/// Returns `true` if the automaton has at least one valid accepting run on
+/// the document (brute force; for tests).
+pub fn interpret_nonempty(a: &Vsa, doc: &Document) -> bool {
+    !interpret(a, doc).is_empty()
+}
+
+/// Converts a mapping into a canonical `BTreeMap<String, Span>` (handy for
+/// assertions in tests).
+pub fn mapping_to_map(m: &Mapping) -> BTreeMap<String, Span> {
+    m.iter().map(|(v, s)| (v.name().to_string(), s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanner_core::{ByteClass, VarSet, Variable};
+
+    fn example_2_3() -> Vsa {
+        let mut a = Vsa::new();
+        let q0 = a.initial();
+        let q1 = a.add_state();
+        let q2 = a.add_state();
+        a.add_transition(q0, Label::Class(ByteClass::any()), q0);
+        a.add_transition(q0, Label::Open(Variable::new("x")), q1);
+        a.add_transition(q1, Label::Class(ByteClass::any()), q1);
+        a.add_transition(q1, Label::Close(Variable::new("x")), q2);
+        a.add_transition(q2, Label::Class(ByteClass::any()), q2);
+        a.add_transition(q0, Label::Class(ByteClass::any()), q2);
+        a.set_accepting(q2, true);
+        a
+    }
+
+    #[test]
+    fn example_2_3_on_single_letter() {
+        // VAW(a) for the Example 2.3 automaton: either x gets some span of
+        // "a", or the run skips x entirely (the q0 → q2 letter transition).
+        let a = example_2_3();
+        let doc = Document::new("a");
+        let result = interpret(&a, &doc);
+        // Mappings: {} (skip), x=[1,1⟩, x=[1,2⟩, x=[2,2⟩.
+        assert_eq!(result.len(), 4);
+        assert!(result.contains(&Mapping::new()));
+        assert!(result.contains(&Mapping::from_pairs([("x", Span::new(1, 2))])));
+        assert!(result.contains(&Mapping::from_pairs([("x", Span::empty(1))])));
+        assert!(result.contains(&Mapping::from_pairs([("x", Span::empty(2))])));
+    }
+
+    #[test]
+    fn equivalent_regex_formula_semantics() {
+        // The paper states Example 2.3's automaton equals
+        // (Σ* x{Σ*} Σ*) ∨ Σ+. Cross-check via the rgx reference evaluator.
+        use spanner_rgx::{parse, reference_eval};
+        let alpha = parse("(.*{x:.*}.*)|(.+)").unwrap();
+        let a = example_2_3();
+        for text in ["", "a", "ab", "aba"] {
+            let doc = Document::new(text);
+            assert_eq!(
+                interpret(&a, &doc),
+                reference_eval(&alpha, &doc),
+                "mismatch on {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_runs_are_discarded() {
+        // An automaton that closes x without opening it: no valid run.
+        let mut a = Vsa::new();
+        let q1 = a.add_state();
+        a.add_transition(0, Label::Close(Variable::new("x")), q1);
+        a.set_accepting(q1, true);
+        assert!(interpret(&a, &Document::new("")).is_empty());
+
+        // An automaton that opens x but never closes it.
+        let mut b = Vsa::new();
+        let q1 = b.add_state();
+        b.add_transition(0, Label::Open(Variable::new("x")), q1);
+        b.set_accepting(q1, true);
+        assert!(interpret(&b, &Document::new("")).is_empty());
+    }
+
+    #[test]
+    fn double_open_is_invalid() {
+        let mut a = Vsa::new();
+        let q1 = a.add_state();
+        let q2 = a.add_state();
+        let q3 = a.add_state();
+        a.add_transition(0, Label::Open(Variable::new("x")), q1);
+        a.add_transition(q1, Label::Open(Variable::new("x")), q2);
+        a.add_transition(q2, Label::Close(Variable::new("x")), q3);
+        a.set_accepting(q3, true);
+        assert!(interpret(&a, &Document::new("")).is_empty());
+    }
+
+    #[test]
+    fn epsilon_cycles_terminate() {
+        let mut a = Vsa::new();
+        let q1 = a.add_state();
+        a.add_transition(0, Label::Epsilon, q1);
+        a.add_transition(q1, Label::Epsilon, 0);
+        a.set_accepting(q1, true);
+        let r = interpret(&a, &Document::new(""));
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&Mapping::new()));
+    }
+
+    #[test]
+    fn domain_filter() {
+        let a = example_2_3();
+        let doc = Document::new("a");
+        let with_x = interpret_with_domain(&a, &doc, &VarSet::from_iter(["x"]));
+        assert_eq!(with_x.len(), 3);
+        let without = interpret_with_domain(&a, &doc, &VarSet::new());
+        assert_eq!(without.len(), 1);
+    }
+}

@@ -1,0 +1,527 @@
+//! Static compilation of the natural join (Lemmas 3.2 / 3.8, Proposition 3.12).
+//!
+//! [`join`] compiles the natural join of two sequential VAs into a single
+//! sequential VA. The construction is fixed-parameter tractable in the number
+//! of *common* variables `k = |Vars(A₁) ∩ Vars(A₂)|`, matching Lemma 3.2:
+//! the output has `O(3^k · |Q₁||Q₂| · 4^k)` states in the worst case and is
+//! built lazily, so in practice it is far smaller.
+//!
+//! ## How the product synchronizes shared variables
+//!
+//! Two mappings are compatible when they agree on the variables both of them
+//! define. For every shared variable `x` the product therefore branches over
+//! a *mode*:
+//!
+//! * `Sync` — both operands bind `x` (or neither does); the product forces
+//!   the open/close operations to happen at the same document positions by
+//!   tracking, for each operand, the set of shared operations it has
+//!   performed since the last consumed symbol and requiring the two sets to
+//!   be equal whenever a symbol is consumed and at acceptance.
+//! * `LeftOnly` — the right operand is forbidden to touch `x` (covers pairs
+//!   where only the left mapping defines `x`).
+//! * `RightOnly` — symmetric.
+//!
+//! The union over all mode vectors covers exactly the compatible pairs, and
+//! every emitted run is valid, so the result is again sequential. Impossible
+//! modes are pruned using the usage analysis (`must_use` / `can_avoid`), so
+//! when both operands are functional over the shared variables — e.g. for
+//! the disjunctive-functional join of Proposition 3.12 — only the single
+//! `Sync` vector remains and the construction is polynomial with no
+//! dependence on `k`.
+
+use crate::analysis::{can_avoid, is_sequential};
+use crate::automaton::{Label, StateId, Vsa};
+use spanner_core::{SpannerError, SpannerResult, Variable};
+use std::collections::HashMap;
+
+/// Per-shared-variable synchronization mode.
+///
+/// Modes are decided *lazily*: every shared variable starts `Undecided` and
+/// the product branches on the first operation that touches it. Only
+/// reachable mode combinations are ever materialized, which keeps the
+/// construction close to the true product size instead of the worst-case
+/// `3^k` bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Mode {
+    /// Neither operand has touched the variable yet.
+    Undecided,
+    /// Both operands perform the variable's operations at the same positions.
+    Sync,
+    /// Only the left operand may operate on the variable.
+    LeftOnly,
+    /// Only the right operand may operate on the variable.
+    RightOnly,
+}
+
+impl Mode {
+    fn code(self) -> u64 {
+        match self {
+            Mode::Undecided => 0,
+            Mode::Sync => 1,
+            Mode::LeftOnly => 2,
+            Mode::RightOnly => 3,
+        }
+    }
+
+    fn from_code(code: u64) -> Mode {
+        match code {
+            0 => Mode::Undecided,
+            1 => Mode::Sync,
+            2 => Mode::LeftOnly,
+            _ => Mode::RightOnly,
+        }
+    }
+}
+
+/// Reads the mode of shared variable `i` from the packed vector.
+fn get_mode(modes: u64, i: usize) -> Mode {
+    Mode::from_code((modes >> (2 * i)) & 0b11)
+}
+
+/// Returns the packed vector with the mode of shared variable `i` set.
+fn set_mode(modes: u64, i: usize, mode: Mode) -> u64 {
+    (modes & !(0b11 << (2 * i))) | (mode.code() << (2 * i))
+}
+
+/// Options controlling the join compilation.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinOptions {
+    /// Upper bound on the number of product states (guards against the
+    /// exponential dependence on the number of shared variables).
+    pub max_states: usize,
+}
+
+impl Default for JoinOptions {
+    fn default() -> Self {
+        JoinOptions {
+            max_states: 4_000_000,
+        }
+    }
+}
+
+/// Compiles `VA₁ ⋈ A₂W` into a single sequential VA (Lemma 3.2).
+///
+/// Both inputs must be sequential. The runtime and output size are
+/// fixed-parameter tractable in `|Vars(A₁) ∩ Vars(A₂)|`.
+pub fn join(a1: &Vsa, a2: &Vsa) -> SpannerResult<Vsa> {
+    join_with_options(a1, a2, JoinOptions::default())
+}
+
+/// Maximum number of shared variables supported by the packed product-state
+/// representation.
+pub const MAX_SHARED_JOIN_VARS: usize = 30;
+
+/// [`join`] with explicit limits.
+pub fn join_with_options(a1: &Vsa, a2: &Vsa, options: JoinOptions) -> SpannerResult<Vsa> {
+    for (name, a) in [("left", a1), ("right", a2)] {
+        if !is_sequential(a) {
+            return Err(SpannerError::requirement(
+                "sequential",
+                format!("the {name} operand of the join is not sequential"),
+            ));
+        }
+    }
+    let a1 = a1.trim();
+    let a2 = a2.trim();
+    if a1.accepting_states().is_empty() || a2.accepting_states().is_empty() {
+        return Ok(Vsa::new());
+    }
+    let shared: Vec<Variable> = a1.vars().intersection(a2.vars()).to_vec();
+    if shared.len() > MAX_SHARED_JOIN_VARS {
+        return Err(SpannerError::LimitExceeded {
+            what: "shared join variables",
+            limit: MAX_SHARED_JOIN_VARS,
+            actual: shared.len(),
+        });
+    }
+    // Usage analysis for pruning: a `LeftOnly` / `RightOnly` branch can only
+    // lead to acceptance if the *other* operand has an accepting run avoiding
+    // the variable.
+    let left_only_allowed: Vec<bool> = shared.iter().map(|x| can_avoid(&a2, x)).collect();
+    let right_only_allowed: Vec<bool> = shared.iter().map(|x| can_avoid(&a1, x)).collect();
+
+    build_product(
+        &a1,
+        &a2,
+        &shared,
+        &left_only_allowed,
+        &right_only_allowed,
+        options,
+    )
+    .map(|vsa| vsa.trim())
+}
+
+/// A product state.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct ProductState {
+    q1: StateId,
+    q2: StateId,
+    /// Shared (sync-mode) operations performed by the left operand since the
+    /// last consumed symbol; bit `2i` = open of shared var `i`, bit `2i + 1` =
+    /// close of shared var `i`.
+    d1: u64,
+    /// Same for the right operand.
+    d2: u64,
+    /// Packed per-shared-variable modes (2 bits each).
+    modes: u64,
+}
+
+/// Builds the lazy-mode product automaton.
+fn build_product(
+    a1: &Vsa,
+    a2: &Vsa,
+    shared: &[Variable],
+    left_only_allowed: &[bool],
+    right_only_allowed: &[bool],
+    options: JoinOptions,
+) -> SpannerResult<Vsa> {
+    let shared_index: HashMap<&Variable, usize> =
+        shared.iter().enumerate().map(|(i, v)| (v, i)).collect();
+
+    let mut out = Vsa::new(); // state 0 = fresh initial state
+    let mut index: HashMap<ProductState, StateId> = HashMap::new();
+    let start = ProductState {
+        q1: a1.initial(),
+        q2: a2.initial(),
+        d1: 0,
+        d2: 0,
+        modes: 0,
+    };
+    let is_accepting =
+        |ps: &ProductState| a1.is_accepting(ps.q1) && a2.is_accepting(ps.q2) && ps.d1 == ps.d2;
+    let entry = out.add_state();
+    out.set_accepting(entry, is_accepting(&start));
+    out.add_transition(0, Label::Epsilon, entry);
+    index.insert(start.clone(), entry);
+    let mut work = vec![start];
+
+    while let Some(ps) = work.pop() {
+        let from = index[&ps];
+        // Collect the successors of this product state, then intern them.
+        let mut successors: Vec<(ProductState, Label)> = Vec::new();
+
+        // Moves of the left operand.
+        for t in a1.transitions_from(ps.q1) {
+            match &t.label {
+                Label::Epsilon => successors.push((
+                    ProductState { q1: t.target, ..ps.clone() },
+                    Label::Epsilon,
+                )),
+                Label::Class(c1) => {
+                    // Symbols are consumed jointly; the sync sets must agree.
+                    if ps.d1 != ps.d2 {
+                        continue;
+                    }
+                    for t2 in a2.transitions_from(ps.q2) {
+                        if let Label::Class(c2) = &t2.label {
+                            let both = c1.intersect(c2);
+                            if both.is_empty() {
+                                continue;
+                            }
+                            successors.push((
+                                ProductState {
+                                    q1: t.target,
+                                    q2: t2.target,
+                                    d1: 0,
+                                    d2: 0,
+                                    modes: ps.modes,
+                                },
+                                Label::Class(both),
+                            ));
+                        }
+                    }
+                }
+                Label::Open(v) | Label::Close(v) => {
+                    let is_open = matches!(t.label, Label::Open(_));
+                    match shared_index.get(v) {
+                        None => {
+                            // Private variable of the left operand.
+                            successors.push((
+                                ProductState { q1: t.target, ..ps.clone() },
+                                t.label.clone(),
+                            ));
+                        }
+                        Some(&i) => {
+                            let bit = 1u64 << (2 * i + usize::from(!is_open));
+                            let mode = get_mode(ps.modes, i);
+                            // Synchronized branch.
+                            if matches!(mode, Mode::Undecided | Mode::Sync) {
+                                successors.push((
+                                    ProductState {
+                                        q1: t.target,
+                                        d1: ps.d1 | bit,
+                                        modes: set_mode(ps.modes, i, Mode::Sync),
+                                        ..ps.clone()
+                                    },
+                                    t.label.clone(),
+                                ));
+                            }
+                            // Left-only branch (the right operand avoids the
+                            // variable for the rest of the run).
+                            if (mode == Mode::Undecided && left_only_allowed[i])
+                                || mode == Mode::LeftOnly
+                            {
+                                successors.push((
+                                    ProductState {
+                                        q1: t.target,
+                                        modes: set_mode(ps.modes, i, Mode::LeftOnly),
+                                        ..ps.clone()
+                                    },
+                                    t.label.clone(),
+                                ));
+                            }
+                            // Mode::RightOnly: the left operand may not touch it.
+                        }
+                    }
+                }
+            }
+        }
+
+        // Moves of the right operand (symbols were handled jointly above).
+        for t in a2.transitions_from(ps.q2) {
+            match &t.label {
+                Label::Epsilon => successors.push((
+                    ProductState { q2: t.target, ..ps.clone() },
+                    Label::Epsilon,
+                )),
+                Label::Class(_) => {}
+                Label::Open(v) | Label::Close(v) => {
+                    let is_open = matches!(t.label, Label::Open(_));
+                    match shared_index.get(v) {
+                        None => {
+                            successors.push((
+                                ProductState { q2: t.target, ..ps.clone() },
+                                t.label.clone(),
+                            ));
+                        }
+                        Some(&i) => {
+                            let bit = 1u64 << (2 * i + usize::from(!is_open));
+                            let mode = get_mode(ps.modes, i);
+                            // Synchronized branch: the left operand is the one
+                            // that emits the shared operation, so this copy is
+                            // silent.
+                            if matches!(mode, Mode::Undecided | Mode::Sync) {
+                                successors.push((
+                                    ProductState {
+                                        q2: t.target,
+                                        d2: ps.d2 | bit,
+                                        modes: set_mode(ps.modes, i, Mode::Sync),
+                                        ..ps.clone()
+                                    },
+                                    Label::Epsilon,
+                                ));
+                            }
+                            // Right-only branch.
+                            if (mode == Mode::Undecided && right_only_allowed[i])
+                                || mode == Mode::RightOnly
+                            {
+                                successors.push((
+                                    ProductState {
+                                        q2: t.target,
+                                        modes: set_mode(ps.modes, i, Mode::RightOnly),
+                                        ..ps.clone()
+                                    },
+                                    t.label.clone(),
+                                ));
+                            }
+                            // Mode::LeftOnly: the right operand may not touch it.
+                        }
+                    }
+                }
+            }
+        }
+
+        for (target, label) in successors {
+            let to = match index.get(&target) {
+                Some(&id) => id,
+                None => {
+                    if out.state_count() >= options.max_states {
+                        return Err(SpannerError::LimitExceeded {
+                            what: "join product states",
+                            limit: options.max_states,
+                            actual: out.state_count() + 1,
+                        });
+                    }
+                    let id = out.add_state();
+                    out.set_accepting(id, is_accepting(&target));
+                    index.insert(target.clone(), id);
+                    work.push(target);
+                    id
+                }
+            };
+            out.add_transition(from, label, to);
+        }
+    }
+    Ok(out)
+}
+
+/// Pairwise join of the functional components of two disjunctive-functional
+/// VAs (Proposition 3.12): returns the components of a disjunctive-functional
+/// VA equivalent to the join of the two inputs.
+pub fn join_disjunctive_functional(
+    components1: &[Vsa],
+    components2: &[Vsa],
+) -> SpannerResult<Vec<Vsa>> {
+    let mut out = Vec::with_capacity(components1.len() * components2.len());
+    for c1 in components1 {
+        for c2 in components2 {
+            let j = join(c1, c2)?;
+            // Skip trivially empty components.
+            if j.accepting_states().is_empty() {
+                continue;
+            }
+            out.push(j);
+        }
+    }
+    Ok(out)
+}
+
+/// Assembles a disjunctive-functional VA from its components: a fresh initial
+/// state with ε-transitions to every component's initial state.
+pub fn assemble_disjunction(components: &[Vsa]) -> Vsa {
+    let mut out = Vsa::new();
+    for c in components {
+        let offset = Vsa::copy_into(&mut out, c);
+        out.add_transition(0, Label::Epsilon, c.initial() + offset);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::is_sequential;
+    use crate::interpret::interpret;
+    use crate::thompson::compile;
+    use spanner_core::Document;
+    use spanner_rgx::parse;
+
+    /// Oracle: the materialized join of the two interpreted relations.
+    fn oracle_join(a1: &Vsa, a2: &Vsa, doc: &Document) -> spanner_core::MappingSet {
+        interpret(a1, doc).join(&interpret(a2, doc))
+    }
+
+    fn compiled(pattern: &str) -> Vsa {
+        compile(&parse(pattern).unwrap())
+    }
+
+    #[test]
+    fn join_without_shared_variables_is_a_cross_product() {
+        let a1 = compiled("{x:a+}.*");
+        let a2 = compiled(".*{y:b+}");
+        let j = join(&a1, &a2).unwrap();
+        assert!(is_sequential(&j));
+        for text in ["ab", "aabb", "ba", ""] {
+            let doc = Document::new(text);
+            assert_eq!(interpret(&j, &doc), oracle_join(&a1, &a2, &doc), "on {text:?}");
+        }
+    }
+
+    #[test]
+    fn join_with_shared_variable_requires_equal_spans() {
+        // Both operands bind x; the join keeps only equal spans.
+        let a1 = compiled("{x:a+}b*");
+        let a2 = compiled("{x:a*}b+|{x:a+b*}");
+        let j = join(&a1, &a2).unwrap();
+        assert!(is_sequential(&j));
+        for text in ["ab", "aab", "a", "b", "aabb"] {
+            let doc = Document::new(text);
+            assert_eq!(interpret(&j, &doc), oracle_join(&a1, &a2, &doc), "on {text:?}");
+        }
+    }
+
+    #[test]
+    fn join_schemaless_optional_shared_variable() {
+        // The left operand sometimes skips x (schemaless); compatibility then
+        // allows any right-operand binding of x.
+        let a1 = compiled("({x:a+})?b.*");
+        let a2 = compiled("a*b{y:.*}|{x:a}b{y:.*}");
+        let j = join(&a1, &a2).unwrap();
+        assert!(is_sequential(&j));
+        for text in ["b", "ab", "aab", "abc"] {
+            let doc = Document::new(text);
+            assert_eq!(interpret(&j, &doc), oracle_join(&a1, &a2, &doc), "on {text:?}");
+        }
+    }
+
+    #[test]
+    fn join_of_functional_operands_uses_single_mode() {
+        // Functional operands over the same variables: the classic
+        // schema-based join.
+        let a1 = compiled(".*{x:\\d+}.*{y:\\l+}.*");
+        let a2 = compiled(".*{x:\\d\\d}.*{y:\\l\\l}.*");
+        let j = join(&a1, &a2).unwrap();
+        for text in ["12 ab", "1 ab 34 cd"] {
+            let doc = Document::new(text);
+            assert_eq!(interpret(&j, &doc), oracle_join(&a1, &a2, &doc), "on {text:?}");
+        }
+    }
+
+    #[test]
+    fn empty_operand_produces_empty_join() {
+        let a1 = compiled("{x:a}");
+        let mut empty = Vsa::new();
+        let q = empty.add_state();
+        empty.add_transition(0, Label::Open(Variable::new("x")), q);
+        // no accepting state
+        let j = join(&a1, &empty).unwrap();
+        assert!(interpret(&j, &Document::new("a")).is_empty());
+    }
+
+    #[test]
+    fn non_sequential_operands_are_rejected() {
+        let mut bad = Vsa::new();
+        let q1 = bad.add_state();
+        bad.add_transition(0, Label::Open(Variable::new("x")), q1);
+        bad.set_accepting(q1, true);
+        let good = compiled("a");
+        assert!(matches!(
+            join(&bad, &good),
+            Err(SpannerError::Requirement { .. })
+        ));
+        assert!(matches!(
+            join(&good, &bad),
+            Err(SpannerError::Requirement { .. })
+        ));
+    }
+
+    #[test]
+    fn state_limit_is_enforced() {
+        let a1 = compiled("({x:a})?({y:a})?({z:a})?a*");
+        let a2 = compiled("({x:a})?({y:a})?({z:a})?a*");
+        let err = join_with_options(&a1, &a2, JoinOptions { max_states: 5 });
+        assert!(matches!(err, Err(SpannerError::LimitExceeded { .. })));
+    }
+
+    #[test]
+    fn disjunctive_functional_join_is_pairwise() {
+        // Two disjunctive-functional spanners with 2 components each.
+        let c1 = vec![compiled("{x:a}b"), compiled("{y:a}b")];
+        let c2 = vec![compiled("{x:a}b"), compiled("a{z:b}")];
+        let joined = join_disjunctive_functional(&c1, &c2).unwrap();
+        assert!(joined.len() <= 4);
+        let assembled = assemble_disjunction(&joined);
+        let lhs = assemble_disjunction(&c1);
+        let rhs = assemble_disjunction(&c2);
+        for text in ["ab", "b", "a"] {
+            let doc = Document::new(text);
+            assert_eq!(
+                interpret(&assembled, &doc),
+                oracle_join(&lhs, &rhs, &doc),
+                "on {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn join_is_commutative_semantically() {
+        let a1 = compiled("({x:a+})?{y:b}.*");
+        let a2 = compiled("{x:a}.*|.*{y:b}");
+        let j12 = join(&a1, &a2).unwrap();
+        let j21 = join(&a2, &a1).unwrap();
+        for text in ["ab", "aab", "b"] {
+            let doc = Document::new(text);
+            assert_eq!(interpret(&j12, &doc), interpret(&j21, &doc), "on {text:?}");
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Vset-automata: the automaton representation of document spanners.
+//!
+//! This crate implements the variable-set automata (VAs) of Section 2.3 of
+//! *Complexity Bounds for Relational Algebra over Document Spanners*
+//! (PODS 2019) together with the static analyses and compilations the paper
+//! builds on them:
+//!
+//! * [`automaton`] — the automaton representation, projection, union,
+//!   trimming;
+//! * [`analysis`] — sequentiality, functionality, semi-functionality,
+//!   synchronization, and the (extended) variable-configuration functions of
+//!   Section 3.1;
+//! * [`semifunctional`] — the semi-functional transformation of Lemma 3.6;
+//! * [`join`] — static compilation of the natural join, FPT in the number of
+//!   shared variables (Lemma 3.2 / 3.8) and the pairwise
+//!   disjunctive-functional join (Proposition 3.12);
+//! * [`thompson`] — linear-time compilation of regex formulas into VAs
+//!   (preserving sequentiality, functionality and synchronization,
+//!   Lemma 4.6);
+//! * [`interpret`] — a brute-force evaluator used as a test oracle;
+//! * [`boolean`] — NFA determinization/complementation used to demonstrate
+//!   why static compilation of the difference operator must blow up
+//!   (Section 4, experiment E10).
+//!
+//! The production evaluation path (polynomial-delay enumeration) lives in
+//! `spanner-enum`; the difference operator and RA trees live in
+//! `spanner-algebra`.
+
+pub mod analysis;
+pub mod automaton;
+pub mod boolean;
+pub mod interpret;
+pub mod join;
+pub mod semifunctional;
+pub mod thompson;
+
+pub use analysis::{
+    is_functional, is_functional_for, is_semi_functional, is_sequential, is_synchronized,
+    ExtendedConfig, VarStatus,
+};
+pub use automaton::{Label, StateId, Transition, Vsa};
+pub use boolean::{determinize, nfa_accepts, static_boolean_difference, Dfa};
+pub use interpret::interpret;
+pub use join::{
+    assemble_disjunction, join, join_disjunctive_functional, join_with_options, JoinOptions,
+};
+pub use semifunctional::{make_semi_functional, SemiFunctionalVsa};
+pub use thompson::compile;

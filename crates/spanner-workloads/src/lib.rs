@@ -1,0 +1,24 @@
+//! Synthetic workloads: corpora, extractor libraries, and random spanners.
+//!
+//! The paper has no public benchmark suite, so this crate provides the
+//! workloads used by the experiments in EXPERIMENTS.md: student-record and
+//! access-log corpora of a controlled size (the Figure 1 document family),
+//! the paper's running-example extractors (Examples 2.1–2.4, 5.1, 5.4), the
+//! Example 3.10 blow-up family, and random sequential vset-automata / regex
+//! formulas standing in for the large machine-generated extractors the paper
+//! cites as motivation.
+
+pub mod corpora;
+pub mod extractors;
+pub mod random_vsa;
+
+pub use corpora::{
+    access_log, random_text, student_records, student_records_with_recommendations,
+    students_figure_1,
+};
+pub use extractors::{
+    example_3_10_formula, log_error_extractor, log_request_extractor, mail_extractor,
+    name_extractor, phone_extractor, recommendation_extractor, student_info_extractor,
+    uk_mail_extractor,
+};
+pub use random_vsa::{random_sequential_rgx, random_sequential_vsa, RandomVsaConfig};

@@ -1,0 +1,64 @@
+//! Measures the *delay* distribution of the enumerator (Theorem 2.5).
+//!
+//! Enumerates a large result set over a growing document and reports the
+//! time between consecutive mappings — the quantity the paper's
+//! polynomial-delay guarantees are about. The maximum delay should grow
+//! polynomially (roughly linearly) with the document, independently of the
+//! number of answers already produced.
+//!
+//! Run with: `cargo run --release --example delay_probe [max_kib]`
+
+use document_spanners::prelude::*;
+use document_spanners::workloads;
+use std::time::Instant;
+
+fn main() {
+    let max_kib: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+
+    let alpha = workloads::student_info_extractor().unwrap();
+    let vsa = compile(&alpha);
+    println!("extractor: {} automaton states, {} variables", vsa.state_count(), vsa.vars().len());
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "doc bytes", "mappings", "total", "first", "mean delay", "max delay"
+    );
+
+    let mut lines = 8;
+    loop {
+        let doc = workloads::student_records(lines, 11);
+        if doc.len() > max_kib * 1024 {
+            break;
+        }
+        let start = Instant::now();
+        let mut enumerator = Enumerator::new(&vsa, &doc).unwrap();
+        let mut last = Instant::now();
+        let mut first_delay = None;
+        let mut max_delay = std::time::Duration::ZERO;
+        let mut count = 0usize;
+        for mapping in &mut enumerator {
+            mapping.unwrap();
+            let now = Instant::now();
+            let delay = now - last;
+            last = now;
+            if first_delay.is_none() {
+                first_delay = Some(delay);
+            }
+            max_delay = max_delay.max(delay);
+            count += 1;
+        }
+        let total = start.elapsed();
+        println!(
+            "{:>10} {:>10} {:>12?} {:>12?} {:>12?} {:>12?}",
+            doc.len(),
+            count,
+            total,
+            first_delay.unwrap_or_default(),
+            total / count.max(1) as u32,
+            max_delay
+        );
+        lines *= 2;
+    }
+}

@@ -1,0 +1,64 @@
+//! # document-spanners
+//!
+//! A from-scratch Rust implementation of the framework of
+//! Peterfreund, Freydenberger, Kimelfeld and Kröll,
+//! *Complexity Bounds for Relational Algebra over Document Spanners*
+//! (PODS 2019): schemaless document spanners represented by regex formulas
+//! and vset-automata, polynomial-delay evaluation, fixed-parameter-tractable
+//! join compilation, ad-hoc (document-dependent) compilation of the
+//! difference operator, RA trees with black-box extractors, and executable
+//! versions of the paper's hardness reductions.
+//!
+//! This crate is a facade that re-exports the workspace members:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `spanner-core` | documents, spans, variables, mappings, materialized algebra |
+//! | [`rgx`] | `spanner-rgx` | regex formulas: parser, classification, reference semantics |
+//! | [`vset`] | `spanner-vset` | vset-automata: analyses, semi-functional transform, FPT join |
+//! | [`enumeration`] | `spanner-enum` | polynomial-delay enumeration (Theorem 2.5) |
+//! | [`algebra`] | `spanner-algebra` | difference operator, RA trees, black-box spanners |
+//! | [`reductions`] | `spanner-reductions` | SAT reductions for the lower bounds |
+//! | [`workloads`] | `spanner-workloads` | synthetic corpora, extractor library, random spanners |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use document_spanners::prelude::*;
+//!
+//! // The paper's running example: extract student info (first name, last
+//! // name, optional phone, mail) from the Figure 1 document, then filter out
+//! // the UK students with the difference operator (Example 2.4).
+//! let doc = document_spanners::workloads::students_figure_1();
+//! let info = compile(&document_spanners::workloads::student_info_extractor().unwrap());
+//! let uk = compile(&document_spanners::workloads::uk_mail_extractor().unwrap());
+//!
+//! let kept = difference_product_eval(&info, &uk, &doc, DifferenceOptions::default()).unwrap();
+//! assert!(!kept.is_empty());
+//! for mapping in kept.iter() {
+//!     let mail = mapping.get(&"mail".into()).unwrap();
+//!     assert!(!doc.slice(mail).ends_with(".uk"));
+//! }
+//! ```
+
+pub use spanner_algebra as algebra;
+pub use spanner_core as core;
+pub use spanner_enum as enumeration;
+pub use spanner_reductions as reductions;
+pub use spanner_rgx as rgx;
+pub use spanner_vset as vset;
+pub use spanner_workloads as workloads;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use spanner_algebra::{
+        difference_adhoc_eval, difference_filter, difference_product_eval, evaluate_ra,
+        figure_2_tree, Atom, DictionarySpanner, DifferenceOptions, Instantiation, RaOptions,
+        RaTree, RgxSpanner, SentimentSpanner, Spanner, TokenEqualitySpanner, TokenizerSpanner,
+        VsaSpanner,
+    };
+    pub use spanner_core::{Document, Mapping, MappingSet, Span, SpannerError, VarSet, Variable};
+    pub use spanner_enum::{count_mappings, evaluate, evaluate_rgx, is_nonempty, Enumerator};
+    pub use spanner_rgx::{parse, reference_eval, Rgx};
+    pub use spanner_vset::{compile, join, Vsa};
+}

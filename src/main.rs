@@ -1,0 +1,109 @@
+//! `document-spanners` — a small command-line front end.
+//!
+//! ```text
+//! document-spanners extract  <pattern> [file]        enumerate VαW(d)
+//! document-spanners count    <pattern> [file]        count the mappings
+//! document-spanners classify <pattern>               report the syntactic classes
+//! document-spanners diff     <pattern1> <pattern2> [file]
+//!                                                    evaluate Vα1 \ α2W(d)
+//! ```
+//!
+//! The pattern syntax is the one of `spanner_rgx::parse`; when no file is
+//! given the document is read from standard input.
+
+use document_spanners::prelude::*;
+use spanner_rgx::RgxClass;
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("usage:");
+            eprintln!("  document-spanners extract  <pattern> [file]");
+            eprintln!("  document-spanners count    <pattern> [file]");
+            eprintln!("  document-spanners classify <pattern>");
+            eprintln!("  document-spanners diff     <pattern1> <pattern2> [file]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let command = args.first().ok_or("missing command")?;
+    match command.as_str() {
+        "classify" => {
+            let pattern = args.get(1).ok_or("missing pattern")?;
+            let alpha = parse(pattern).map_err(|e| e.to_string())?;
+            let class = RgxClass::of(&alpha);
+            println!("formula      : {alpha}");
+            println!("variables    : {:?}", alpha.vars());
+            println!("functional   : {}", class.functional);
+            println!("sequential   : {}", class.sequential);
+            println!("disjunctive functional : {}", class.disjunctive_functional);
+            println!("disjunction-free       : {}", class.disjunction_free);
+            println!("synchronized (all vars): {}", class.synchronized);
+            Ok(())
+        }
+        "extract" | "count" => {
+            let pattern = args.get(1).ok_or("missing pattern")?;
+            let doc = read_document(args.get(2))?;
+            let alpha = parse(pattern).map_err(|e| e.to_string())?;
+            let vsa = compile(&alpha);
+            let enumerator = Enumerator::new(&vsa, &doc).map_err(|e| e.to_string())?;
+            if command == "count" {
+                let count = enumerator.count();
+                println!("{count}");
+            } else {
+                for mapping in enumerator {
+                    let mapping = mapping.map_err(|e| e.to_string())?;
+                    print_mapping(&doc, &mapping);
+                }
+            }
+            Ok(())
+        }
+        "diff" => {
+            let p1 = args.get(1).ok_or("missing first pattern")?;
+            let p2 = args.get(2).ok_or("missing second pattern")?;
+            let doc = read_document(args.get(3))?;
+            let a1 = compile(&parse(p1).map_err(|e| e.to_string())?);
+            let a2 = compile(&parse(p2).map_err(|e| e.to_string())?);
+            let result =
+                difference_product_eval(&a1, &a2, &doc, DifferenceOptions::default())
+                    .map_err(|e| e.to_string())?;
+            for mapping in result.iter() {
+                print_mapping(&doc, mapping);
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn read_document(path: Option<&String>) -> Result<Document, String> {
+    let text = match path {
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
+        None => {
+            let mut buffer = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buffer)
+                .map_err(|e| e.to_string())?;
+            buffer
+        }
+    };
+    Ok(Document::new(text))
+}
+
+fn print_mapping(doc: &Document, mapping: &Mapping) {
+    use std::io::Write;
+    let cells: Vec<String> = mapping
+        .iter()
+        .map(|(v, s)| format!("{v}={s}:{:?}", doc.slice(s)))
+        .collect();
+    // Ignore broken pipes (e.g. when piped into `head`).
+    let _ = writeln!(std::io::stdout(), "{}", cells.join("\t"));
+}

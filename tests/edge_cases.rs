@@ -1,0 +1,138 @@
+//! Edge cases and failure injection across the public API.
+
+use document_spanners::prelude::*;
+use spanner_algebra::{difference_adhoc_eval, DifferenceOptions};
+use spanner_enum::MAX_VARS;
+use spanner_vset::JoinOptions;
+
+#[test]
+fn empty_document_everywhere() {
+    let doc = Document::new("");
+    // Extraction.
+    assert_eq!(evaluate_rgx(&parse("{x:a*}").unwrap(), &doc).unwrap().len(), 1);
+    assert!(evaluate_rgx(&parse("{x:a+}").unwrap(), &doc).unwrap().is_empty());
+    // Join.
+    let a1 = compile(&parse("{x:a*}").unwrap());
+    let a2 = compile(&parse("{x:()}|a").unwrap());
+    let joined = join(&a1, &a2).unwrap();
+    let result = evaluate(&joined, &doc).unwrap();
+    assert_eq!(result.len(), 1);
+    // Difference on the empty document: every pair of mappings is compatible
+    // (all spans are [1,1⟩), so a nonempty right side empties the result.
+    let opts = DifferenceOptions::default();
+    assert!(difference_product_eval(&a1, &a2, &doc, opts).unwrap().is_empty());
+    assert!(difference_adhoc_eval(&a1, &a2, &doc, opts).unwrap().is_empty());
+}
+
+#[test]
+fn too_many_variables_is_a_clean_error() {
+    // The enumerator's bitset representation supports MAX_VARS variables.
+    let mut parts = Vec::new();
+    for i in 0..=MAX_VARS {
+        parts.push(format!("{{v{i:02}:a?}}"));
+    }
+    let alpha = parse(&parts.concat()).unwrap();
+    let vsa = compile(&alpha);
+    let doc = Document::new("aaa");
+    let err = evaluate(&vsa, &doc).unwrap_err();
+    assert!(matches!(err, SpannerError::LimitExceeded { .. }), "{err}");
+}
+
+#[test]
+fn join_state_limit_is_reported() {
+    let a1 = compile(&parse("({a:x})?({b:x})?({c:x})?({d:x})?x*").unwrap());
+    let a2 = compile(&parse("({a:x})?({b:x})?({c:x})?({d:x})?x*").unwrap());
+    let err = spanner_vset::join_with_options(&a1, &a2, JoinOptions { max_states: 10 }).unwrap_err();
+    assert!(matches!(err, SpannerError::LimitExceeded { .. }));
+}
+
+#[test]
+fn difference_limits_are_reported() {
+    let a1 = compile(&parse(".*{x:.*}.*{y:.*}.*").unwrap());
+    let a2 = compile(&parse(".*{x:.*}.*{y:.*}.*").unwrap());
+    let doc = Document::new("abcdefghij");
+    let tight = DifferenceOptions {
+        max_states: 1_000_000,
+        max_signatures: 3,
+    };
+    let err = difference_adhoc_eval(&a1, &a2, &doc, tight).unwrap_err();
+    assert!(matches!(err, SpannerError::LimitExceeded { .. }));
+}
+
+#[test]
+fn unicode_documents_are_handled_bytewise() {
+    // Byte-level semantics: a multi-byte code point is several symbols.
+    let doc = Document::new("héllo");
+    assert_eq!(doc.len(), 6);
+    let alpha = parse(r".*{x:\l+}.*").unwrap();
+    let result = evaluate_rgx(&alpha, &doc).unwrap();
+    // The ASCII runs "h" and "llo" (and their subruns) are extracted; slicing
+    // any of the returned spans must not panic even around the multi-byte
+    // character boundaries.
+    assert!(!result.is_empty());
+    for m in result.iter() {
+        let span = m.get(&"x".into()).unwrap();
+        assert!(doc.try_slice(span).is_some() || doc.text().as_bytes().get(span.as_range()).is_some());
+    }
+}
+
+#[test]
+fn projection_to_unknown_variables_yields_boolean_spanner() {
+    let a = compile(&parse("{x:a+}b").unwrap());
+    let projected = a.project(&VarSet::from_iter(["nonexistent"]));
+    let doc = Document::new("aab");
+    let result = evaluate(&projected, &doc).unwrap();
+    assert_eq!(result.len(), 1);
+    assert!(result.iter().next().unwrap().is_empty());
+}
+
+#[test]
+fn difference_with_empty_right_operand_is_identity() {
+    let a1 = compile(&parse("({x:a})?b").unwrap());
+    let empty = compile(&Rgx::Empty);
+    let doc = Document::new("ab");
+    let expected = evaluate(&a1, &doc).unwrap();
+    let opts = DifferenceOptions::default();
+    assert_eq!(difference_product_eval(&a1, &empty, &doc, opts).unwrap(), expected);
+    assert_eq!(difference_adhoc_eval(&a1, &empty, &doc, opts).unwrap(), expected);
+    assert_eq!(difference_filter(&a1, &empty, &doc).unwrap(), expected);
+}
+
+#[test]
+fn self_difference_is_always_empty() {
+    for pattern in ["{x:a*}b*", "({x:a})?{y:b?}", ".*"] {
+        let a = compile(&parse(pattern).unwrap());
+        for text in ["", "ab", "ba"] {
+            let doc = Document::new(text);
+            if evaluate(&a, &doc).unwrap().is_empty() {
+                continue;
+            }
+            let opts = DifferenceOptions::default();
+            assert!(
+                difference_product_eval(&a, &a, &doc, opts).unwrap().is_empty(),
+                "{pattern} on {text:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn enumerator_is_fused_after_exhaustion() {
+    let vsa = compile(&parse("{x:a}").unwrap());
+    let doc = Document::new("a");
+    let mut e = Enumerator::new(&vsa, &doc).unwrap();
+    assert!(e.next().is_some());
+    assert!(e.next().is_none());
+    assert!(e.next().is_none());
+}
+
+#[test]
+fn long_document_smoke_test() {
+    // A realistic extractor over a ~20 KiB document; checks that nothing
+    // quadratic-in-the-answer-count sneaks into the enumeration path.
+    let doc = document_spanners::workloads::access_log(300, 5);
+    assert!(doc.len() > 15_000);
+    let vsa = compile(&document_spanners::workloads::log_error_extractor().unwrap());
+    let count = count_mappings(&vsa, &doc, usize::MAX).unwrap();
+    assert!(count > 0);
+}

@@ -1,0 +1,184 @@
+//! Property-based tests over random regex formulas, automata and documents.
+//!
+//! These tests generate small random sequential regex formulas (through a
+//! proptest strategy) and random documents, and check that every compiled
+//! pipeline agrees with the reference semantics and that the algebraic
+//! compilations commute with materialized evaluation.
+
+use document_spanners::prelude::*;
+use proptest::prelude::*;
+use spanner_algebra::{difference_adhoc_eval, DifferenceOptions};
+use spanner_core::MappingSet;
+use spanner_rgx::{is_sequential, to_disjunctive_functional};
+use spanner_vset::{interpret, is_sequential as vsa_sequential, make_semi_functional};
+
+/// A strategy for small sequential regex formulas over {a, b} with capture
+/// variables drawn from {x, y, z}.
+fn rgx_strategy(max_depth: u32) -> impl Strategy<Value = Rgx> {
+    let leaf = prop_oneof![
+        Just(Rgx::Epsilon),
+        Just(Rgx::symbol(b'a')),
+        Just(Rgx::symbol(b'b')),
+        Just(Rgx::star(Rgx::symbol(b'a'))),
+        Just(Rgx::any_symbol()),
+    ];
+    leaf.prop_recursive(max_depth, 64, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Rgx::concat([a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Rgx::union([a, b])),
+            inner.clone().prop_map(|a| Rgx::star(strip_vars(a))),
+            (prop_oneof![Just("x"), Just("y"), Just("z")], inner)
+                .prop_map(|(v, a)| Rgx::capture(v, strip_var(a, v))),
+        ]
+    })
+}
+
+/// Removes every capture (used under stars).
+fn strip_vars(r: Rgx) -> Rgx {
+    match r {
+        Rgx::Capture(_, inner) => strip_vars(*inner),
+        Rgx::Concat(parts) => Rgx::concat(parts.into_iter().map(strip_vars)),
+        Rgx::Union(parts) => Rgx::union(parts.into_iter().map(strip_vars)),
+        Rgx::Star(inner) => Rgx::star(strip_vars(*inner)),
+        other => other,
+    }
+}
+
+/// Removes captures of one specific variable (to keep capture nesting
+/// sequential).
+fn strip_var(r: Rgx, name: &str) -> Rgx {
+    match r {
+        Rgx::Capture(v, inner) => {
+            let inner = strip_var(*inner, name);
+            if v.name() == name {
+                inner
+            } else {
+                Rgx::capture(v, inner)
+            }
+        }
+        Rgx::Concat(parts) => Rgx::concat(parts.into_iter().map(|p| strip_var(p, name))),
+        Rgx::Union(parts) => Rgx::union(parts.into_iter().map(|p| strip_var(p, name))),
+        Rgx::Star(inner) => Rgx::star(strip_var(*inner, name)),
+        other => other,
+    }
+}
+
+/// Documents over {a, b} of length at most 5 (the reference evaluator is
+/// exponential, so inputs must stay small).
+fn doc_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(prop_oneof![Just('a'), Just('b')], 0..=5)
+        .prop_map(|chars| chars.into_iter().collect())
+}
+
+/// Skips formulas that the generator may produce with duplicated variables
+/// across concatenations (rare but possible); every property only applies to
+/// sequential formulas.
+fn assume_sequential(alpha: &Rgx) -> bool {
+    is_sequential(alpha)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn enumeration_agrees_with_reference(alpha in rgx_strategy(3), text in doc_strategy()) {
+        prop_assume!(assume_sequential(&alpha));
+        let doc = Document::new(text);
+        let vsa = compile(&alpha);
+        let reference = reference_eval(&alpha, &doc);
+        prop_assert_eq!(evaluate(&vsa, &doc).unwrap(), reference.clone());
+        prop_assert_eq!(interpret(&vsa, &doc), reference);
+    }
+
+    #[test]
+    fn enumeration_produces_no_duplicates(alpha in rgx_strategy(3), text in doc_strategy()) {
+        prop_assume!(assume_sequential(&alpha));
+        let doc = Document::new(text);
+        let vsa = compile(&alpha);
+        let listed: Vec<Mapping> = Enumerator::new(&vsa, &doc)
+            .unwrap()
+            .map(|m| m.unwrap())
+            .collect();
+        let set: MappingSet = listed.iter().cloned().collect();
+        prop_assert_eq!(listed.len(), set.len());
+    }
+
+    #[test]
+    fn semi_functional_transformation_preserves_semantics(
+        alpha in rgx_strategy(3),
+        text in doc_strategy()
+    ) {
+        prop_assume!(assume_sequential(&alpha));
+        let doc = Document::new(text);
+        let vsa = compile(&alpha);
+        let vars = vsa.vars().clone();
+        let sf = make_semi_functional(&vsa, &vars);
+        prop_assert!(vsa_sequential(&sf.vsa));
+        prop_assert_eq!(interpret(&sf.vsa, &doc), interpret(&vsa, &doc));
+    }
+
+    #[test]
+    fn disjunctive_functional_rewrite_preserves_semantics(
+        alpha in rgx_strategy(3),
+        text in doc_strategy()
+    ) {
+        prop_assume!(assume_sequential(&alpha));
+        let doc = Document::new(text);
+        if let Ok(disjuncts) = to_disjunctive_functional(&alpha, 1 << 12) {
+            let rewritten = Rgx::Union(disjuncts);
+            prop_assert_eq!(
+                reference_eval(&rewritten, &doc),
+                reference_eval(&alpha, &doc)
+            );
+        }
+    }
+
+    #[test]
+    fn join_compilation_is_sound_and_complete(
+        alpha1 in rgx_strategy(2),
+        alpha2 in rgx_strategy(2),
+        text in doc_strategy()
+    ) {
+        prop_assume!(assume_sequential(&alpha1) && assume_sequential(&alpha2));
+        let doc = Document::new(text);
+        let a1 = compile(&alpha1);
+        let a2 = compile(&alpha2);
+        let joined = join(&a1, &a2).unwrap();
+        let expected = reference_eval(&alpha1, &doc).join(&reference_eval(&alpha2, &doc));
+        prop_assert_eq!(evaluate(&joined, &doc).unwrap(), expected);
+    }
+
+    #[test]
+    fn difference_constructions_agree(
+        alpha1 in rgx_strategy(2),
+        alpha2 in rgx_strategy(2),
+        text in doc_strategy()
+    ) {
+        prop_assume!(assume_sequential(&alpha1) && assume_sequential(&alpha2));
+        let doc = Document::new(text);
+        let a1 = compile(&alpha1);
+        let a2 = compile(&alpha2);
+        let oracle = reference_eval(&alpha1, &doc).difference(&reference_eval(&alpha2, &doc));
+        let opts = DifferenceOptions::default();
+        prop_assert_eq!(difference_filter(&a1, &a2, &doc).unwrap(), oracle.clone());
+        prop_assert_eq!(difference_product_eval(&a1, &a2, &doc, opts).unwrap(), oracle.clone());
+        prop_assert_eq!(difference_adhoc_eval(&a1, &a2, &doc, opts).unwrap(), oracle);
+    }
+
+    #[test]
+    fn projection_union_commute_with_compilation(
+        alpha1 in rgx_strategy(2),
+        alpha2 in rgx_strategy(2),
+        text in doc_strategy()
+    ) {
+        prop_assume!(assume_sequential(&alpha1) && assume_sequential(&alpha2));
+        let doc = Document::new(text);
+        let a1 = compile(&alpha1);
+        let a2 = compile(&alpha2);
+        let keep = VarSet::from_iter(["x", "z"]);
+        let expected_proj = reference_eval(&alpha1, &doc).project(&keep);
+        prop_assert_eq!(evaluate(&a1.project(&keep), &doc).unwrap(), expected_proj);
+        let expected_union = reference_eval(&alpha1, &doc).union(&reference_eval(&alpha2, &doc));
+        prop_assert_eq!(evaluate(&a1.union(&a2), &doc).unwrap(), expected_union);
+    }
+}
