@@ -1,0 +1,269 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of the criterion 0.5 API used by the
+//! `spanner-bench` benches: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Throughput`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurements are real: each benchmark is warmed up, then timed over
+//! `sample_size` samples, and the median per-iteration time is reported on
+//! stdout in a `name/param  time: [median]` format close enough to
+//! criterion's for eyeballing and for the CI smoke run. There is no
+//! statistical analysis, HTML report, or saved baseline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group (accepted, reported as-is).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: a function name and an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id with an explicit function name and parameter.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter (the group provides the name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// The timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, first calibrating how many iterations fit in a
+    /// sample, then collecting `sample_size` samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: find an iteration count that takes ≳ 1 ms, capped so
+        // calibration itself stays fast.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+        self.iters_per_sample = iters;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median_ns_per_iter(&self) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        let mut ns: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.iters_per_sample as f64)
+            .collect();
+        ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ns[ns.len() / 2]
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns.is_nan() {
+        "n/a".to_string()
+    } else if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Records the throughput of one iteration (reported alongside timings).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark over an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            iters_per_sample: 1,
+        };
+        f(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Runs a benchmark without a dedicated input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            iters_per_sample: 1,
+        };
+        f(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        let ns = bencher.median_ns_per_iter();
+        let mut line = format!("{}/{:<24} time: [{}]", self.name, id, format_ns(ns));
+        if let Some(tp) = self.throughput {
+            let (amount, unit) = match tp {
+                Throughput::Bytes(b) => (b as f64, "B"),
+                Throughput::Elements(e) => (e as f64, "elem"),
+            };
+            if ns.is_finite() && ns > 0.0 {
+                line.push_str(&format!("  thrpt: [{:.2} M{unit}/s]", amount / ns * 1e3));
+            }
+        }
+        println!("{line}");
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is immediate).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark function.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name.to_string())
+            .bench_function(BenchmarkId::from_parameter(""), f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        group.throughput(Throughput::Bytes(128));
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::from_parameter(1), &41u32, |b, &input| {
+            b.iter(|| input + 1);
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn formatting_scales() {
+        assert!(format_ns(5.0).ends_with("ns"));
+        assert!(format_ns(5.0e3).ends_with("µs"));
+        assert!(format_ns(5.0e6).ends_with("ms"));
+        assert!(format_ns(5.0e9).ends_with('s'));
+    }
+}

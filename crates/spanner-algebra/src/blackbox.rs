@@ -280,7 +280,8 @@ impl Spanner for SentimentSpanner {
                 while i < bytes.len() {
                     if bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' {
                         let s = i;
-                        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                        while i < bytes.len()
+                            && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
                         {
                             i += 1;
                         }

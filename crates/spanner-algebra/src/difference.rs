@@ -415,7 +415,9 @@ pub fn difference_product_eval(
 }
 
 /// A subset of the right operand's states (sorted, deduplicated).
-type StateSet = Vec<StateId>;
+// A sorted vector of right-operand states (not the bitset `spanner_vset::StateSet`;
+// this evaluator predates the compiled engine and tracks small sorted sets).
+type RightStates = Vec<StateId>;
 
 /// A variable operation: `(variable, is_open)`.
 type VarOp = (Variable, bool);
@@ -431,11 +433,11 @@ type VarOp = (Variable, bool);
 fn advance_class(
     class: &RightClass,
     doc: &Document,
-    states: &StateSet,
+    states: &RightStates,
     pos: u32,
     required: &BTreeSet<VarOp>,
     constrained: &VarSet,
-) -> (StateSet, bool) {
+) -> (RightStates, bool) {
     let a2 = &class.vsa;
     let n = doc.len() as u32;
     // BFS over (state, subset of `required` already performed).
@@ -510,7 +512,7 @@ struct DiffState {
     /// For every right-operand usage class, the subset of its states
     /// consistent with the constrained operations performed so far (empty =
     /// that class can no longer produce a compatible mapping).
-    right: Vec<StateSet>,
+    right: Vec<RightStates>,
 }
 
 /// Builds the product for one skip-set group of the left operand.
@@ -573,15 +575,18 @@ fn build_difference_group(
         boundary: a1.initial(),
         q1: a1.initial(),
         pos: 1,
-        right: right_classes.iter().map(|c| vec![c.vsa.initial()]).collect(),
+        right: right_classes
+            .iter()
+            .map(|c| vec![c.vsa.initial()])
+            .collect(),
     };
     // Many product states share the same (class, position, subset, required
     // ops) advance; memoize it — this matters when the right operand is a
     // large ad-hoc path automaton (black-box leaves in RA trees).
     type AdvanceKey = (usize, u32, Vec<StateId>, Vec<VarOp>);
-    let advance_memo: std::cell::RefCell<HashMap<AdvanceKey, (StateSet, bool)>> =
+    let advance_memo: std::cell::RefCell<HashMap<AdvanceKey, (RightStates, bool)>> =
         std::cell::RefCell::new(HashMap::new());
-    let advance_cached = |i: usize, states: &StateSet, pos: u32, required: &BTreeSet<VarOp>| {
+    let advance_cached = |i: usize, states: &RightStates, pos: u32, required: &BTreeSet<VarOp>| {
         let key = (
             i,
             pos,
@@ -591,7 +596,14 @@ fn build_difference_group(
         if let Some(hit) = advance_memo.borrow().get(&key) {
             return hit.clone();
         }
-        let value = advance_class(&right_classes[i], doc, states, pos, required, &constrained[i]);
+        let value = advance_class(
+            &right_classes[i],
+            doc,
+            states,
+            pos,
+            required,
+            &constrained[i],
+        );
         advance_memo.borrow_mut().insert(key, value.clone());
         value
     };
@@ -632,7 +644,7 @@ fn build_difference_group(
                     if !c.contains(symbol) {
                         continue;
                     }
-                    let right: Vec<StateSet> = right_classes
+                    let right: Vec<RightStates> = right_classes
                         .iter()
                         .enumerate()
                         .map(|(i, _)| {
@@ -730,7 +742,15 @@ mod tests {
         // tuples, then subtract the UK-mail extractor.
         let a1 = compiled(r".*{name:\u\l+} ({phone:\d+} )?{mail:\l+@\l+\.\l+}.*");
         let a2 = compiled(r".*{mail:\l+@\l+\.uk}.*");
-        check_all(&a1, &a2, &["Bob 42 b@edu.uk ", "Bob 42 b@edu.ru ", "Ann a@x.uk Bob b@y.ru "]);
+        check_all(
+            &a1,
+            &a2,
+            &[
+                "Bob 42 b@edu.uk ",
+                "Bob 42 b@edu.ru ",
+                "Ann a@x.uk Bob b@y.ru ",
+            ],
+        );
     }
 
     #[test]
@@ -822,8 +842,14 @@ mod tests {
         let doc = Document::new("abcdefgh");
         let expected = MappingSet::new();
         let opts = DifferenceOptions::default();
-        assert_eq!(difference_adhoc_eval(&a1, &a2, &doc, opts).unwrap(), expected);
-        assert_eq!(difference_product_eval(&a1, &a2, &doc, opts).unwrap(), expected);
+        assert_eq!(
+            difference_adhoc_eval(&a1, &a2, &doc, opts).unwrap(),
+            expected
+        );
+        assert_eq!(
+            difference_product_eval(&a1, &a2, &doc, opts).unwrap(),
+            expected
+        );
         assert_eq!(difference_filter(&a1, &a2, &doc).unwrap(), expected);
     }
 }

@@ -234,15 +234,13 @@ impl Default for RaOptions {
 pub fn tree_vars(tree: &RaTree, inst: &Instantiation) -> SpannerResult<VarSet> {
     Ok(match tree {
         RaTree::Leaf(id) => {
-            let atom = inst
-                .atom(*id)
-                .ok_or_else(|| SpannerError::Instantiation(format!("placeholder ?{id} unassigned")))?;
+            let atom = inst.atom(*id).ok_or_else(|| {
+                SpannerError::Instantiation(format!("placeholder ?{id} unassigned"))
+            })?;
             atom.vars()
         }
         RaTree::Project(vars, child) => tree_vars(child, inst)?.intersection(vars),
-        RaTree::Union(l, r) | RaTree::Join(l, r) => {
-            tree_vars(l, inst)?.union(&tree_vars(r, inst)?)
-        }
+        RaTree::Union(l, r) | RaTree::Join(l, r) => tree_vars(l, inst)?.union(&tree_vars(r, inst)?),
         RaTree::Difference(l, _) => tree_vars(l, inst)?,
     })
 }
@@ -253,9 +251,7 @@ pub fn shared_variable_bound(tree: &RaTree, inst: &Instantiation) -> SpannerResu
     Ok(match tree {
         RaTree::Leaf(_) => 0,
         RaTree::Project(_, child) => shared_variable_bound(child, inst)?,
-        RaTree::Union(l, r) => {
-            shared_variable_bound(l, inst)?.max(shared_variable_bound(r, inst)?)
-        }
+        RaTree::Union(l, r) => shared_variable_bound(l, inst)?.max(shared_variable_bound(r, inst)?),
         RaTree::Join(l, r) | RaTree::Difference(l, r) => {
             let here = tree_vars(l, inst)?.intersection(&tree_vars(r, inst)?).len();
             here.max(shared_variable_bound(l, inst)?)
@@ -282,9 +278,9 @@ pub fn compile_ra(
     };
     Ok(match tree {
         RaTree::Leaf(id) => {
-            let atom = inst
-                .atom(*id)
-                .ok_or_else(|| SpannerError::Instantiation(format!("placeholder ?{id} unassigned")))?;
+            let atom = inst.atom(*id).ok_or_else(|| {
+                SpannerError::Instantiation(format!("placeholder ?{id} unassigned"))
+            })?;
             match atom {
                 Atom::Rgx(r) => {
                     if !spanner_rgx::is_sequential(r) {
@@ -361,9 +357,9 @@ pub fn evaluate_ra_materialized(
 ) -> SpannerResult<MappingSet> {
     Ok(match tree {
         RaTree::Leaf(id) => {
-            let atom = inst
-                .atom(*id)
-                .ok_or_else(|| SpannerError::Instantiation(format!("placeholder ?{id} unassigned")))?;
+            let atom = inst.atom(*id).ok_or_else(|| {
+                SpannerError::Instantiation(format!("placeholder ?{id} unassigned"))
+            })?;
             match atom {
                 Atom::Rgx(r) => spanner_enum::evaluate_rgx(r, doc)?,
                 Atom::Vsa(a) => spanner_enum::evaluate(a, doc)?,
@@ -371,10 +367,12 @@ pub fn evaluate_ra_materialized(
             }
         }
         RaTree::Project(vars, child) => evaluate_ra_materialized(child, inst, doc)?.project(vars),
-        RaTree::Union(l, r) => evaluate_ra_materialized(l, inst, doc)?
-            .union(&evaluate_ra_materialized(r, inst, doc)?),
-        RaTree::Join(l, r) => evaluate_ra_materialized(l, inst, doc)?
-            .join(&evaluate_ra_materialized(r, inst, doc)?),
+        RaTree::Union(l, r) => {
+            evaluate_ra_materialized(l, inst, doc)?.union(&evaluate_ra_materialized(r, inst, doc)?)
+        }
+        RaTree::Join(l, r) => {
+            evaluate_ra_materialized(l, inst, doc)?.join(&evaluate_ra_materialized(r, inst, doc)?)
+        }
         RaTree::Difference(l, r) => evaluate_ra_materialized(l, inst, doc)?
             .difference(&evaluate_ra_materialized(r, inst, doc)?),
     })
@@ -455,7 +453,10 @@ mod tests {
         let tree = figure_2_tree(VarSet::from_iter(["student"]));
         let inst = Instantiation::new()
             .with(0, parse(r".*{student:\u\l+} mail:{mail:\l+}.*").unwrap())
-            .with(1, parse(r".*{student:\u\l+} .*phone:{phone:\d+}.*").unwrap())
+            .with(
+                1,
+                parse(r".*{student:\u\l+} .*phone:{phone:\d+}.*").unwrap(),
+            )
             .with(2, parse(r".*{student:\u\l+} .*rec:{rec:\l+}.*").unwrap());
         check(
             &tree,
@@ -474,7 +475,10 @@ mod tests {
         // the right), Corollary 5.3 style.
         let tree = RaTree::difference(RaTree::leaf(0), RaTree::leaf(1));
         let inst = Instantiation::new()
-            .with(0, parse(r".* {tok:\l+} .*|{tok:\l+} .*|.* {tok:\l+}|{tok:\l+}").unwrap())
+            .with(
+                0,
+                parse(r".* {tok:\l+} .*|{tok:\l+} .*|.* {tok:\l+}|{tok:\l+}").unwrap(),
+            )
             .with_black_box(1, SentimentSpanner::new("tok", "rest", ["good"]));
         check(&tree, &inst, &["alpha beta", "good beta", "x good y"]);
     }
@@ -487,7 +491,11 @@ mod tests {
         let inst = Instantiation::new()
             .with_black_box(0, TokenizerSpanner::new("t"))
             .with(1, parse(r".*important {t:\w+}.*").unwrap());
-        check(&tree, &inst, &["this is important stuff here", "important x"]);
+        check(
+            &tree,
+            &inst,
+            &["this is important stuff here", "important x"],
+        );
     }
 
     #[test]

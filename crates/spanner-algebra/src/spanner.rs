@@ -2,9 +2,9 @@
 
 use spanner_core::{Document, MappingSet, SpannerResult, VarSet};
 use spanner_rgx::Rgx;
-use spanner_vset::Vsa;
+use spanner_vset::{CompiledVsa, Vsa};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A schemaless document spanner: a function from documents to finite sets of
 /// mappings (Section 2.1).
@@ -40,10 +40,16 @@ impl fmt::Debug for dyn Spanner {
 
 /// A spanner defined by a sequential vset-automaton, evaluated with the
 /// polynomial-delay enumerator.
+///
+/// The automaton is compiled to a [`CompiledVsa`] on first evaluation and
+/// the compilation is shared by all clones, so evaluating the same spanner
+/// over many documents (the RA-tree and benchmark pattern) pays the
+/// compilation cost once.
 #[derive(Clone, Debug)]
 pub struct VsaSpanner {
     name: String,
     vsa: Vsa,
+    compiled: Arc<OnceLock<CompiledVsa>>,
 }
 
 impl VsaSpanner {
@@ -52,12 +58,19 @@ impl VsaSpanner {
         VsaSpanner {
             name: name.into(),
             vsa,
+            compiled: Arc::new(OnceLock::new()),
         }
     }
 
     /// The underlying automaton.
     pub fn vsa(&self) -> &Vsa {
         &self.vsa
+    }
+
+    /// The compiled form (compiled on first use).
+    pub fn compiled(&self) -> &CompiledVsa {
+        self.compiled
+            .get_or_init(|| CompiledVsa::compile(&self.vsa))
     }
 }
 
@@ -71,7 +84,7 @@ impl Spanner for VsaSpanner {
     }
 
     fn eval(&self, doc: &Document) -> SpannerResult<MappingSet> {
-        spanner_enum::evaluate(&self.vsa, doc)
+        spanner_enum::evaluate_compiled(self.compiled(), doc)
     }
 }
 
@@ -81,17 +94,19 @@ impl Spanner for VsaSpanner {
 pub struct RgxSpanner {
     name: String,
     formula: Rgx,
-    compiled: Vsa,
+    vsa: Vsa,
+    compiled: Arc<OnceLock<CompiledVsa>>,
 }
 
 impl RgxSpanner {
     /// Compiles a regex formula into a spanner.
     pub fn new(name: impl Into<String>, formula: Rgx) -> Self {
-        let compiled = spanner_vset::compile(&formula);
+        let vsa = spanner_vset::compile(&formula);
         RgxSpanner {
             name: name.into(),
             formula,
-            compiled,
+            vsa,
+            compiled: Arc::new(OnceLock::new()),
         }
     }
 
@@ -107,7 +122,13 @@ impl RgxSpanner {
 
     /// The compiled automaton.
     pub fn vsa(&self) -> &Vsa {
-        &self.compiled
+        &self.vsa
+    }
+
+    /// The compiled evaluation form (compiled on first use).
+    pub fn compiled(&self) -> &CompiledVsa {
+        self.compiled
+            .get_or_init(|| CompiledVsa::compile(&self.vsa))
     }
 }
 
@@ -121,7 +142,7 @@ impl Spanner for RgxSpanner {
     }
 
     fn eval(&self, doc: &Document) -> SpannerResult<MappingSet> {
-        spanner_enum::evaluate(&self.compiled, doc)
+        spanner_enum::evaluate_compiled(self.compiled(), doc)
     }
 }
 

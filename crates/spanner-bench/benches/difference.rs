@@ -30,7 +30,11 @@ fn bench_realistic_difference(c: &mut Criterion) {
             b.iter(|| difference_filter(&info, &uk, doc).unwrap().len());
         });
         group.bench_with_input(BenchmarkId::new("product", doc.len()), &doc, |b, doc| {
-            b.iter(|| difference_product_eval(&info, &uk, doc, opts).unwrap().len());
+            b.iter(|| {
+                difference_product_eval(&info, &uk, doc, opts)
+                    .unwrap()
+                    .len()
+            });
         });
         group.bench_with_input(BenchmarkId::new("lemma42", doc.len()), &doc, |b, doc| {
             b.iter(|| difference_adhoc_eval(&info, &uk, doc, opts).unwrap().len());
@@ -60,5 +64,9 @@ fn bench_adversarial_empty_difference(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_realistic_difference, bench_adversarial_empty_difference);
+criterion_group!(
+    benches,
+    bench_realistic_difference,
+    bench_adversarial_empty_difference
+);
 criterion_main!(benches);

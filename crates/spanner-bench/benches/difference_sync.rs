@@ -24,7 +24,10 @@ fn pair(k: usize) -> (Vsa, Vsa) {
             right.push_str(&format!("{{f{i}:\\d}}"));
         }
     }
-    (compile(&parse(&left).unwrap()), compile(&parse(&right).unwrap()))
+    (
+        compile(&parse(&left).unwrap()),
+        compile(&parse(&right).unwrap()),
+    )
 }
 
 fn digits_doc(k: usize) -> Document {

@@ -7,7 +7,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use spanner_enum::{count_mappings, Enumerator};
 use spanner_vset::compile;
-use spanner_workloads::{random_sequential_vsa, student_info_extractor, student_records, RandomVsaConfig};
+use spanner_workloads::{
+    random_sequential_vsa, student_info_extractor, student_records, RandomVsaConfig,
+};
 
 fn bench_document_scaling(c: &mut Criterion) {
     let vsa = compile(&student_info_extractor().unwrap());

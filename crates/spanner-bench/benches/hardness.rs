@@ -9,10 +9,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spanner_algebra::{difference_product_eval, DifferenceOptions};
-use spanner_vset::nfa_accepts;
 use spanner_reductions::{
     difference_hardness_instance, is_satisfiable, join_hardness_instance, random_3cnf,
 };
+use spanner_vset::nfa_accepts;
 use spanner_vset::{compile, join};
 
 fn bench_join_reduction(c: &mut Criterion) {
@@ -53,7 +53,11 @@ fn bench_difference_reduction(c: &mut Criterion) {
             BenchmarkId::new("spanner", n),
             &(a1, a2, instance.doc.clone()),
             |b, (a1, a2, doc)| {
-                b.iter(|| !difference_product_eval(a1, a2, doc, opts).unwrap().is_empty());
+                b.iter(|| {
+                    !difference_product_eval(a1, a2, doc, opts)
+                        .unwrap()
+                        .is_empty()
+                });
             },
         );
         group.bench_with_input(BenchmarkId::new("dpll", n), &cnf, |b, cnf| {

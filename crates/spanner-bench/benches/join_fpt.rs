@@ -47,8 +47,14 @@ fn bench_operand_size(c: &mut Criterion) {
                 Rgx::any_string(),
             ])
         };
-        let a1 = compile(&Rgx::concat([big("shared"), Rgx::capture("l", Rgx::any_string())]));
-        let a2 = compile(&Rgx::concat([big("shared"), Rgx::capture("r", Rgx::any_string())]));
+        let a1 = compile(&Rgx::concat([
+            big("shared"),
+            Rgx::capture("l", Rgx::any_string()),
+        ]));
+        let a2 = compile(&Rgx::concat([
+            big("shared"),
+            Rgx::capture("r", Rgx::any_string()),
+        ]));
         group.bench_with_input(
             BenchmarkId::from_parameter(a1.state_count()),
             &(a1, a2),

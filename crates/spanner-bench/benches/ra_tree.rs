@@ -40,9 +40,13 @@ fn bench_figure_2_query(c: &mut Criterion) {
     for lines in [4usize, 8, 16] {
         let doc = student_records_with_recommendations(lines, 0.5, 13);
         group.throughput(Throughput::Bytes(doc.len() as u64));
-        group.bench_with_input(BenchmarkId::new("regex-leaves", doc.len()), &doc, |b, doc| {
-            b.iter(|| evaluate_ra(&tree, &regex_inst, doc, opts).unwrap().len());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("regex-leaves", doc.len()),
+            &doc,
+            |b, doc| {
+                b.iter(|| evaluate_ra(&tree, &regex_inst, doc, opts).unwrap().len());
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("blackbox-leaf", doc.len()),
             &doc,

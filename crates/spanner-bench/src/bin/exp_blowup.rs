@@ -7,7 +7,14 @@ use spanner_workloads::example_3_10_formula;
 
 fn main() {
     println!("## E4 — Example 3.10 family: sequential vs disjunctive functional (Prop. 3.11)\n");
-    header(&["n", "sequential formula size", "sequential VA states", "dfunc disjuncts", "2^n", "rewrite ms"]);
+    header(&[
+        "n",
+        "sequential formula size",
+        "sequential VA states",
+        "dfunc disjuncts",
+        "2^n",
+        "rewrite ms",
+    ]);
     for n in 1..=14usize {
         let alpha = example_3_10_formula(n);
         let vsa = compile(&alpha);

@@ -1,6 +1,8 @@
 //! E7 — difference: ad-hoc compilation vs the enumerate-and-filter baseline.
 
-use spanner_algebra::{difference_adhoc_eval, difference_filter, difference_product_eval, DifferenceOptions};
+use spanner_algebra::{
+    difference_adhoc_eval, difference_filter, difference_product_eval, DifferenceOptions,
+};
 use spanner_bench::{header, ms, row, timed};
 use spanner_core::Document;
 use spanner_enum::count_mappings;
@@ -10,10 +12,18 @@ use spanner_workloads::{student_records, uk_mail_extractor};
 
 fn main() {
     let opts = DifferenceOptions::default();
-    println!("## E7a — realistic difference (student mails minus UK mails), Lemma 4.2 / Theorem 4.3\n");
+    println!(
+        "## E7a — realistic difference (student mails minus UK mails), Lemma 4.2 / Theorem 4.3\n"
+    );
     let info = compile(&parse(r"(.*\n)?\u\l+ (\d+ )?{mail:\l+@\l+(\.\l+)+}\n.*").unwrap());
     let uk = compile(&uk_mail_extractor().unwrap());
-    header(&["doc bytes", "|result|", "filter ms", "product (T4.8) ms", "markers (L4.2) ms"]);
+    header(&[
+        "doc bytes",
+        "|result|",
+        "filter ms",
+        "product (T4.8) ms",
+        "markers (L4.2) ms",
+    ]);
     for lines in [16usize, 32, 64, 128] {
         let doc = student_records(lines, 3);
         let (r1, t_filter) = timed(|| difference_filter(&info, &uk, &doc).unwrap());
@@ -21,10 +31,18 @@ fn main() {
         let (r3, t_adhoc) = timed(|| difference_adhoc_eval(&info, &uk, &doc, opts).unwrap());
         assert_eq!(r1, r2);
         assert_eq!(r1, r3);
-        row(&[doc.len().to_string(), r1.len().to_string(), ms(t_filter), ms(t_prod), ms(t_adhoc)]);
+        row(&[
+            doc.len().to_string(),
+            r1.len().to_string(),
+            ms(t_filter),
+            ms(t_prod),
+            ms(t_adhoc),
+        ]);
     }
 
-    println!("\n## E7b — adversarial empty difference: |VA1W(d)| is Θ(n²) but the output is empty\n");
+    println!(
+        "\n## E7b — adversarial empty difference: |VA1W(d)| is Θ(n²) but the output is empty\n"
+    );
     let a1 = compile(&parse(".*{x:.*}.*").unwrap());
     let a2 = compile(&parse(".*{x:.*}.*").unwrap());
     header(&["|d|", "|VA1W(d)|", "filter ms", "product ms"]);
@@ -34,7 +52,12 @@ fn main() {
         let (r1, t_filter) = timed(|| difference_filter(&a1, &a2, &doc).unwrap());
         let (r2, t_prod) = timed(|| difference_product_eval(&a1, &a2, &doc, opts).unwrap());
         assert!(r1.is_empty() && r2.is_empty());
-        row(&[n.to_string(), left_size.to_string(), ms(t_filter), ms(t_prod)]);
+        row(&[
+            n.to_string(),
+            left_size.to_string(),
+            ms(t_filter),
+            ms(t_prod),
+        ]);
     }
     println!("\nexpected shape: the filter baseline scales with |VA1W(d)| (quadratic and worse), the ad-hoc constructions with the document.");
 }

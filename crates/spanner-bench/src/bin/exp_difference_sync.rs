@@ -10,21 +10,39 @@ use spanner_vset::{compile, is_synchronized};
 fn main() {
     println!("## E8 — synchronized difference (Theorem 4.8)\n");
     let opts = DifferenceOptions::default();
-    header(&["common vars k", "right operand synchronized", "|result|", "time ms"]);
+    header(&[
+        "common vars k",
+        "right operand synchronized",
+        "|result|",
+        "time ms",
+    ]);
     let mut points = Vec::new();
     for k in (2..=12usize).step_by(2) {
         let mut left = String::new();
         let mut right = String::new();
         for i in 0..k {
             left.push_str(&format!("{{f{i}:\\d}}"));
-            right.push_str(if i == 0 { "{f0:7}" } else { "{f_:\\d}" }.replace("f_", &format!("f{i}")).as_str());
+            right.push_str(
+                if i == 0 { "{f0:7}" } else { "{f_:\\d}" }
+                    .replace("f_", &format!("f{i}"))
+                    .as_str(),
+            );
         }
         let a1 = compile(&parse(&left).unwrap());
         let a2 = compile(&parse(&right).unwrap());
-        let doc = Document::new((0..k).map(|i| char::from_digit((i % 10) as u32, 10).unwrap()).collect::<String>());
+        let doc = Document::new(
+            (0..k)
+                .map(|i| char::from_digit((i % 10) as u32, 10).unwrap())
+                .collect::<String>(),
+        );
         let sync = is_synchronized(&a2, a2.vars());
         let (result, elapsed) = timed(|| difference_product_eval(&a1, &a2, &doc, opts).unwrap());
-        row(&[k.to_string(), sync.to_string(), result.len().to_string(), ms(elapsed)]);
+        row(&[
+            k.to_string(),
+            sync.to_string(),
+            result.len().to_string(),
+            ms(elapsed),
+        ]);
         points.push((k as f64, elapsed.as_secs_f64()));
     }
     println!(

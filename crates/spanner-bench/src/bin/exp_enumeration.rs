@@ -9,7 +9,13 @@ use std::time::Duration;
 fn main() {
     println!("## E1 — polynomial-delay enumeration (Theorem 2.5)\n");
     let vsa = compile(&student_info_extractor().unwrap());
-    header(&["doc bytes", "mappings", "total ms", "mean delay µs", "max delay µs"]);
+    header(&[
+        "doc bytes",
+        "mappings",
+        "total ms",
+        "mean delay µs",
+        "max delay µs",
+    ]);
     let mut points = Vec::new();
     for lines in [32usize, 64, 128, 256, 512] {
         let doc = student_records(lines, 7);

@@ -15,14 +15,15 @@ fn main() {
         let instance = difference_hardness_instance(&cnf);
         let a1 = compile(&instance.gamma1);
         let a2 = compile(&instance.gamma2);
-        let (diff, t_spanner) = timed(|| difference_product_eval(&a1, &a2, &instance.doc, opts).unwrap());
+        let (diff, t_spanner) =
+            timed(|| difference_product_eval(&a1, &a2, &instance.doc, opts).unwrap());
         row(&[
             n.to_string(),
             cnf.num_clauses().to_string(),
             sat.to_string(),
             ms(t_spanner),
             ms(t_dpll),
-            ((!diff.is_empty()) == sat).to_string(),
+            (diff.is_empty() != sat).to_string(),
         ]);
     }
     println!("\nexpected shape: the n common variables of the operands make the ad-hoc construction exponential in n — consistent with Theorem 4.1 and the W[1]-hardness of Theorem 4.4.");

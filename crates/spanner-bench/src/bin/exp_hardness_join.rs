@@ -2,13 +2,21 @@
 
 use spanner_bench::{header, ms, row, timed};
 use spanner_core::VarSet;
-use spanner_vset::nfa_accepts;
 use spanner_reductions::{is_satisfiable, join_hardness_instance, random_3cnf};
 use spanner_vset::compile;
+use spanner_vset::nfa_accepts;
 
 fn main() {
     println!("## E2 — Theorem 3.1 reduction (3SAT → join nonemptiness), |d| = 1\n");
-    header(&["vars", "clauses", "capture vars", "SAT?", "spanner ms", "DPLL ms", "agree"]);
+    header(&[
+        "vars",
+        "clauses",
+        "capture vars",
+        "SAT?",
+        "spanner ms",
+        "DPLL ms",
+        "agree",
+    ]);
     for n in 2..=5usize {
         let cnf = random_3cnf(n, 2.0, n as u64);
         let (sat, t_dpll) = timed(|| is_satisfiable(&cnf));
@@ -18,7 +26,9 @@ fn main() {
         // The instance has 2·n·m capture variables, so nonemptiness is
         // checked on the Boolean projection of the compiled join; the
         // compilation is exponential, so a state budget bounds each row.
-        let limits = spanner_vset::JoinOptions { max_states: 500_000 };
+        let limits = spanner_vset::JoinOptions {
+            max_states: 500_000,
+        };
         let (outcome, t_spanner) = timed(|| {
             spanner_vset::join_with_options(&a1, &a2, limits)
                 .map(|joined| nfa_accepts(&joined.project(&VarSet::new()), &instance.doc).unwrap())
@@ -30,7 +40,12 @@ fn main() {
         row(&[
             n.to_string(),
             cnf.num_clauses().to_string(),
-            instance.gamma1.vars().union(&instance.gamma2.vars()).len().to_string(),
+            instance
+                .gamma1
+                .vars()
+                .union(&instance.gamma2.vars())
+                .len()
+                .to_string(),
             format!("{sat} / answered {answer}"),
             ms(t_spanner),
             ms(t_dpll),

@@ -3,14 +3,16 @@
 use spanner_algebra::{difference_product_eval, DifferenceOptions};
 use spanner_bench::{header, ms, row, timed};
 use spanner_reductions::{
-    bounded_occurrence_cnf, bounded_occurrence_difference_instance, has_satisfying_assignment_of_weight,
-    is_satisfiable, random_3cnf, weighted_difference_instance,
+    bounded_occurrence_cnf, bounded_occurrence_difference_instance,
+    has_satisfying_assignment_of_weight, is_satisfiable, random_3cnf, weighted_difference_instance,
 };
 use spanner_vset::compile;
 
 fn main() {
     let opts = DifferenceOptions::default();
-    println!("## E11a — Theorem 4.4: weight-k satisfiability via the difference, k = |shared vars|\n");
+    println!(
+        "## E11a — Theorem 4.4: weight-k satisfiability via the difference, k = |shared vars|\n"
+    );
     header(&["vars", "k", "weight-k SAT?", "spanner ms", "agree"]);
     for (n, k) in [(5usize, 1usize), (5, 2), (6, 2), (6, 3)] {
         let cnf = random_3cnf(n, 2.0, (n * 10 + k) as u64);
@@ -24,7 +26,7 @@ fn main() {
             k.to_string(),
             expected.to_string(),
             ms(t),
-            ((!diff.is_empty()) == expected).to_string(),
+            (diff.is_empty() != expected).to_string(),
         ]);
     }
 
@@ -42,7 +44,7 @@ fn main() {
             cnf.num_clauses().to_string(),
             sat.to_string(),
             ms(t),
-            ((!diff.is_empty()) == sat).to_string(),
+            (diff.is_empty() != sat).to_string(),
         ]);
     }
     println!("\nexpected shape: both restricted fragments remain hard — running time grows exponentially with the instance even though the syntax is heavily constrained.");

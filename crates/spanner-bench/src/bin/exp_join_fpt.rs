@@ -8,7 +8,14 @@ use spanner_vset::{compile, join};
 
 fn main() {
     println!("## E3 — FPT join compilation (Lemma 3.2 / Theorem 3.3)\n");
-    header(&["k (shared vars)", "|Q1|", "|Q2|", "product states", "compile ms", "mappings on sample doc"]);
+    header(&[
+        "k (shared vars)",
+        "|Q1|",
+        "|Q2|",
+        "product states",
+        "compile ms",
+        "mappings on sample doc",
+    ]);
     let doc = Document::new("abc12 xyz34 qq5 ");
     for k in 0..=5usize {
         let mut shared = String::new();

@@ -1,6 +1,8 @@
 //! E9 — extraction complexity of the Figure 2 RA tree (Theorem 5.2 / Corollary 5.3).
 
-use spanner_algebra::{evaluate_ra, figure_2_tree, shared_variable_bound, Instantiation, RaOptions, SentimentSpanner};
+use spanner_algebra::{
+    evaluate_ra, figure_2_tree, shared_variable_bound, Instantiation, RaOptions, SentimentSpanner,
+};
 use spanner_bench::{header, ms, row, timed};
 use spanner_core::VarSet;
 use spanner_rgx::parse;
@@ -9,22 +11,44 @@ use spanner_workloads::student_records_with_recommendations;
 fn main() {
     println!("## E9 — Figure 2 query over a growing corpus\n");
     let tree = figure_2_tree(VarSet::from_iter(["student"]));
-    let alpha_sm = parse(r"(.*\n)?(\u\l+ )?{student:\u\l+} (\d+ )?{mail:\l+@\l+(\.\l+)+}\n.*").unwrap();
+    let alpha_sm =
+        parse(r"(.*\n)?(\u\l+ )?{student:\u\l+} (\d+ )?{mail:\l+@\l+(\.\l+)+}\n.*").unwrap();
     let alpha_sp = parse(r"(.*\n)?(\u\l+ )?{student:\u\l+} {phone:\d+} .*").unwrap();
     let alpha_nr = parse(r"(.*\n)?{student:\u\l+} rec {rec:[\l ]+}\n.*").unwrap();
-    let regex_inst = Instantiation::new().with(0, alpha_sm.clone()).with(1, alpha_sp.clone()).with(2, alpha_nr);
-    let blackbox_inst = Instantiation::new().with(0, alpha_sm).with(1, alpha_sp).with_black_box(
-        2,
-        SentimentSpanner::new("student", "posrec", SentimentSpanner::default_lexicon()),
+    let regex_inst = Instantiation::new()
+        .with(0, alpha_sm.clone())
+        .with(1, alpha_sp.clone())
+        .with(2, alpha_nr);
+    let blackbox_inst = Instantiation::new()
+        .with(0, alpha_sm)
+        .with(1, alpha_sp)
+        .with_black_box(
+            2,
+            SentimentSpanner::new("student", "posrec", SentimentSpanner::default_lexicon()),
+        );
+    println!(
+        "RA tree: {tree}, shared-variable bound k = {}\n",
+        shared_variable_bound(&tree, &regex_inst).unwrap()
     );
-    println!("RA tree: {tree}, shared-variable bound k = {}\n", shared_variable_bound(&tree, &regex_inst).unwrap());
-    header(&["doc bytes", "regex leaves: |result|", "regex ms", "black-box leaf: |result|", "black-box ms"]);
+    header(&[
+        "doc bytes",
+        "regex leaves: |result|",
+        "regex ms",
+        "black-box leaf: |result|",
+        "black-box ms",
+    ]);
     let opts = RaOptions::default();
     for lines in [8usize, 16, 32] {
         let doc = student_records_with_recommendations(lines, 0.5, 13);
         let (r1, t1) = timed(|| evaluate_ra(&tree, &regex_inst, &doc, opts).unwrap());
         let (r2, t2) = timed(|| evaluate_ra(&tree, &blackbox_inst, &doc, opts).unwrap());
-        row(&[doc.len().to_string(), r1.len().to_string(), ms(t1), r2.len().to_string(), ms(t2)]);
+        row(&[
+            doc.len().to_string(),
+            r1.len().to_string(),
+            ms(t1),
+            r2.len().to_string(),
+            ms(t2),
+        ]);
     }
     println!("\nexpected shape: polynomial growth with the document for the fixed tree (extraction complexity); the black-box instantiation tracks the regex instantiation (same results, comparable cost).");
 }

@@ -9,7 +9,13 @@ use spanner_vset::{compile, determinize, static_boolean_difference};
 
 fn main() {
     println!("## E10 — static vs ad-hoc compilation of the (Boolean) difference\n");
-    header(&["n", "NFA states (L2)", "static difference DFA states", "ad-hoc VA states (|d| = 2n)", "ad-hoc valid for"]);
+    header(&[
+        "n",
+        "NFA states (L2)",
+        "static difference DFA states",
+        "ad-hoc VA states (|d| = 2n)",
+        "ad-hoc valid for",
+    ]);
     let opts = DifferenceOptions::default();
     for n in 2..=12usize {
         // L1 = (a|b)*, L2 = (a|b)* a (a|b)^{n-1}: the complement of L2 needs 2^n DFA states.

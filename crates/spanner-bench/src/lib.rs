@@ -23,7 +23,10 @@ pub fn row(cells: &[String]) {
 /// Prints a Markdown-style table header (with the separator line).
 pub fn header(cells: &[&str]) {
     println!("| {} |", cells.join(" | "));
-    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 /// Least-squares slope of `log(y)` against `log(x)` — the empirical

@@ -23,7 +23,9 @@ impl ByteClass {
 
     /// The full class (matches every byte) — the `Σ` wildcard.
     pub const fn any() -> Self {
-        ByteClass { bits: [u64::MAX; 4] }
+        ByteClass {
+            bits: [u64::MAX; 4],
+        }
     }
 
     /// A class containing a single byte.

@@ -44,10 +44,17 @@ impl fmt::Display for SpannerError {
             SpannerError::Parse { message, position } => {
                 write!(f, "parse error at byte {position}: {message}")
             }
-            SpannerError::Requirement { requirement, detail } => {
+            SpannerError::Requirement {
+                requirement,
+                detail,
+            } => {
                 write!(f, "requirement `{requirement}` violated: {detail}")
             }
-            SpannerError::LimitExceeded { what, limit, actual } => {
+            SpannerError::LimitExceeded {
+                what,
+                limit,
+                actual,
+            } => {
                 write!(f, "{what} limit exceeded: {actual} > {limit}")
             }
             SpannerError::Instantiation(msg) => write!(f, "invalid instantiation: {msg}"),

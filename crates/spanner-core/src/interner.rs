@@ -1,0 +1,209 @@
+//! Variable-name interning: the foundation of the compiled evaluation layer.
+//!
+//! Every [`crate::Variable`] is registered in a process-wide [`Interner`]
+//! that assigns it a dense [`VarId`]. All hot-path comparisons, hashing, and
+//! lookups on variables then work on `u32` ids instead of strings; names are
+//! only touched at construction and display time.
+//!
+//! Two facts make a *global* interner the right design:
+//!
+//! 1. mappings produced by different automata must be comparable (the algebra
+//!    joins and subtracts relations coming from independently compiled
+//!    spanners), so the id space has to be shared;
+//! 2. ids are only meaningful within a process, and nothing in the workspace
+//!    serializes them — orderings that must be reproducible across runs
+//!    (variable sets, debug output) sort by *name*, never by id.
+//!
+//! [`VarTable`] is the per-automaton companion: it maps the (few) variables
+//! of one automaton to a dense local index `0..k`, which is what bitset
+//! representations like `spanner-enum`'s operation sets key on.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// The interned identifier of a variable name (process-wide, dense).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+struct InternerInner {
+    names: Vec<Arc<str>>,
+    ids: HashMap<Arc<str>, u32>,
+}
+
+fn interner() -> &'static RwLock<InternerInner> {
+    static INTERNER: OnceLock<RwLock<InternerInner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(InternerInner {
+            names: Vec::new(),
+            ids: HashMap::new(),
+        })
+    })
+}
+
+/// The process-wide variable-name interner.
+///
+/// All methods are associated functions; the interner itself is a global
+/// behind a `RwLock` (reads — the common case after warm-up — do not
+/// contend).
+pub struct Interner;
+
+impl Interner {
+    /// Interns `name`, returning its id and the shared name storage.
+    pub fn intern(name: &str) -> (VarId, Arc<str>) {
+        // Fast path: already interned.
+        {
+            let inner = interner().read().expect("interner poisoned");
+            if let Some((stored, &id)) = inner.ids.get_key_value(name) {
+                return (VarId(id), Arc::clone(stored));
+            }
+        }
+        let mut inner = interner().write().expect("interner poisoned");
+        // Re-check: another thread may have interned it meanwhile.
+        if let Some((stored, &id)) = inner.ids.get_key_value(name) {
+            return (VarId(id), Arc::clone(stored));
+        }
+        let id = u32::try_from(inner.names.len()).expect("interner overflow");
+        let stored: Arc<str> = Arc::from(name);
+        inner.names.push(Arc::clone(&stored));
+        inner.ids.insert(Arc::clone(&stored), id);
+        (VarId(id), stored)
+    }
+
+    /// The name behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not produced by [`Interner::intern`].
+    pub fn resolve(id: VarId) -> Arc<str> {
+        let inner = interner().read().expect("interner poisoned");
+        Arc::clone(&inner.names[id.index()])
+    }
+
+    /// Number of distinct names interned so far.
+    pub fn len() -> usize {
+        interner().read().expect("interner poisoned").names.len()
+    }
+}
+
+/// A per-automaton table mapping its variables to a dense local index.
+///
+/// The variables are stored in *name* order (deterministic across runs); the
+/// table additionally keeps an id-sorted index so the hot-path lookup
+/// `VarId → local index` is a `u32` binary search with no string
+/// comparisons.
+#[derive(Debug, Clone, Default)]
+pub struct VarTable {
+    /// Variables in name order; the position is the local index.
+    by_name: Vec<crate::Variable>,
+    /// `(id, local index)` pairs sorted by id.
+    by_id: Vec<(VarId, u32)>,
+}
+
+impl VarTable {
+    /// Builds the table for the given variables (deduplicated, name order).
+    pub fn new<I>(vars: I) -> VarTable
+    where
+        I: IntoIterator,
+        I::Item: Into<crate::Variable>,
+    {
+        let mut by_name: Vec<crate::Variable> = vars.into_iter().map(Into::into).collect();
+        by_name.sort();
+        by_name.dedup();
+        let mut by_id: Vec<(VarId, u32)> = by_name
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.id(), i as u32))
+            .collect();
+        by_id.sort_unstable();
+        VarTable { by_name, by_id }
+    }
+
+    /// Number of variables in the table.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.by_name.len()
+    }
+
+    /// Whether the table is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.by_name.is_empty()
+    }
+
+    /// The local index of a variable, if present (no string comparisons).
+    #[inline]
+    pub fn index_of(&self, v: &crate::Variable) -> Option<usize> {
+        self.index_of_id(v.id())
+    }
+
+    /// The local index of an interned id, if present.
+    #[inline]
+    pub fn index_of_id(&self, id: VarId) -> Option<usize> {
+        self.by_id
+            .binary_search_by_key(&id, |&(i, _)| i)
+            .ok()
+            .map(|pos| self.by_id[pos].1 as usize)
+    }
+
+    /// The variable at a local index.
+    #[inline]
+    pub fn var(&self, index: usize) -> &crate::Variable {
+        &self.by_name[index]
+    }
+
+    /// The variables in local-index (= name) order.
+    #[inline]
+    pub fn vars(&self) -> &[crate::Variable] {
+        &self.by_name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variable::var;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let (a1, n1) = Interner::intern("interner_test_a");
+        let (a2, n2) = Interner::intern("interner_test_a");
+        let (b, _) = Interner::intern("interner_test_b");
+        assert_eq!(a1, a2);
+        assert_eq!(&*n1, "interner_test_a");
+        assert!(Arc::ptr_eq(&n1, &n2));
+        assert_ne!(a1, b);
+        assert_eq!(&*Interner::resolve(b), "interner_test_b");
+        assert!(Interner::len() >= 2);
+    }
+
+    #[test]
+    fn var_table_indexing() {
+        let t = VarTable::new(["zz", "aa", "mm", "aa"]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.index_of(&var("aa")), Some(0));
+        assert_eq!(t.index_of(&var("mm")), Some(1));
+        assert_eq!(t.index_of(&var("zz")), Some(2));
+        assert_eq!(t.index_of(&var("interner_absent")), None);
+        assert_eq!(t.var(1), &var("mm"));
+        assert_eq!(t.vars().len(), 3);
+        assert!(!t.is_empty());
+        assert!(VarTable::new(Vec::<crate::Variable>::new()).is_empty());
+    }
+
+    #[test]
+    fn var_table_id_lookup_matches_name_lookup() {
+        let t = VarTable::new(["x", "y", "z"]);
+        for v in ["x", "y", "z"] {
+            let v = var(v);
+            assert_eq!(t.index_of(&v), t.index_of_id(v.id()));
+        }
+    }
+}

@@ -27,6 +27,8 @@
 pub mod alphabet;
 pub mod document;
 pub mod error;
+pub mod fxhash;
+pub mod interner;
 pub mod mapping;
 pub mod relation;
 pub mod span;
@@ -35,6 +37,8 @@ pub mod variable;
 pub use alphabet::ByteClass;
 pub use document::Document;
 pub use error::{SpannerError, SpannerResult};
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use interner::{Interner, VarId, VarTable};
 pub use mapping::Mapping;
 pub use relation::MappingSet;
 pub use span::Span;

@@ -5,8 +5,10 @@
 //! These definitions *are* the semantics of the paper's algebra; every
 //! automaton-level compilation in the workspace is tested against them.
 
+use crate::fxhash::FxHashMap;
 use crate::mapping::Mapping;
-use crate::variable::VarSet;
+use crate::span::Span;
+use crate::variable::{VarSet, Variable};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -31,9 +33,18 @@ impl MappingSet {
     }
 
     /// Builds a relation from an iterator of mappings (duplicates removed).
+    ///
+    /// This is the sorted-vec bulk path: the mappings are collected into a
+    /// vector, sorted, and deduplicated, and the ordered set is built from
+    /// the sorted run in one pass — much cheaper than per-element ordered
+    /// inserts when the input is large (the enumerator and the algebra
+    /// operators all materialize through here).
     pub fn from_mappings<I: IntoIterator<Item = Mapping>>(iter: I) -> Self {
+        let mut v: Vec<Mapping> = iter.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
         MappingSet {
-            mappings: iter.into_iter().collect(),
+            mappings: BTreeSet::from_iter(v),
         }
     }
 
@@ -92,16 +103,67 @@ impl MappingSet {
     }
 
     /// Natural join: all unions `µ₁ ∪ µ₂` of compatible pairs.
+    ///
+    /// When every mapping on both sides binds all the *common* variables
+    /// (the schema-based situation, and the common case for compiled join
+    /// outputs), this runs as a hash join keyed on the common-variable span
+    /// vector — `O(|P₁| + |P₂| + output)` instead of the quadratic
+    /// pair scan. Schemaless inputs where some mapping omits a common
+    /// variable fall back to the nested-loop evaluation, whose semantics
+    /// (missing variables are wildcards) a plain hash key cannot express.
     pub fn join(&self, other: &MappingSet) -> MappingSet {
-        let mut out = MappingSet::new();
+        let common: Vec<Variable> = self
+            .active_domain()
+            .intersection(&other.active_domain())
+            .to_vec();
+        if common.is_empty() {
+            // Disjoint active domains: every pair is compatible.
+            let mut out = Vec::with_capacity(self.len() * other.len());
+            for m1 in &self.mappings {
+                for m2 in &other.mappings {
+                    out.push(m1.union(m2).expect("disjoint domains are compatible"));
+                }
+            }
+            return MappingSet::from_mappings(out);
+        }
+        let total = |m: &Mapping| common.iter().all(|v| m.contains(v));
+        if self.mappings.iter().all(total) && other.mappings.iter().all(total) {
+            let key = |m: &Mapping| -> Vec<Span> {
+                common
+                    .iter()
+                    .map(|v| m.get(v).expect("checked total"))
+                    .collect()
+            };
+            // Build on the smaller side, probe with the larger.
+            let (build, probe) = if self.len() <= other.len() {
+                (&self.mappings, &other.mappings)
+            } else {
+                (&other.mappings, &self.mappings)
+            };
+            let mut buckets: FxHashMap<Vec<Span>, Vec<&Mapping>> = FxHashMap::default();
+            for m in build {
+                buckets.entry(key(m)).or_default().push(m);
+            }
+            let mut out = Vec::new();
+            for m1 in probe {
+                if let Some(matches) = buckets.get(&key(m1)) {
+                    for m2 in matches {
+                        out.push(m1.union(m2).expect("equal on all common variables"));
+                    }
+                }
+            }
+            return MappingSet::from_mappings(out);
+        }
+        // Schemaless fallback: nested loop with the compatibility predicate.
+        let mut out = Vec::new();
         for m1 in &self.mappings {
             for m2 in &other.mappings {
                 if let Some(u) = m1.union(m2) {
-                    out.insert(u);
+                    out.push(u);
                 }
             }
         }
-        out
+        MappingSet::from_mappings(out)
     }
 
     /// Difference: mappings of `self` that are **incompatible with every**
@@ -203,7 +265,8 @@ mod tests {
 
     #[test]
     fn projection_restricts_domains() {
-        let a = MappingSet::from_mappings([m(&[("x", (1, 2)), ("y", (2, 3))]), m(&[("y", (1, 1))])]);
+        let a =
+            MappingSet::from_mappings([m(&[("x", (1, 2)), ("y", (2, 3))]), m(&[("y", (1, 1))])]);
         let p = a.project(&VarSet::from_iter(["x"]));
         // The second mapping becomes the empty mapping.
         assert_eq!(p.len(), 2);
@@ -213,11 +276,10 @@ mod tests {
 
     #[test]
     fn join_combines_compatible_mappings() {
-        let a = MappingSet::from_mappings([
-            m(&[("x", (1, 2)), ("y", (2, 3))]),
-            m(&[("x", (1, 3))]),
-        ]);
-        let b = MappingSet::from_mappings([m(&[("y", (2, 3)), ("z", (3, 3))]), m(&[("y", (1, 2))])]);
+        let a =
+            MappingSet::from_mappings([m(&[("x", (1, 2)), ("y", (2, 3))]), m(&[("x", (1, 3))])]);
+        let b =
+            MappingSet::from_mappings([m(&[("y", (2, 3)), ("z", (3, 3))]), m(&[("y", (1, 2))])]);
         let j = a.join(&b);
         // (x,y) joins with (y,z) on equal y; (x,y) with y=[2,3⟩ does not join
         // with y=[1,2⟩; (x) joins with both b-mappings (no common vars).
@@ -278,10 +340,8 @@ mod tests {
 
     #[test]
     fn filter_total_over_selects_schema_based_mappings() {
-        let a = MappingSet::from_mappings([
-            m(&[("x", (1, 2)), ("y", (2, 3))]),
-            m(&[("x", (1, 2))]),
-        ]);
+        let a =
+            MappingSet::from_mappings([m(&[("x", (1, 2)), ("y", (2, 3))]), m(&[("x", (1, 2))])]);
         let vars = VarSet::from_iter(["x", "y"]);
         let t = a.filter_total_over(&vars);
         assert_eq!(t.len(), 1);
@@ -289,8 +349,34 @@ mod tests {
     }
 
     #[test]
+    fn hash_join_and_nested_loop_agree() {
+        // Total over the common variable {y}: exercises the hash-join path.
+        let a = MappingSet::from_mappings([
+            m(&[("x", (1, 2)), ("y", (2, 3))]),
+            m(&[("x", (1, 3)), ("y", (3, 4))]),
+        ]);
+        let b = MappingSet::from_mappings([
+            m(&[("y", (2, 3)), ("z", (3, 3))]),
+            m(&[("y", (9, 9)), ("z", (1, 1))]),
+        ]);
+        let j = a.join(&b);
+        assert_eq!(j.len(), 1);
+        assert!(j.contains(&m(&[("x", (1, 2)), ("y", (2, 3)), ("z", (3, 3))])));
+
+        // A mapping missing the common variable forces the schemaless
+        // fallback; it joins with everything on the other side.
+        let c = MappingSet::from_mappings([
+            m(&[("y", (2, 3))]),
+            m(&[("z", (1, 1))]), // no y: compatible with both a-mappings
+        ]);
+        let j2 = a.join(&c);
+        assert_eq!(j2.len(), 3);
+    }
+
+    #[test]
     fn join_is_commutative_and_associative_on_samples() {
-        let a = MappingSet::from_mappings([m(&[("x", (1, 2))]), m(&[("x", (2, 3)), ("y", (1, 1))])]);
+        let a =
+            MappingSet::from_mappings([m(&[("x", (1, 2))]), m(&[("x", (2, 3)), ("y", (1, 1))])]);
         let b = MappingSet::from_mappings([m(&[("y", (1, 1))]), m(&[("z", (3, 4))])]);
         let c = MappingSet::from_mappings([m(&[("x", (1, 2)), ("z", (3, 4))])]);
         assert_eq!(a.join(&b), b.join(&a));

@@ -81,10 +81,7 @@ impl Span {
     /// Empty spans carry no content, so they never overlap anything.
     #[inline]
     pub fn overlaps(&self, other: &Span) -> bool {
-        !self.is_empty()
-            && !other.is_empty()
-            && self.start < other.end
-            && other.start < self.end
+        !self.is_empty() && !other.is_empty() && self.start < other.end && other.start < self.end
     }
 
     /// Concatenates two adjacent spans `[i, j⟩` and `[j, k⟩` into `[i, k⟩`.

@@ -1,39 +1,96 @@
 //! Capture variables and ordered variable sets.
 
+use crate::interner::{Interner, VarId};
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 
 /// A capture variable (an element of the countably infinite set `Vars`).
 ///
-/// Variables are identified by name. Cloning is cheap (reference-counted),
-/// and the ordering is the lexicographic ordering of names, which gives every
-/// structure built on top of variables a deterministic iteration order.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Variable(Arc<str>);
+/// Variables are identified by name, but every name is registered in the
+/// process-wide [`Interner`] at construction time: equality and hashing work
+/// on the interned [`VarId`] (a `u32`), never on the string. Cloning is
+/// cheap (one `Arc` bump), and the *ordering* is still the lexicographic
+/// ordering of names, which gives every structure built on top of variables
+/// a deterministic iteration order across runs.
+#[derive(Clone)]
+pub struct Variable {
+    name: Arc<str>,
+    id: VarId,
+}
 
 impl Variable {
     /// Creates (or references) the variable with the given name.
     pub fn new(name: impl AsRef<str>) -> Self {
-        Variable(Arc::from(name.as_ref()))
+        let (id, name) = Interner::intern(name.as_ref());
+        Variable { name, id }
     }
 
     /// The variable's name.
     #[inline]
     pub fn name(&self) -> &str {
-        &self.0
+        &self.name
+    }
+
+    /// The interned id of the variable (process-wide, not stable across
+    /// runs — use the name for anything serialized).
+    #[inline]
+    pub fn id(&self) -> VarId {
+        self.id
+    }
+
+    /// Reconstructs the variable behind an interned id.
+    pub fn from_id(id: VarId) -> Variable {
+        Variable {
+            name: Interner::resolve(id),
+            id,
+        }
+    }
+}
+
+impl PartialEq for Variable {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+impl Eq for Variable {}
+
+impl std::hash::Hash for Variable {
+    #[inline]
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+impl Ord for Variable {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.id == other.id {
+            std::cmp::Ordering::Equal
+        } else {
+            self.name.cmp(&other.name)
+        }
+    }
+}
+
+impl PartialOrd for Variable {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
     }
 }
 
 impl fmt::Debug for Variable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "${}", self.0)
+        write!(f, "${}", self.name)
     }
 }
 
 impl fmt::Display for Variable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.name)
     }
 }
 
@@ -71,6 +128,10 @@ impl VarSet {
     }
 
     /// Builds a variable set from anything iterable over variables.
+    ///
+    /// Unlike the `FromIterator` impl, this accepts anything convertible
+    /// into a variable (`&str`, `String`, …), hence the inherent method.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I, V>(iter: I) -> Self
     where
         I: IntoIterator<Item = V>,
@@ -157,7 +218,10 @@ impl VarSet {
     pub fn subsets(&self) -> impl Iterator<Item = VarSet> + '_ {
         let elems: Vec<Variable> = self.to_vec();
         let n = elems.len();
-        assert!(n < 32, "subsets() is only intended for small (bounded) sets");
+        assert!(
+            n < 32,
+            "subsets() is only intended for small (bounded) sets"
+        );
         (0u32..(1u32 << n)).map(move |mask| {
             VarSet::from_iter(
                 elems
@@ -213,6 +277,18 @@ mod tests {
         assert_ne!(x1, y);
         assert_eq!(x1.name(), "x");
         assert_eq!(format!("{x1:?}"), "$x");
+    }
+
+    #[test]
+    fn interned_ids_follow_names() {
+        let x1 = var("x");
+        let x2 = var("x");
+        let y = var("y");
+        assert_eq!(x1.id(), x2.id());
+        assert_ne!(x1.id(), y.id());
+        let back = Variable::from_id(x1.id());
+        assert_eq!(back, x1);
+        assert_eq!(back.name(), "x");
     }
 
     #[test]

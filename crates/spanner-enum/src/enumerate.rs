@@ -12,7 +12,7 @@
 use crate::matchgraph::MatchGraph;
 use crate::opset::OpSet;
 use spanner_core::{Document, Mapping, MappingSet, SpannerError, SpannerResult};
-use spanner_vset::{StateId, Vsa};
+use spanner_vset::{CompiledVsa, StateSet, Vsa};
 
 /// A lazily evaluated stream of the mappings of `VAW(d)`.
 pub struct Enumerator<'a> {
@@ -29,18 +29,30 @@ struct Frame {
     pos: u32,
     /// Candidate operation sets at this position, each with the automaton
     /// states reached after performing it.
-    candidates: Vec<(OpSet, Vec<StateId>)>,
+    candidates: Vec<(OpSet, StateSet)>,
     /// Index of the next candidate to try.
     next: usize,
 }
 
 impl<'a> Enumerator<'a> {
-    /// Creates an enumerator for `VAW(d)`.
+    /// Creates an enumerator for `VAW(d)`, compiling the automaton on the
+    /// fly.
     ///
     /// Fails if the automaton is not sequential or has too many variables for
-    /// the bitset representation.
+    /// the bitset representation. To evaluate the same automaton on many
+    /// documents, compile once with [`CompiledVsa::compile`] and use
+    /// [`Enumerator::from_compiled`].
     pub fn new(vsa: &'a Vsa, doc: &'a Document) -> SpannerResult<Self> {
-        let graph = MatchGraph::build(vsa, doc)?;
+        Self::with_graph(MatchGraph::build(vsa, doc)?)
+    }
+
+    /// Creates an enumerator over an already-compiled automaton (the
+    /// compile-once, evaluate-many path).
+    pub fn from_compiled(compiled: &'a CompiledVsa, doc: &'a Document) -> SpannerResult<Self> {
+        Self::with_graph(MatchGraph::from_compiled(compiled, doc)?)
+    }
+
+    fn with_graph(graph: MatchGraph<'a>) -> SpannerResult<Self> {
         let mut e = Enumerator {
             graph,
             stack: Vec::new(),
@@ -48,7 +60,8 @@ impl<'a> Enumerator<'a> {
             finished: false,
         };
         if e.graph.is_nonempty() {
-            let initial = vec![e.graph.vsa.initial()];
+            let compiled = e.graph.compiled();
+            let initial = StateSet::from_states(compiled.state_count(), [compiled.initial()]);
             let candidates = e.graph.op_closures(1, &initial);
             e.stack.push(Frame {
                 pos: 1,
@@ -125,12 +138,15 @@ impl<'a> Iterator for Enumerator<'a> {
 ///
 /// Prefer [`Enumerator`] when the result may be large.
 pub fn evaluate(vsa: &Vsa, doc: &Document) -> SpannerResult<MappingSet> {
-    let e = Enumerator::new(vsa, doc)?;
-    let mut out = MappingSet::new();
-    for m in e {
-        out.insert(m?);
-    }
-    Ok(out)
+    let mappings: Vec<Mapping> = Enumerator::new(vsa, doc)?.collect::<SpannerResult<_>>()?;
+    Ok(MappingSet::from_mappings(mappings))
+}
+
+/// Enumerates `VAW(d)` for an already-compiled automaton.
+pub fn evaluate_compiled(compiled: &CompiledVsa, doc: &Document) -> SpannerResult<MappingSet> {
+    let mappings: Vec<Mapping> =
+        Enumerator::from_compiled(compiled, doc)?.collect::<SpannerResult<_>>()?;
+    Ok(MappingSet::from_mappings(mappings))
 }
 
 /// Whether `VAW(d)` is nonempty (polynomial time; Theorem 2.5's
@@ -239,7 +255,10 @@ mod tests {
 
         let many = compile(&parse(".*{x:.*}.*").unwrap());
         // |d| = 4 ⇒ 15 spans.
-        assert_eq!(count_mappings(&many, &Document::new("abcd"), 100).unwrap(), 15);
+        assert_eq!(
+            count_mappings(&many, &Document::new("abcd"), 100).unwrap(),
+            15
+        );
         // The limit caps the work.
         assert_eq!(count_mappings(&many, &Document::new("abcd"), 7).unwrap(), 7);
     }
@@ -247,7 +266,7 @@ mod tests {
     #[test]
     fn lazy_iteration_yields_incrementally() {
         let vsa = compile(&parse(".*{x:.*}.*").unwrap());
-        let doc = Document::new(&"a".repeat(40));
+        let doc = Document::new("a".repeat(40));
         let mut e = Enumerator::new(&vsa, &doc).unwrap();
         // Pull just a few mappings from a large result set.
         for _ in 0..5 {

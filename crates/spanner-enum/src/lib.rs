@@ -30,6 +30,8 @@ pub mod enumerate;
 pub mod matchgraph;
 pub mod opset;
 
-pub use enumerate::{count_mappings, evaluate, evaluate_rgx, is_nonempty, Enumerator};
+pub use enumerate::{
+    count_mappings, evaluate, evaluate_compiled, evaluate_rgx, is_nonempty, Enumerator,
+};
 pub use matchgraph::MatchGraph;
 pub use opset::{OpSet, OpTable, MAX_VARS};

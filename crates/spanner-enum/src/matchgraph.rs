@@ -5,106 +5,153 @@
 //! Theorem 4.8) has one node per pair `(position, state)`. The enumerator of
 //! this crate and the ad-hoc difference constructions of `spanner-algebra`
 //! both work on top of it.
+//!
+//! Since the compiled-engine rework, the graph is built on a
+//! [`CompiledVsa`]: ε-reachability comes from precomputed closures instead
+//! of per-position graph searches, per-position state sets (coaccessibility
+//! and usefulness certificates) are [`StateSet`] bitsets, and letter
+//! transitions dispatch through the byte-class tables. Building the graph
+//! from a borrowed `&Vsa` compiles on the fly; callers that evaluate the
+//! same automaton on many documents should compile once and use
+//! [`MatchGraph::from_compiled`].
 
 use crate::opset::{OpSet, OpTable};
-use spanner_core::{Document, SpannerError, SpannerResult};
-use spanner_vset::{analysis, Label, StateId, Vsa};
-use std::collections::HashMap;
+use spanner_core::{Document, SpannerError, SpannerResult, VarSet};
+use spanner_vset::{CompiledVsa, StateId, StateSet, Vsa};
+use std::borrow::Cow;
 
 /// The match graph of an automaton on a document.
 pub struct MatchGraph<'a> {
-    /// The (trimmed) automaton.
-    pub vsa: &'a Vsa,
+    /// The compiled automaton (owned when built from a `&Vsa`).
+    compiled: Cow<'a, CompiledVsa>,
     /// The document.
     pub doc: &'a Document,
     /// Operation-bit table over `Vars(A)`.
     pub ops: OpTable,
-    /// `coaccessible[p - 1][q]`: whether some accepting configuration is
-    /// reachable from state `q` at position `p` (1-based positions up to
+    /// `coaccessible[p - 1]`: the states from which some accepting
+    /// configuration is reachable at position `p` (1-based positions up to
     /// `|d| + 1`).
-    coaccessible: Vec<Vec<bool>>,
+    coaccessible: Vec<StateSet>,
+    /// `useful[p - 1]`: the states that *immediately* progress at position
+    /// `p` — for `p ≤ |d|` those with a letter transition on `d[p]` into a
+    /// co-accessible state of `p + 1`, for `p = |d| + 1` the accepting
+    /// states.
+    useful: Vec<StateSet>,
 }
 
 impl<'a> MatchGraph<'a> {
-    /// Builds the match graph.
+    /// Builds the match graph, compiling the automaton on the fly.
     ///
     /// The automaton must be sequential (Theorem 2.5's precondition); this is
     /// checked and an error is returned otherwise.
     pub fn build(vsa: &'a Vsa, doc: &'a Document) -> SpannerResult<Self> {
-        if !analysis::is_sequential(vsa) {
+        Self::new(Cow::Owned(CompiledVsa::compile(vsa)), doc)
+    }
+
+    /// Builds the match graph over an already-compiled automaton
+    /// (the compile-once, evaluate-many path).
+    pub fn from_compiled(compiled: &'a CompiledVsa, doc: &'a Document) -> SpannerResult<Self> {
+        Self::new(Cow::Borrowed(compiled), doc)
+    }
+
+    fn new(compiled: Cow<'a, CompiledVsa>, doc: &'a Document) -> SpannerResult<Self> {
+        if !compiled.is_sequential() {
             return Err(SpannerError::requirement(
                 "sequential",
                 "polynomial-delay enumeration requires a sequential vset-automaton",
             ));
         }
-        let ops = OpTable::new(vsa.vars())?;
+        let ops = OpTable::new(&VarSet::from_iter(
+            compiled.var_table().vars().iter().cloned(),
+        ))?;
+        // `op_closures` encodes operation bits from the compiled `VarTable`
+        // index while `ops` decodes them by its own index; both are in name
+        // order today, but the encoding is only correct while they agree.
+        assert_eq!(
+            ops.vars(),
+            compiled.var_table().vars(),
+            "OpTable and VarTable must index variables identically"
+        );
         let n = doc.len();
-        let states = vsa.state_count();
+        let states = compiled.state_count();
 
-        // Backward dynamic programming over positions.
-        // `zero_reach[q]` = states reachable from q via ε / variable ops only.
-        let zero_reach: Vec<Vec<StateId>> = (0..states)
-            .map(|q| {
-                let mut seen = vec![false; states];
-                let mut stack = vec![q];
-                seen[q] = true;
-                let mut out = vec![q];
-                while let Some(s) = stack.pop() {
-                    for t in vsa.transitions_from(s) {
-                        if !t.label.consumes_input() && !seen[t.target] {
-                            seen[t.target] = true;
-                            stack.push(t.target);
-                            out.push(t.target);
-                        }
-                    }
-                }
-                out
-            })
-            .collect();
-
-        let mut coaccessible = vec![vec![false; states]; n + 1];
+        // Backward dynamic programming over positions, on bitsets.
+        let mut coaccessible: Vec<StateSet> = vec![StateSet::new(states); n + 1];
+        let mut useful: Vec<StateSet> = vec![StateSet::new(states); n + 1];
         // Position n + 1: co-accessible iff an accepting state is reachable
-        // without consuming input.
+        // without consuming input; immediately useful iff accepting.
+        useful[n] = compiled.accepting().clone();
         for q in 0..states {
-            coaccessible[n][q] = zero_reach[q].iter().any(|&r| vsa.is_accepting(r));
+            if compiled.accepts_without_input(q) {
+                coaccessible[n].insert(q);
+            }
         }
-        // Positions n .. 1: reachable-without-input to a state with a letter
-        // transition on d[p] into a co-accessible state at p + 1.
+        // Positions n .. 1: a state is useful if some letter transition on
+        // d[p] reaches a co-accessible state of p + 1, and co-accessible if
+        // its zero closure contains a useful state. The step is a pure
+        // function of (byte class, co-accessible set at p + 1) — and the
+        // co-accessible sets saturate quickly on real documents — so the
+        // computed transitions are memoized; on homogeneous documents the
+        // backward pass degenerates to memo lookups.
+        let mut memo: spanner_core::FxHashMap<(usize, StateSet), (StateSet, StateSet)> =
+            spanner_core::FxHashMap::default();
         for p in (1..=n).rev() {
             let symbol = doc.symbol_at(p as u32).expect("position in range");
-            for q in 0..states {
-                let ok = zero_reach[q].iter().any(|&r| {
-                    vsa.transitions_from(r).iter().any(|t| match &t.label {
-                        Label::Class(c) => c.contains(symbol) && coaccessible[p][t.target],
-                        _ => false,
-                    })
-                });
-                coaccessible[p - 1][q] = ok;
+            let class = compiled.class_of(symbol);
+            let key = (class, coaccessible[p].clone());
+            if let Some((step_ok, coacc)) = memo.get(&key) {
+                useful[p - 1] = step_ok.clone();
+                coaccessible[p - 1] = coacc.clone();
+                continue;
             }
+            let mut step_ok = StateSet::new(states);
+            for r in 0..states {
+                if compiled
+                    .byte_targets(r, class)
+                    .iter()
+                    .any(|&t| coaccessible[p].contains(t))
+                {
+                    step_ok.insert(r);
+                }
+            }
+            for q in 0..states {
+                if compiled.zero_closure(q).intersects(&step_ok) {
+                    coaccessible[p - 1].insert(q);
+                }
+            }
+            memo.insert(key, (step_ok.clone(), coaccessible[p - 1].clone()));
+            useful[p - 1] = step_ok;
         }
 
         Ok(MatchGraph {
-            vsa,
+            compiled,
             doc,
             ops,
             coaccessible,
+            useful,
         })
+    }
+
+    /// The compiled automaton driving the graph.
+    #[inline]
+    pub fn compiled(&self) -> &CompiledVsa {
+        &self.compiled
     }
 
     /// Whether state `q` at position `pos` can still reach acceptance.
     #[inline]
     pub fn is_coaccessible(&self, pos: u32, q: StateId) -> bool {
-        self.coaccessible[pos as usize - 1][q]
+        self.coaccessible[pos as usize - 1].contains(q)
     }
 
     /// Whether the automaton has any valid accepting run on the document.
     pub fn is_nonempty(&self) -> bool {
-        self.is_coaccessible(1, self.vsa.initial())
+        self.is_coaccessible(1, self.compiled.initial())
     }
 
     /// Computes, from the set `from` of states at position `pos`, every pair
-    /// `(op_set, state)` reachable by performing exactly `op_set` (via ε and
-    /// variable-operation transitions, no operation twice) such that the
+    /// `(op_set, states)` reachable by performing exactly `op_set` (via ε and
+    /// variable-operation transitions, no operation twice) such that some
     /// reached state is useful:
     ///
     /// * if `pos ≤ |d|`: the state has a letter transition on `d[pos]` into a
@@ -113,66 +160,73 @@ impl<'a> MatchGraph<'a> {
     ///
     /// The result groups, for every such useful operation set, the full set
     /// of reachable states (useful or not — they matter for later
-    /// positions).
-    pub fn op_closures(&self, pos: u32, from: &[StateId]) -> Vec<(OpSet, Vec<StateId>)> {
-        let n = self.doc.len() as u32;
-        // Explore (state, opset) pairs.
-        let mut seen: HashMap<(StateId, OpSet), ()> = HashMap::new();
-        let mut stack: Vec<(StateId, OpSet)> = Vec::new();
-        for &q in from {
-            if seen.insert((q, OpSet::EMPTY), ()).is_none() {
-                stack.push((q, OpSet::EMPTY));
+    /// positions), in a canonical order.
+    pub fn op_closures(&self, pos: u32, from: &StateSet) -> Vec<(OpSet, StateSet)> {
+        let compiled = &*self.compiled;
+        let states = compiled.state_count();
+        let useful = &self.useful[pos as usize - 1];
+
+        // The ε-closure of the frontier: the states reachable with the empty
+        // operation set.
+        let mut closure = StateSet::new(states);
+        for q in from.iter() {
+            closure.union_with(compiled.eps_closure(q));
+        }
+
+        // Fast path: no reachable state can perform a variable operation —
+        // the overwhelmingly common case on positions away from match
+        // boundaries. The only candidate operation set is ∅.
+        if !closure.intersects(compiled.states_with_var_ops()) {
+            if closure.intersects(useful) {
+                return vec![(OpSet::EMPTY, closure)];
             }
+            return Vec::new();
         }
-        // opset -> (states reached, any useful state reached)
-        let mut by_set: HashMap<OpSet, (Vec<StateId>, bool)> = HashMap::new();
-        let record = |q: StateId, set: OpSet, by_set: &mut HashMap<OpSet, (Vec<StateId>, bool)>| {
-            let entry = by_set.entry(set).or_default();
-            entry.0.push(q);
-            let useful = if pos == n + 1 {
-                self.vsa.is_accepting(q)
-            } else {
-                let symbol = self.doc.symbol_at(pos).expect("position in range");
-                self.vsa.transitions_from(q).iter().any(|t| match &t.label {
-                    Label::Class(c) => c.contains(symbol) && self.is_coaccessible(pos + 1, t.target),
-                    _ => false,
-                })
-            };
-            entry.1 |= useful;
-        };
-        for &q in from {
-            record(q, OpSet::EMPTY, &mut by_set);
-        }
+
+        // Slow path: explore (state, opset) pairs. Visited states are
+        // tracked per operation set in `by_set` (a linear scan — the number
+        // of distinct sets per position is small); ε-moves are collapsed
+        // through the precomputed ε-closures, so the stack only carries
+        // genuine operation steps.
+        let mut by_set: Vec<(OpSet, StateSet, bool)> = Vec::new();
+        by_set.push((OpSet::EMPTY, closure, false));
+        by_set[0].2 = by_set[0].1.intersects(useful);
+        let mut stack: Vec<(StateId, OpSet)> = by_set[0]
+            .1
+            .iter()
+            .filter(|&q| compiled.has_var_ops(q))
+            .map(|q| (q, OpSet::EMPTY))
+            .collect();
+
         while let Some((q, set)) = stack.pop() {
-            for t in self.vsa.transitions_from(q) {
-                let next_set = match &t.label {
-                    Label::Epsilon => set,
-                    Label::Open(v) => {
-                        let bit = self.ops.open_bit(v).expect("variable registered");
-                        if set.contains(bit) {
-                            continue;
-                        }
-                        set.with(bit)
+            for &(op, target) in compiled.var_ops(q) {
+                let bit = 1u64 << (2 * op.var as u64 + u64::from(op.is_close));
+                if set.contains(bit) {
+                    continue;
+                }
+                let next_set = set.with(bit);
+                let slot = match by_set.iter().position(|(s, _, _)| *s == next_set) {
+                    Some(slot) => slot,
+                    None => {
+                        by_set.push((next_set, StateSet::new(states), false));
+                        by_set.len() - 1
                     }
-                    Label::Close(v) => {
-                        let bit = self.ops.close_bit(v).expect("variable registered");
-                        if set.contains(bit) {
-                            continue;
-                        }
-                        set.with(bit)
-                    }
-                    Label::Class(_) => continue,
                 };
-                if seen.insert((t.target, next_set), ()).is_none() {
-                    record(t.target, next_set, &mut by_set);
-                    stack.push((t.target, next_set));
+                for r in compiled.eps_closure(target).iter() {
+                    if by_set[slot].1.insert(r) {
+                        by_set[slot].2 |= useful.contains(r);
+                        if compiled.has_var_ops(r) {
+                            stack.push((r, next_set));
+                        }
+                    }
                 }
             }
         }
-        let mut out: Vec<(OpSet, Vec<StateId>)> = by_set
+
+        let mut out: Vec<(OpSet, StateSet)> = by_set
             .into_iter()
-            .filter(|(_, (_, useful))| *useful)
-            .map(|(set, (states, _))| (set, states))
+            .filter(|(_, _, useful)| *useful)
+            .map(|(set, states, _)| (set, states))
             .collect();
         // Canonical (deterministic) order of candidates.
         out.sort_by_key(|(set, _)| *set);
@@ -181,24 +235,11 @@ impl<'a> MatchGraph<'a> {
 
     /// Advances a set of states over the letter at `pos` (1-based, `≤ |d|`),
     /// keeping only co-accessible successors.
-    pub fn advance(&self, pos: u32, states: &[StateId]) -> Vec<StateId> {
+    pub fn advance(&self, pos: u32, states: &StateSet) -> StateSet {
         let symbol = self.doc.symbol_at(pos).expect("position in range");
-        let mut out: Vec<StateId> = Vec::new();
-        let mut seen = vec![false; self.vsa.state_count()];
-        for &q in states {
-            for t in self.vsa.transitions_from(q) {
-                if let Label::Class(c) = &t.label {
-                    if c.contains(symbol)
-                        && self.is_coaccessible(pos + 1, t.target)
-                        && !seen[t.target]
-                    {
-                        seen[t.target] = true;
-                        out.push(t.target);
-                    }
-                }
-            }
-        }
-        out.sort_unstable();
+        let mut out = StateSet::new(self.compiled.state_count());
+        self.compiled.step_frontier(states, symbol, &mut out);
+        out.intersect_with(&self.coaccessible[pos as usize]);
         out
     }
 }
@@ -224,6 +265,7 @@ mod tests {
     #[test]
     fn non_sequential_automata_are_rejected() {
         use spanner_core::Variable;
+        use spanner_vset::Label;
         let mut a = Vsa::new();
         let q1 = a.add_state();
         a.add_transition(0, Label::Open(Variable::new("x")), q1);
@@ -234,18 +276,35 @@ mod tests {
 
     #[test]
     fn op_closures_enumerate_candidate_sets() {
-        // ({x:a})?a* on "a": at position 1 the useful op sets are ∅ (skip x)
-        // and {x⊢} is not complete without the close... the closures group
-        // whole per-position op sets, so the useful sets are ∅, {x⊢}, and
-        // {x⊢, ⊣x} (empty capture).
+        // ({x:a})?a* on "a": the closures group whole per-position op sets,
+        // so the useful sets are ∅, {x⊢}, and {x⊢, ⊣x} (empty capture).
         let a = compile(&parse("({x:a})?a*").unwrap());
         let doc = Document::new("a");
         let g = MatchGraph::build(&a, &doc).unwrap();
-        let closures = g.op_closures(1, &[a.initial()]);
+        let initial = StateSet::from_states(g.compiled().state_count(), [g.compiled().initial()]);
+        let closures = g.op_closures(1, &initial);
         assert!(!closures.is_empty());
         // All candidate sets must be distinct.
         let mut sets: Vec<OpSet> = closures.iter().map(|(s, _)| *s).collect();
         sets.dedup();
         assert_eq!(sets.len(), closures.len());
+    }
+
+    #[test]
+    fn borrowed_and_owned_compilation_agree() {
+        let a = compile(&parse("a{x:b*}c").unwrap());
+        let compiled = CompiledVsa::compile(&a);
+        let doc = Document::new("abbc");
+        let owned = MatchGraph::build(&a, &doc).unwrap();
+        let borrowed = MatchGraph::from_compiled(&compiled, &doc).unwrap();
+        assert_eq!(owned.is_nonempty(), borrowed.is_nonempty());
+        for pos in 1..=5u32 {
+            for q in 0..a.state_count() {
+                assert_eq!(
+                    owned.is_coaccessible(pos, q),
+                    borrowed.is_coaccessible(pos, q)
+                );
+            }
+        }
     }
 }

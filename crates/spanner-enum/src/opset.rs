@@ -1,6 +1,6 @@
 //! Compact representation of sets of variable operations.
 
-use spanner_core::{SpannerError, SpannerResult, Span, Variable, VarSet};
+use spanner_core::{Span, SpannerError, SpannerResult, VarSet, Variable};
 use std::collections::BTreeMap;
 
 /// Maximum number of variables a single automaton may use with the bitset
@@ -62,7 +62,9 @@ impl OpTable {
                 actual: vars.len(),
             });
         }
-        Ok(OpTable { vars: vars.to_vec() })
+        Ok(OpTable {
+            vars: vars.to_vec(),
+        })
     }
 
     /// Number of variables.

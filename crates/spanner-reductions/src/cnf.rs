@@ -22,7 +22,10 @@ pub struct Literal {
 impl Literal {
     /// A positive literal.
     pub fn pos(var: usize) -> Literal {
-        Literal { var, positive: true }
+        Literal {
+            var,
+            positive: true,
+        }
     }
 
     /// A negative literal.
@@ -95,11 +98,9 @@ impl Cnf {
     /// Whether an assignment (indexed `1..=num_vars`; index 0 unused)
     /// satisfies the formula.
     pub fn is_satisfied_by(&self, assignment: &[bool]) -> bool {
-        self.clauses.iter().all(|clause| {
-            clause
-                .iter()
-                .any(|l| l.satisfied_by(assignment[l.var]))
-        })
+        self.clauses
+            .iter()
+            .all(|clause| clause.iter().any(|l| l.satisfied_by(assignment[l.var])))
     }
 
     /// Whether every clause has at most `k` literals.
@@ -159,12 +160,7 @@ impl Cnf {
         if !current.is_empty() {
             clauses.push(current);
         }
-        let max_var = clauses
-            .iter()
-            .flatten()
-            .map(|l| l.var)
-            .max()
-            .unwrap_or(0);
+        let max_var = clauses.iter().flatten().map(|l| l.var).max().unwrap_or(0);
         let mut cnf = Cnf::new(num_vars.max(max_var));
         for c in clauses {
             cnf.add_clause(c);

@@ -56,9 +56,8 @@ pub fn join_hardness_instance(cnf: &Cnf) -> JoinInstance {
     // the whole "false row" of capture variables for xi.
     let mut gamma1_parts: Vec<Rgx> = Vec::with_capacity(n + 1);
     for i in 1..=n {
-        let row = |positive: bool| {
-            Rgx::concat((1..=m).map(|j| capture_eps(var_name(i, j, positive))))
-        };
+        let row =
+            |positive: bool| Rgx::concat((1..=m).map(|j| capture_eps(var_name(i, j, positive))));
         gamma1_parts.push(Rgx::union([row(true), row(false)]));
     }
     gamma1_parts.push(Rgx::symbol(b'a'));
@@ -105,8 +104,16 @@ pub fn difference_hardness_instance(cnf: &Cnf) -> DifferenceInstance {
     let mut disjuncts: Vec<Rgx> = Vec::new();
     for clause in &cnf.clauses {
         // A clause containing complementary literals cannot be falsified.
-        let positive: BTreeSet<usize> = clause.iter().filter(|l| l.positive).map(|l| l.var).collect();
-        let negative: BTreeSet<usize> = clause.iter().filter(|l| !l.positive).map(|l| l.var).collect();
+        let positive: BTreeSet<usize> = clause
+            .iter()
+            .filter(|l| l.positive)
+            .map(|l| l.var)
+            .collect();
+        let negative: BTreeSet<usize> = clause
+            .iter()
+            .filter(|l| !l.positive)
+            .map(|l| l.var)
+            .collect();
         if positive.intersection(&negative).next().is_some() {
             continue;
         }
@@ -164,9 +171,8 @@ pub fn weighted_difference_instance(cnf: &Cnf, k: usize) -> SpannerResult<Differ
         let (lo, hi) = symbol_of(i);
         Rgx::concat([Rgx::symbol(hi), Rgx::symbol(lo)])
     };
-    let block_class = |allowed: &dyn Fn(usize) -> bool| {
-        Rgx::union((1..=n).filter(|i| allowed(*i)).map(block))
-    };
+    let block_class =
+        |allowed: &dyn Fn(usize) -> bool| Rgx::union((1..=n).filter(|i| allowed(*i)).map(block));
     let any_block = block_class(&|_| true);
     let y_name = |u: usize| format!("y{u}");
 
@@ -181,8 +187,16 @@ pub fn weighted_difference_instance(cnf: &Cnf, k: usize) -> SpannerResult<Differ
     // α₂ = ∨_j α_{C_j}: weight-k selections that falsify clause j.
     let mut disjuncts: Vec<Rgx> = Vec::new();
     for clause in &cnf.clauses {
-        let positive: BTreeSet<usize> = clause.iter().filter(|l| l.positive).map(|l| l.var).collect();
-        let negative: BTreeSet<usize> = clause.iter().filter(|l| !l.positive).map(|l| l.var).collect();
+        let positive: BTreeSet<usize> = clause
+            .iter()
+            .filter(|l| l.positive)
+            .map(|l| l.var)
+            .collect();
+        let negative: BTreeSet<usize> = clause
+            .iter()
+            .filter(|l| !l.positive)
+            .map(|l| l.var)
+            .collect();
         if positive.intersection(&negative).next().is_some() {
             continue;
         }
@@ -265,8 +279,16 @@ pub fn bounded_occurrence_difference_instance(cnf: &Cnf) -> DifferenceInstance {
     // of the clauses that mention it).
     let mut disjuncts: Vec<Rgx> = Vec::new();
     for clause in &cnf.clauses {
-        let positive: BTreeSet<usize> = clause.iter().filter(|l| l.positive).map(|l| l.var).collect();
-        let negative: BTreeSet<usize> = clause.iter().filter(|l| !l.positive).map(|l| l.var).collect();
+        let positive: BTreeSet<usize> = clause
+            .iter()
+            .filter(|l| l.positive)
+            .map(|l| l.var)
+            .collect();
+        let negative: BTreeSet<usize> = clause
+            .iter()
+            .filter(|l| !l.positive)
+            .map(|l| l.var)
+            .collect();
         if positive.intersection(&negative).next().is_some() {
             continue;
         }

@@ -249,7 +249,10 @@ mod tests {
             Rgx::symbol(b'a')
         );
         // (α*)* = α*, ∅* = ε* = ε.
-        assert_eq!(Rgx::star(Rgx::star(Rgx::symbol(b'a'))), Rgx::star(Rgx::symbol(b'a')));
+        assert_eq!(
+            Rgx::star(Rgx::star(Rgx::symbol(b'a'))),
+            Rgx::star(Rgx::symbol(b'a'))
+        );
         assert_eq!(Rgx::star(Rgx::Empty), Rgx::Epsilon);
     }
 
@@ -257,7 +260,10 @@ mod tests {
     fn vars_collects_all_occurrences() {
         let r = Rgx::concat([
             Rgx::capture("x", Rgx::any_string()),
-            Rgx::union([Rgx::capture("y", Rgx::Epsilon), Rgx::capture("z", Rgx::Epsilon)]),
+            Rgx::union([
+                Rgx::capture("y", Rgx::Epsilon),
+                Rgx::capture("z", Rgx::Epsilon),
+            ]),
         ]);
         assert_eq!(r.vars(), VarSet::from_iter(["x", "y", "z"]));
         assert!(Rgx::any_string().vars().is_empty());

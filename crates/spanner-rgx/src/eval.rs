@@ -157,10 +157,8 @@ mod tests {
         let d = doc("baab");
         let result = reference_eval(&alpha, &d);
         // x can be any span consisting only of a's (including all empty spans).
-        let expected_spans: Vec<Span> = result
-            .iter()
-            .map(|m| m.get(&"x".into()).unwrap())
-            .collect();
+        let expected_spans: Vec<Span> =
+            result.iter().map(|m| m.get(&"x".into()).unwrap()).collect();
         assert!(expected_spans.contains(&Span::new(2, 4))); // "aa"
         assert!(expected_spans.contains(&Span::new(2, 3))); // "a"
         assert!(expected_spans.contains(&Span::empty(1)));
@@ -228,11 +226,11 @@ mod tests {
         ]);
         let d = doc("42x");
         let result = reference_eval(&alpha, &d);
-        let spans: BTreeSet<Span> = result.iter().map(|m| m.get(&"num".into()).unwrap()).collect();
-        assert_eq!(
-            spans,
-            BTreeSet::from([Span::new(1, 2), Span::new(1, 3)])
-        );
+        let spans: BTreeSet<Span> = result
+            .iter()
+            .map(|m| m.get(&"num".into()).unwrap())
+            .collect();
+        assert_eq!(spans, BTreeSet::from([Span::new(1, 2), Span::new(1, 3)]));
     }
 
     #[test]

@@ -184,7 +184,10 @@ impl<'a> Parser<'a> {
         loop {
             match self.peek() {
                 None => {
-                    return Err(SpannerError::parse("unterminated character class", self.pos))
+                    return Err(SpannerError::parse(
+                        "unterminated character class",
+                        self.pos,
+                    ))
                 }
                 Some(b']') => {
                     self.bump();
@@ -195,7 +198,8 @@ impl<'a> Parser<'a> {
                     match lo {
                         ClassItem::Class(c) => class = class.union(&c),
                         ClassItem::Byte(lo) => {
-                            if self.peek() == Some(b'-') && self.bytes.get(self.pos + 1) != Some(&b']')
+                            if self.peek() == Some(b'-')
+                                && self.bytes.get(self.pos + 1) != Some(&b']')
                             {
                                 self.bump(); // '-'
                                 match self.parse_class_byte()? {
@@ -223,7 +227,10 @@ impl<'a> Parser<'a> {
 
     fn parse_class_byte(&mut self) -> SpannerResult<ClassItem> {
         match self.bump() {
-            None => Err(SpannerError::parse("unterminated character class", self.pos)),
+            None => Err(SpannerError::parse(
+                "unterminated character class",
+                self.pos,
+            )),
             Some(b'\\') => Ok(ClassItem::from_escape(self.parse_escape()?)),
             Some(b) => Ok(ClassItem::Byte(b)),
         }
@@ -304,10 +311,7 @@ mod tests {
     #[test]
     fn alternation_binds_weakest() {
         let r = parse("ab|cd").unwrap();
-        assert_eq!(
-            r,
-            Rgx::Union(vec![Rgx::literal("ab"), Rgx::literal("cd")])
-        );
+        assert_eq!(r, Rgx::Union(vec![Rgx::literal("ab"), Rgx::literal("cd")]));
     }
 
     #[test]
@@ -332,7 +336,10 @@ mod tests {
             parse("[^a]").unwrap(),
             Rgx::Class(ByteClass::single(b'a').complement())
         );
-        assert_eq!(parse(r"[\d]").unwrap(), Rgx::Class(ByteClass::ascii_digit()));
+        assert_eq!(
+            parse(r"[\d]").unwrap(),
+            Rgx::Class(ByteClass::ascii_digit())
+        );
         assert_eq!(parse(r"\w").unwrap(), Rgx::Class(ByteClass::ascii_word()));
         assert_eq!(parse("[a-]").unwrap(), Rgx::Class(ByteClass::of(b"a-")));
     }
@@ -382,9 +389,8 @@ mod tests {
         ] {
             let first = parse(src).unwrap();
             let printed = format!("{first}");
-            let second = parse(&printed).unwrap_or_else(|e| {
-                panic!("re-parsing {printed:?} (from {src:?}) failed: {e}")
-            });
+            let second = parse(&printed)
+                .unwrap_or_else(|e| panic!("re-parsing {printed:?} (from {src:?}) failed: {e}"));
             // Compare semantics on a small document rather than ASTs (the
             // printer may introduce harmless structural changes).
             let doc = Document::new("ab cab");

@@ -204,7 +204,9 @@ pub fn is_semi_functional_for(a: &Vsa, x: &Variable) -> bool {
     trimmed.states().all(|q| {
         matches!(
             sets[q].extended_config(),
-            Some(ExtendedConfig::Unseen) | Some(ExtendedConfig::Open) | Some(ExtendedConfig::Closed)
+            Some(ExtendedConfig::Unseen)
+                | Some(ExtendedConfig::Open)
+                | Some(ExtendedConfig::Closed)
         )
     })
 }
@@ -242,7 +244,9 @@ pub fn is_synchronized_for(a: &Vsa, x: &Variable) -> bool {
     }
     let sets = reachable_statuses(&trimmed, x);
     let accepting: Vec<StateId> = trimmed.accepting_states();
-    let any_uses = accepting.iter().any(|&q| sets[q].closed || sets[q].open || sets[q].bad);
+    let any_uses = accepting
+        .iter()
+        .any(|&q| sets[q].closed || sets[q].open || sets[q].bad);
     let any_avoids = accepting.iter().any(|&q| sets[q].unseen);
     !(any_uses && any_avoids)
 }

@@ -138,7 +138,9 @@ impl Vsa {
 
     /// All accepting states.
     pub fn accepting_states(&self) -> Vec<StateId> {
-        (0..self.state_count()).filter(|&q| self.accepting[q]).collect()
+        (0..self.state_count())
+            .filter(|&q| self.accepting[q])
+            .collect()
     }
 
     /// Number of states.
@@ -229,6 +231,27 @@ impl Vsa {
     /// (state ids are renumbered). If the language is empty the result has a
     /// single non-accepting initial state.
     pub fn trim(&self) -> Vsa {
+        match self.keep_mask() {
+            None => Vsa::new(),
+            Some(keep) if keep.iter().all(|&k| k) => self.clone(),
+            Some(keep) => self.rebuild_keeping(&keep),
+        }
+    }
+
+    /// By-value [`Vsa::trim`]: when every state is useful (constructions
+    /// that prune dead states at generation time, like the join product,
+    /// usually end up here) the automaton is returned as-is, with no copy.
+    pub fn trimmed(self) -> Vsa {
+        match self.keep_mask() {
+            None => Vsa::new(),
+            Some(keep) if keep.iter().all(|&k| k) => self,
+            Some(keep) => self.rebuild_keeping(&keep),
+        }
+    }
+
+    /// The mask of useful (reachable and co-reachable) states, or `None` if
+    /// the initial state is useless (empty language).
+    fn keep_mask(&self) -> Option<Vec<bool>> {
         let n = self.state_count();
         // Forward reachability.
         let mut fwd = vec![false; n];
@@ -242,10 +265,21 @@ impl Vsa {
                 }
             }
         }
-        // Backward reachability from accepting states.
-        let mut reverse: Vec<Vec<StateId>> = vec![Vec::new(); n];
+        // Backward reachability from accepting states, over a flat (CSR)
+        // reverse adjacency — one allocation instead of one vector per
+        // state, which matters for the large products the join emits.
+        let mut offsets = vec![0usize; n + 1];
+        for (_, _, tgt) in self.all_transitions() {
+            offsets[tgt + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut reverse = vec![0 as StateId; offsets[n]];
+        let mut cursor = offsets.clone();
         for (src, _, tgt) in self.all_transitions() {
-            reverse[tgt].push(src);
+            reverse[cursor[tgt]] = src;
+            cursor[tgt] += 1;
         }
         let mut bwd = vec![false; n];
         let mut stack: Vec<StateId> = (0..n).filter(|&q| self.accepting[q]).collect();
@@ -253,7 +287,7 @@ impl Vsa {
             bwd[q] = true;
         }
         while let Some(q) = stack.pop() {
-            for &p in &reverse[q] {
+            for &p in &reverse[offsets[q]..offsets[q + 1]] {
                 if !bwd[p] {
                     bwd[p] = true;
                     stack.push(p);
@@ -263,25 +297,57 @@ impl Vsa {
         let keep: Vec<bool> = (0..n).map(|q| fwd[q] && bwd[q]).collect();
         if !keep[self.initial] {
             // Empty language.
-            return Vsa::new();
+            return None;
         }
+        Some(keep)
+    }
+
+    /// Rebuilds the automaton over the states selected by `keep`, bypassing
+    /// the per-transition bookkeeping of [`Vsa::add_transition`] (the keep
+    /// mask already validated the states, and the variable set is rebuilt in
+    /// one pass).
+    fn rebuild_keeping(&self, keep: &[bool]) -> Vsa {
+        let n = self.state_count();
         let mut remap = vec![usize::MAX; n];
-        let mut out = Vsa::new();
         remap[self.initial] = 0;
-        out.set_accepting(0, self.accepting[self.initial]);
+        let mut next = 1usize;
         for q in 0..n {
             if keep[q] && remap[q] == usize::MAX {
-                let id = out.add_state();
-                remap[q] = id;
-                out.set_accepting(id, self.accepting[q]);
+                remap[q] = next;
+                next += 1;
             }
         }
-        for (src, label, tgt) in self.all_transitions() {
-            if keep[src] && keep[tgt] {
-                out.add_transition(remap[src], label.clone(), remap[tgt]);
+        let mut transitions: Vec<Vec<Transition>> = vec![Vec::new(); next];
+        let mut accepting = vec![false; next];
+        let mut vars = VarSet::new();
+        for q in 0..n {
+            if !keep[q] {
+                continue;
+            }
+            accepting[remap[q]] = self.accepting[q];
+            let kept = &mut transitions[remap[q]];
+            kept.reserve(self.transitions[q].len());
+            for t in &self.transitions[q] {
+                if !keep[t.target] {
+                    continue;
+                }
+                if let Some(v) = t.label.variable() {
+                    if !vars.contains(v) {
+                        vars.insert(v.clone());
+                    }
+                }
+                kept.push(Transition {
+                    target: remap[t.target],
+                    label: t.label.clone(),
+                });
             }
         }
-        out
+        Vsa {
+            transitions,
+            initial: 0,
+            accepting,
+            vars,
+        }
     }
 
     /// Renders the automaton in Graphviz dot format (for debugging and
@@ -292,7 +358,11 @@ impl Vsa {
         let _ = writeln!(s, "digraph vsa {{\n  rankdir=LR;");
         let _ = writeln!(s, "  init [shape=point];");
         for q in self.states() {
-            let shape = if self.is_accepting(q) { "doublecircle" } else { "circle" };
+            let shape = if self.is_accepting(q) {
+                "doublecircle"
+            } else {
+                "circle"
+            };
             let _ = writeln!(s, "  q{q} [shape={shape}];");
         }
         let _ = writeln!(s, "  init -> q{};", self.initial);

@@ -134,7 +134,10 @@ pub fn determinize(a: &Vsa, max_states: usize) -> SpannerResult<Dfa> {
         let mut by_target: HashMap<BTreeSet<StateId>, ByteClass> = HashMap::new();
         for (b, mut targets) in by_byte {
             epsilon_closure(a, &mut targets);
-            by_target.entry(targets).or_insert_with(ByteClass::empty).insert(b);
+            by_target
+                .entry(targets)
+                .or_insert_with(ByteClass::empty)
+                .insert(b);
         }
         for (targets, class) in by_target {
             let to = match index.get(&targets) {
@@ -149,7 +152,8 @@ pub fn determinize(a: &Vsa, max_states: usize) -> SpannerResult<Dfa> {
                     }
                     let id = dfa.transitions.len();
                     dfa.transitions.push(Vec::new());
-                    dfa.accepting.push(targets.iter().any(|&q| a.is_accepting(q)));
+                    dfa.accepting
+                        .push(targets.iter().any(|&q| a.is_accepting(q)));
                     index.insert(targets.clone(), id);
                     work.push(targets);
                     id
@@ -279,8 +283,13 @@ mod tests {
         let a1 = nfa("(a|b)*");
         let a2 = nfa("(a|b)*ab(a|b)*");
         let diff = static_boolean_difference(&a1, &a2, 10_000).unwrap();
-        for (text, expect) in [("", true), ("ba", true), ("bbaa", true), ("ab", false), ("bab", false)]
-        {
+        for (text, expect) in [
+            ("", true),
+            ("ba", true),
+            ("bbaa", true),
+            ("ab", false),
+            ("bab", false),
+        ] {
             assert_eq!(diff.accepts(&Document::new(text)), expect, "{text:?}");
         }
     }

@@ -1,0 +1,517 @@
+//! The compiled evaluation engine: compile a [`Vsa`] once, evaluate many
+//! times on flat data.
+//!
+//! [`Vsa`] stays the canonical *construction-time* representation — unions,
+//! projections, products and trims all operate on it. Evaluation, however,
+//! pays for its pointer-chasing generality in every inner loop: scanning
+//! heterogeneous transition lists, re-deriving ε-reachability per position,
+//! and keeping state sets as sorted `Vec<StateId>`. [`CompiledVsa`] is the
+//! document-independent compilation that removes all of that:
+//!
+//! * **ε-closures** are precomputed per state, both the pure-ε closure and
+//!   the *zero closure* (ε and variable operations — everything that
+//!   consumes no input);
+//! * **letter transitions** are re-indexed through a dense 256-entry
+//!   byte-to-class table: the distinct [`ByteClass`] labels of the automaton
+//!   partition the byte alphabet into equivalence classes, and each state
+//!   stores one flat target list per class;
+//! * **variable operations** are split into per-state lists with the
+//!   variable resolved to a dense local index (via
+//!   [`spanner_core::VarTable`]), so downstream bitset code never touches a
+//!   name;
+//! * **state sets** are [`StateSet`] bitsets (`u64` blocks) with constant
+//!   per-block union/intersection, replacing sorted-vector scans.
+//!
+//! `spanner-enum`'s match graph and enumerator run entirely on this
+//! representation; `spanner-algebra` reuses those, so the whole stack
+//! evaluates through the compiled path.
+
+use crate::analysis::is_sequential;
+use crate::automaton::{Label, StateId, Vsa};
+use spanner_core::{VarTable, Variable};
+use std::collections::HashMap;
+
+/// A set of automaton states, stored as a bitset over `u64` blocks.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct StateSet {
+    blocks: Vec<u64>,
+}
+
+impl StateSet {
+    /// The empty set with capacity for `states` states.
+    pub fn new(states: usize) -> Self {
+        StateSet {
+            blocks: vec![0; states.div_ceil(64)],
+        }
+    }
+
+    /// Builds a set from an iterator of state ids.
+    pub fn from_states<I: IntoIterator<Item = StateId>>(states: usize, iter: I) -> Self {
+        let mut s = StateSet::new(states);
+        for q in iter {
+            s.insert(q);
+        }
+        s
+    }
+
+    /// Inserts a state; returns `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, q: StateId) -> bool {
+        let (block, bit) = (q / 64, 1u64 << (q % 64));
+        let fresh = self.blocks[block] & bit == 0;
+        self.blocks[block] |= bit;
+        fresh
+    }
+
+    /// Whether the set contains `q`.
+    #[inline]
+    pub fn contains(&self, q: StateId) -> bool {
+        self.blocks[q / 64] & (1u64 << (q % 64)) != 0
+    }
+
+    /// Removes every state.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.blocks.fill(0);
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Number of states in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// In-place union (`self ∪= other`). The sets must have equal capacity.
+    #[inline]
+    pub fn union_with(&mut self, other: &StateSet) {
+        debug_assert_eq!(self.blocks.len(), other.blocks.len());
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection (`self ∩= other`).
+    #[inline]
+    pub fn intersect_with(&mut self, other: &StateSet) {
+        debug_assert_eq!(self.blocks.len(), other.blocks.len());
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= b;
+        }
+    }
+
+    /// Whether the two sets share at least one state (no allocation).
+    #[inline]
+    pub fn intersects(&self, other: &StateSet) -> bool {
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterates over the states in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(i, &block)| {
+            let mut rest = block;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let bit = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(i * 64 + bit)
+            })
+        })
+    }
+
+    /// The states as a sorted vector.
+    pub fn to_vec(&self) -> Vec<StateId> {
+        self.iter().collect()
+    }
+}
+
+impl std::fmt::Debug for StateSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// A variable operation in compiled form: dense local variable index plus
+/// open/close flag. The local index is the variable's position in the
+/// automaton's [`VarTable`] (name order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarOp {
+    /// Local variable index (`0 .. vars().len()`).
+    pub var: u16,
+    /// `false` = `x⊢` (open), `true` = `⊣x` (close).
+    pub is_close: bool,
+}
+
+/// The compiled, evaluation-ready form of a [`Vsa`].
+///
+/// Compilation is document-independent: compile once, evaluate on any number
+/// of documents. See the module docs for the layout.
+#[derive(Debug, Clone)]
+pub struct CompiledVsa {
+    state_count: usize,
+    initial: StateId,
+    accepting: StateSet,
+    vars: VarTable,
+    /// ε-only closure of each state (always contains the state itself).
+    eps_closure: Vec<StateSet>,
+    /// Closure over ε *and* variable operations (= states reachable without
+    /// consuming input); always contains the state itself.
+    zero_closure: Vec<StateSet>,
+    /// Dense byte → byte-class dispatch table.
+    class_of: Box<[u16; 256]>,
+    class_count: usize,
+    /// Flattened `state × class → sorted target list` table.
+    byte_step: Vec<Vec<StateId>>,
+    /// Per-state variable operations with their targets.
+    var_ops: Vec<Vec<(VarOp, StateId)>>,
+    /// The states with at least one outgoing variable operation (lets
+    /// evaluators skip operation-set exploration wholesale where no
+    /// operation can occur — the overwhelmingly common case).
+    states_with_var_ops: StateSet,
+    /// Whether the source automaton is sequential (checked once at compile
+    /// time; enumeration requires it).
+    sequential: bool,
+}
+
+impl CompiledVsa {
+    /// Compiles an automaton. `O(states × transitions)` worst case (the
+    /// closure computation), linear in practice for sparse automata.
+    pub fn compile(vsa: &Vsa) -> CompiledVsa {
+        let n = vsa.state_count();
+        let vars = VarTable::new(vsa.vars().iter().cloned());
+
+        // --- Byte classes: partition 0..=255 by the distinct Class labels.
+        let mut distinct: Vec<spanner_core::ByteClass> = Vec::new();
+        for (_, label, _) in vsa.all_transitions() {
+            if let Label::Class(c) = label {
+                if !distinct.contains(c) {
+                    distinct.push(*c);
+                }
+            }
+        }
+        let mut class_of = Box::new([0u16; 256]);
+        let mut signatures: HashMap<Vec<bool>, u16> = HashMap::new();
+        let mut class_reps: Vec<u8> = Vec::new();
+        for b in 0..=255u8 {
+            let sig: Vec<bool> = distinct.iter().map(|c| c.contains(b)).collect();
+            let next_id = signatures.len() as u16;
+            let id = *signatures.entry(sig).or_insert_with(|| {
+                class_reps.push(b);
+                next_id
+            });
+            class_of[b as usize] = id;
+        }
+        let class_count = class_reps.len();
+
+        // --- Per-state transition tables.
+        let mut byte_step: Vec<Vec<StateId>> = vec![Vec::new(); n * class_count];
+        let mut var_ops: Vec<Vec<(VarOp, StateId)>> = vec![Vec::new(); n];
+        let mut eps_edges: Vec<Vec<StateId>> = vec![Vec::new(); n];
+        let mut zero_edges: Vec<Vec<StateId>> = vec![Vec::new(); n];
+        for (src, label, tgt) in vsa.all_transitions() {
+            match label {
+                Label::Epsilon => {
+                    eps_edges[src].push(tgt);
+                    zero_edges[src].push(tgt);
+                }
+                Label::Class(c) => {
+                    for (cls, &rep) in class_reps.iter().enumerate() {
+                        if c.contains(rep) {
+                            byte_step[src * class_count + cls].push(tgt);
+                        }
+                    }
+                }
+                Label::Open(v) | Label::Close(v) => {
+                    let var = vars
+                        .index_of(v)
+                        .expect("automaton variable registered in its VarTable")
+                        as u16;
+                    let is_close = matches!(label, Label::Close(_));
+                    var_ops[src].push((VarOp { var, is_close }, tgt));
+                    zero_edges[src].push(tgt);
+                }
+            }
+        }
+        for targets in &mut byte_step {
+            targets.sort_unstable();
+            targets.dedup();
+        }
+
+        let closure = |edges: &[Vec<StateId>]| -> Vec<StateSet> {
+            (0..n)
+                .map(|q| {
+                    let mut set = StateSet::new(n);
+                    set.insert(q);
+                    let mut stack = vec![q];
+                    while let Some(s) = stack.pop() {
+                        for &t in &edges[s] {
+                            if set.insert(t) {
+                                stack.push(t);
+                            }
+                        }
+                    }
+                    set
+                })
+                .collect()
+        };
+        let eps_closure = closure(&eps_edges);
+        let zero_closure = closure(&zero_edges);
+
+        let accepting = StateSet::from_states(n, vsa.states().filter(|&q| vsa.is_accepting(q)));
+        let states_with_var_ops =
+            StateSet::from_states(n, (0..n).filter(|&q| !var_ops[q].is_empty()));
+
+        CompiledVsa {
+            state_count: n,
+            initial: vsa.initial(),
+            accepting,
+            vars,
+            eps_closure,
+            zero_closure,
+            class_of,
+            class_count,
+            byte_step,
+            var_ops,
+            states_with_var_ops,
+            sequential: is_sequential(vsa),
+        }
+    }
+
+    /// Whether the source automaton is sequential (Theorem 2.5's
+    /// precondition for polynomial-delay enumeration).
+    #[inline]
+    pub fn is_sequential(&self) -> bool {
+        self.sequential
+    }
+
+    /// Number of states.
+    #[inline]
+    pub fn state_count(&self) -> usize {
+        self.state_count
+    }
+
+    /// The initial state.
+    #[inline]
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// The accepting states.
+    #[inline]
+    pub fn accepting(&self) -> &StateSet {
+        &self.accepting
+    }
+
+    /// Whether `q` is accepting.
+    #[inline]
+    pub fn is_accepting(&self, q: StateId) -> bool {
+        self.accepting.contains(q)
+    }
+
+    /// The automaton's variables, dense-indexed (name order).
+    #[inline]
+    pub fn var_table(&self) -> &VarTable {
+        &self.vars
+    }
+
+    /// The variable behind a compiled [`VarOp`] index.
+    #[inline]
+    pub fn var(&self, index: u16) -> &Variable {
+        self.vars.var(index as usize)
+    }
+
+    /// Number of byte classes (≤ 256).
+    #[inline]
+    pub fn class_count(&self) -> usize {
+        self.class_count
+    }
+
+    /// The byte class of `b`.
+    #[inline]
+    pub fn class_of(&self, b: u8) -> usize {
+        self.class_of[b as usize] as usize
+    }
+
+    /// The targets of `q` under any byte of class `class`.
+    #[inline]
+    pub fn byte_targets(&self, q: StateId, class: usize) -> &[StateId] {
+        &self.byte_step[q * self.class_count + class]
+    }
+
+    /// The ε-only closure of `q` (contains `q`).
+    #[inline]
+    pub fn eps_closure(&self, q: StateId) -> &StateSet {
+        &self.eps_closure[q]
+    }
+
+    /// The closure of `q` over all non-consuming transitions (contains `q`).
+    #[inline]
+    pub fn zero_closure(&self, q: StateId) -> &StateSet {
+        &self.zero_closure[q]
+    }
+
+    /// The compiled variable operations leaving `q`.
+    #[inline]
+    pub fn var_ops(&self, q: StateId) -> &[(VarOp, StateId)] {
+        &self.var_ops[q]
+    }
+
+    /// The states with at least one outgoing variable operation.
+    #[inline]
+    pub fn states_with_var_ops(&self) -> &StateSet {
+        &self.states_with_var_ops
+    }
+
+    /// Whether `q` has an outgoing variable operation.
+    #[inline]
+    pub fn has_var_ops(&self, q: StateId) -> bool {
+        !self.var_ops[q].is_empty()
+    }
+
+    /// Whether an accepting state is reachable from `q` without consuming
+    /// input.
+    #[inline]
+    pub fn accepts_without_input(&self, q: StateId) -> bool {
+        self.zero_closure[q].intersects(&self.accepting)
+    }
+
+    /// Advances a frontier over one input byte: `out` receives every state
+    /// reachable from `frontier` by a single consuming transition on `byte`.
+    /// (`out` is cleared first; closures are *not* applied.)
+    pub fn step_frontier(&self, frontier: &StateSet, byte: u8, out: &mut StateSet) {
+        out.clear();
+        let class = self.class_of(byte);
+        for q in frontier.iter() {
+            for &t in self.byte_targets(q, class) {
+                out.insert(t);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanner_core::{ByteClass, Variable};
+
+    /// The paper's Example 2.3 automaton.
+    fn example_2_3() -> Vsa {
+        let mut a = Vsa::new();
+        let q0 = a.initial();
+        let q1 = a.add_state();
+        let q2 = a.add_state();
+        a.add_transition(q0, Label::Class(ByteClass::any()), q0);
+        a.add_transition(q0, Label::Open(Variable::new("x")), q1);
+        a.add_transition(q1, Label::Class(ByteClass::any()), q1);
+        a.add_transition(q1, Label::Close(Variable::new("x")), q2);
+        a.add_transition(q2, Label::Class(ByteClass::any()), q2);
+        a.add_transition(q0, Label::Class(ByteClass::any()), q2);
+        a.set_accepting(q2, true);
+        a
+    }
+
+    #[test]
+    fn state_set_operations() {
+        let mut s = StateSet::new(130);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(129));
+        assert!(s.contains(0) && s.contains(129) && !s.contains(64));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.to_vec(), vec![0, 129]);
+
+        let t = StateSet::from_states(130, [64, 129]);
+        assert!(s.intersects(&t));
+        let mut u = s.clone();
+        u.union_with(&t);
+        assert_eq!(u.to_vec(), vec![0, 64, 129]);
+        u.intersect_with(&t);
+        assert_eq!(u.to_vec(), vec![64, 129]);
+        u.clear();
+        assert!(u.is_empty());
+        assert!(!u.intersects(&t));
+    }
+
+    #[test]
+    fn byte_classes_collapse_the_alphabet() {
+        // Only Σ transitions: a single byte class.
+        let c = CompiledVsa::compile(&example_2_3());
+        assert_eq!(c.class_count(), 1);
+        assert_eq!(c.class_of(b'a'), c.class_of(0xff));
+
+        // Distinguishing 'a' from the rest: two classes.
+        let mut a = Vsa::new();
+        let q1 = a.add_state();
+        a.add_transition(0, Label::symbol(b'a'), q1);
+        a.add_transition(0, Label::Class(ByteClass::any()), 0);
+        a.set_accepting(q1, true);
+        let c = CompiledVsa::compile(&a);
+        assert_eq!(c.class_count(), 2);
+        assert_ne!(c.class_of(b'a'), c.class_of(b'b'));
+        assert_eq!(c.class_of(b'b'), c.class_of(b'z'));
+        assert_eq!(c.byte_targets(0, c.class_of(b'a')), &[0, 1]);
+        assert_eq!(c.byte_targets(0, c.class_of(b'b')), &[0]);
+    }
+
+    #[test]
+    fn closures_distinguish_eps_from_var_ops() {
+        let c = CompiledVsa::compile(&example_2_3());
+        // No ε-transitions: ε-closures are singletons.
+        for q in 0..3 {
+            assert_eq!(c.eps_closure(q).to_vec(), vec![q]);
+        }
+        // Zero closures follow the variable operations.
+        assert_eq!(c.zero_closure(0).to_vec(), vec![0, 1, 2]);
+        assert_eq!(c.zero_closure(1).to_vec(), vec![1, 2]);
+        assert_eq!(c.zero_closure(2).to_vec(), vec![2]);
+        assert!(c.accepts_without_input(0));
+        assert!(c.accepts_without_input(1));
+    }
+
+    #[test]
+    fn var_ops_are_dense_indexed() {
+        let c = CompiledVsa::compile(&example_2_3());
+        let ops0 = c.var_ops(0);
+        assert_eq!(ops0.len(), 1);
+        assert_eq!(
+            ops0[0].0,
+            VarOp {
+                var: 0,
+                is_close: false
+            }
+        );
+        assert_eq!(ops0[0].1, 1);
+        assert_eq!(c.var(0).name(), "x");
+        let ops1 = c.var_ops(1);
+        assert_eq!(
+            ops1[0].0,
+            VarOp {
+                var: 0,
+                is_close: true
+            }
+        );
+    }
+
+    #[test]
+    fn frontier_stepping() {
+        let c = CompiledVsa::compile(&example_2_3());
+        let frontier = StateSet::from_states(3, [0, 1]);
+        let mut next = StateSet::new(3);
+        c.step_frontier(&frontier, b'a', &mut next);
+        assert_eq!(next.to_vec(), vec![0, 1, 2]);
+        let only_q2 = StateSet::from_states(3, [2]);
+        c.step_frontier(&only_q2, b'a', &mut next);
+        assert_eq!(next.to_vec(), vec![2]);
+    }
+}

@@ -8,91 +8,103 @@
 //! constructions in this crate can be validated independently of it.
 
 use crate::automaton::{Label, StateId, Vsa};
-use spanner_core::{Document, Mapping, MappingSet, Span};
-use std::collections::{BTreeMap, HashSet};
+use spanner_core::{Document, FxHashSet, Mapping, MappingSet, Span, VarId, Variable};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// The variable bookkeeping of a run, shared between configurations.
+///
+/// ε- and letter-transitions do not touch the variable state, so successor
+/// configurations share it through an `Rc` instead of cloning two vectors
+/// per transition; a fresh `VarState` is allocated only by the (much rarer)
+/// open/close operations. Variables are tracked by interned id.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+struct VarState {
+    /// Variables already closed, with their spans (sorted by id).
+    closed: Vec<(VarId, Span)>,
+    /// Variables currently open, with their opening positions (sorted by id).
+    open: Vec<(VarId, u32)>,
+}
 
 /// A run configuration of the interpreter.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 struct Config {
     pos: u32,
     state: StateId,
-    /// Variables already closed, with their spans.
-    closed: Vec<(String, Span)>,
-    /// Variables currently open, with their opening positions.
-    open: Vec<(String, u32)>,
+    vars: Rc<VarState>,
 }
 
 /// Computes `VAW(d)`: the set of mappings of all **valid** accepting runs of
 /// the automaton on the document.
 pub fn interpret(a: &Vsa, doc: &Document) -> MappingSet {
     let n = doc.len() as u32;
-    let mut result = MappingSet::new();
-    let mut seen: HashSet<Config> = HashSet::new();
+    let mut result = Vec::new();
+    let mut seen: FxHashSet<Config> = FxHashSet::default();
     let start = Config {
         pos: 1,
         state: a.initial(),
-        closed: Vec::new(),
-        open: Vec::new(),
+        vars: Rc::new(VarState::default()),
     };
     let mut stack = vec![start.clone()];
     seen.insert(start);
 
     while let Some(cfg) = stack.pop() {
-        if cfg.pos == n + 1 && a.is_accepting(cfg.state) && cfg.open.is_empty() {
-            result.insert(Mapping::from_pairs(
-                cfg.closed.iter().map(|(v, s)| (v.as_str(), *s)),
+        if cfg.pos == n + 1 && a.is_accepting(cfg.state) && cfg.vars.open.is_empty() {
+            result.push(Mapping::from_pairs(
+                cfg.vars
+                    .closed
+                    .iter()
+                    .map(|&(id, s)| (Variable::from_id(id), s)),
             ));
         }
         for t in a.transitions_from(cfg.state) {
             let next = match &t.label {
                 Label::Epsilon => Some(Config {
+                    pos: cfg.pos,
                     state: t.target,
-                    ..cfg.clone()
+                    vars: Rc::clone(&cfg.vars),
                 }),
                 Label::Class(c) => {
                     if cfg.pos <= n && c.contains(doc.symbol_at(cfg.pos).unwrap()) {
                         Some(Config {
                             pos: cfg.pos + 1,
                             state: t.target,
-                            closed: cfg.closed.clone(),
-                            open: cfg.open.clone(),
+                            vars: Rc::clone(&cfg.vars),
                         })
                     } else {
                         None
                     }
                 }
                 Label::Open(v) => {
-                    let name = v.name();
+                    let id = v.id();
                     // Validity: a variable is opened at most once.
-                    if cfg.open.iter().any(|(o, _)| o == name)
-                        || cfg.closed.iter().any(|(c, _)| c == name)
+                    if cfg.vars.open.iter().any(|&(o, _)| o == id)
+                        || cfg.vars.closed.iter().any(|&(c, _)| c == id)
                     {
                         None
                     } else {
-                        let mut open = cfg.open.clone();
-                        open.push((name.to_string(), cfg.pos));
-                        open.sort();
+                        let mut vars = (*cfg.vars).clone();
+                        let at = vars.open.partition_point(|&(o, _)| o < id);
+                        vars.open.insert(at, (id, cfg.pos));
                         Some(Config {
+                            pos: cfg.pos,
                             state: t.target,
-                            open,
-                            ..cfg.clone()
+                            vars: Rc::new(vars),
                         })
                     }
                 }
                 Label::Close(v) => {
-                    let name = v.name();
+                    let id = v.id();
                     // Validity: only an open variable can be closed.
-                    if let Some(idx) = cfg.open.iter().position(|(o, _)| o == name) {
-                        let mut open = cfg.open.clone();
-                        let (_, start_pos) = open.remove(idx);
-                        let mut closed = cfg.closed.clone();
-                        closed.push((name.to_string(), Span::new(start_pos, cfg.pos)));
-                        closed.sort();
+                    if let Some(idx) = cfg.vars.open.iter().position(|&(o, _)| o == id) {
+                        let mut vars = (*cfg.vars).clone();
+                        let (_, start_pos) = vars.open.remove(idx);
+                        let at = vars.closed.partition_point(|&(c, _)| c < id);
+                        vars.closed.insert(at, (id, Span::new(start_pos, cfg.pos)));
                         Some(Config {
+                            pos: cfg.pos,
                             state: t.target,
-                            open,
-                            closed,
-                            ..cfg.clone()
+                            vars: Rc::new(vars),
                         })
                     } else {
                         None
@@ -106,7 +118,7 @@ pub fn interpret(a: &Vsa, doc: &Document) -> MappingSet {
             }
         }
     }
-    result
+    MappingSet::from_mappings(result)
 }
 
 /// Computes `VAW(d)` restricted to mappings over a specific domain set

@@ -31,7 +31,7 @@
 
 use crate::analysis::{can_avoid, is_sequential};
 use crate::automaton::{Label, StateId, Vsa};
-use spanner_core::{SpannerError, SpannerResult, Variable};
+use spanner_core::{FxHashMap, SpannerError, SpannerResult, Variable};
 use std::collections::HashMap;
 
 /// Per-shared-variable synchronization mode.
@@ -148,7 +148,50 @@ pub fn join_with_options(a1: &Vsa, a2: &Vsa, options: JoinOptions) -> SpannerRes
         &right_only_allowed,
         options,
     )
-    .map(|vsa| vsa.trim())
+    .map(Vsa::trimmed)
+}
+
+/// Computes, for every state, the bitmask of *shared* variable operations
+/// (bit `2i` = open of shared var `i`, bit `2i + 1` = close) performable on
+/// some path of non-consuming transitions starting at the state.
+///
+/// Used to prune product states at generation time: if one operand has
+/// performed a sync-mode operation that the other can no longer perform
+/// before the next consumed symbol, the sync sets can never equalize and the
+/// product state is dead. Generating (and later trimming) those states is
+/// where the naive construction spends most of its time.
+fn reachable_shared_ops(a: &Vsa, shared_index: &HashMap<&Variable, usize>) -> Vec<u64> {
+    let n = a.state_count();
+    let mut ops = vec![0u64; n];
+    // Fixpoint: the op masks only grow, and each pass propagates them one
+    // non-consuming edge further; iteration count is bounded by the longest
+    // simple zero-path.
+    loop {
+        let mut changed = false;
+        for q in 0..n {
+            let mut acc = ops[q];
+            for t in a.transitions_from(q) {
+                match &t.label {
+                    Label::Epsilon => acc |= ops[t.target],
+                    Label::Class(_) => {}
+                    Label::Open(v) | Label::Close(v) => {
+                        acc |= ops[t.target];
+                        if let Some(&i) = shared_index.get(v) {
+                            let is_open = matches!(t.label, Label::Open(_));
+                            acc |= 1u64 << (2 * i + usize::from(!is_open));
+                        }
+                    }
+                }
+            }
+            if acc != ops[q] {
+                ops[q] = acc;
+                changed = true;
+            }
+        }
+        if !changed {
+            return ops;
+        }
+    }
 }
 
 /// A product state.
@@ -177,9 +220,16 @@ fn build_product(
 ) -> SpannerResult<Vsa> {
     let shared_index: HashMap<&Variable, usize> =
         shared.iter().enumerate().map(|(i, v)| (v, i)).collect();
+    let reach1 = reachable_shared_ops(a1, &shared_index);
+    let reach2 = reachable_shared_ops(a2, &shared_index);
+    // A successor is viable only if every sync operation one operand is
+    // ahead on is still performable by the other before the next symbol.
+    let viable = |ps: &ProductState| -> bool {
+        (ps.d1 & !ps.d2) & !reach2[ps.q2] == 0 && (ps.d2 & !ps.d1) & !reach1[ps.q1] == 0
+    };
 
     let mut out = Vsa::new(); // state 0 = fresh initial state
-    let mut index: HashMap<ProductState, StateId> = HashMap::new();
+    let mut index: FxHashMap<ProductState, StateId> = FxHashMap::default();
     let start = ProductState {
         q1: a1.initial(),
         q2: a2.initial(),
@@ -195,16 +245,20 @@ fn build_product(
     index.insert(start.clone(), entry);
     let mut work = vec![start];
 
+    let mut successors: Vec<(ProductState, Label)> = Vec::new();
     while let Some(ps) = work.pop() {
         let from = index[&ps];
         // Collect the successors of this product state, then intern them.
-        let mut successors: Vec<(ProductState, Label)> = Vec::new();
+        successors.clear();
 
         // Moves of the left operand.
         for t in a1.transitions_from(ps.q1) {
             match &t.label {
                 Label::Epsilon => successors.push((
-                    ProductState { q1: t.target, ..ps.clone() },
+                    ProductState {
+                        q1: t.target,
+                        ..ps.clone()
+                    },
                     Label::Epsilon,
                 )),
                 Label::Class(c1) => {
@@ -237,7 +291,10 @@ fn build_product(
                         None => {
                             // Private variable of the left operand.
                             successors.push((
-                                ProductState { q1: t.target, ..ps.clone() },
+                                ProductState {
+                                    q1: t.target,
+                                    ..ps.clone()
+                                },
                                 t.label.clone(),
                             ));
                         }
@@ -281,7 +338,10 @@ fn build_product(
         for t in a2.transitions_from(ps.q2) {
             match &t.label {
                 Label::Epsilon => successors.push((
-                    ProductState { q2: t.target, ..ps.clone() },
+                    ProductState {
+                        q2: t.target,
+                        ..ps.clone()
+                    },
                     Label::Epsilon,
                 )),
                 Label::Class(_) => {}
@@ -290,7 +350,10 @@ fn build_product(
                     match shared_index.get(v) {
                         None => {
                             successors.push((
-                                ProductState { q2: t.target, ..ps.clone() },
+                                ProductState {
+                                    q2: t.target,
+                                    ..ps.clone()
+                                },
                                 t.label.clone(),
                             ));
                         }
@@ -331,7 +394,10 @@ fn build_product(
             }
         }
 
-        for (target, label) in successors {
+        for (target, label) in successors.drain(..) {
+            if !viable(&target) {
+                continue;
+            }
             let to = match index.get(&target) {
                 Some(&id) => id,
                 None => {
@@ -413,7 +479,11 @@ mod tests {
         assert!(is_sequential(&j));
         for text in ["ab", "aabb", "ba", ""] {
             let doc = Document::new(text);
-            assert_eq!(interpret(&j, &doc), oracle_join(&a1, &a2, &doc), "on {text:?}");
+            assert_eq!(
+                interpret(&j, &doc),
+                oracle_join(&a1, &a2, &doc),
+                "on {text:?}"
+            );
         }
     }
 
@@ -426,7 +496,11 @@ mod tests {
         assert!(is_sequential(&j));
         for text in ["ab", "aab", "a", "b", "aabb"] {
             let doc = Document::new(text);
-            assert_eq!(interpret(&j, &doc), oracle_join(&a1, &a2, &doc), "on {text:?}");
+            assert_eq!(
+                interpret(&j, &doc),
+                oracle_join(&a1, &a2, &doc),
+                "on {text:?}"
+            );
         }
     }
 
@@ -440,7 +514,11 @@ mod tests {
         assert!(is_sequential(&j));
         for text in ["b", "ab", "aab", "abc"] {
             let doc = Document::new(text);
-            assert_eq!(interpret(&j, &doc), oracle_join(&a1, &a2, &doc), "on {text:?}");
+            assert_eq!(
+                interpret(&j, &doc),
+                oracle_join(&a1, &a2, &doc),
+                "on {text:?}"
+            );
         }
     }
 
@@ -453,7 +531,11 @@ mod tests {
         let j = join(&a1, &a2).unwrap();
         for text in ["12 ab", "1 ab 34 cd"] {
             let doc = Document::new(text);
-            assert_eq!(interpret(&j, &doc), oracle_join(&a1, &a2, &doc), "on {text:?}");
+            assert_eq!(
+                interpret(&j, &doc),
+                oracle_join(&a1, &a2, &doc),
+                "on {text:?}"
+            );
         }
     }
 

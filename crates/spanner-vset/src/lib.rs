@@ -17,6 +17,9 @@
 //! * [`thompson`] — linear-time compilation of regex formulas into VAs
 //!   (preserving sequentiality, functionality and synchronization,
 //!   Lemma 4.6);
+//! * [`compiled`] — the compile-once evaluation engine: precomputed
+//!   ε-closures, byte-class dispatch tables, dense variable indices, and
+//!   bitset state sets ([`StateSet`]);
 //! * [`interpret`] — a brute-force evaluator used as a test oracle;
 //! * [`boolean`] — NFA determinization/complementation used to demonstrate
 //!   why static compilation of the difference operator must blow up
@@ -29,6 +32,7 @@
 pub mod analysis;
 pub mod automaton;
 pub mod boolean;
+pub mod compiled;
 pub mod interpret;
 pub mod join;
 pub mod semifunctional;
@@ -40,6 +44,7 @@ pub use analysis::{
 };
 pub use automaton::{Label, StateId, Transition, Vsa};
 pub use boolean::{determinize, nfa_accepts, static_boolean_difference, Dfa};
+pub use compiled::{CompiledVsa, StateSet, VarOp};
 pub use interpret::interpret;
 pub use join::{
     assemble_disjunction, join, join_disjunctive_functional, join_with_options, JoinOptions,

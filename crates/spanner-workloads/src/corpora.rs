@@ -16,13 +16,29 @@ const FIRST_NAMES: &[&str] = &[
 ];
 
 const LAST_NAMES: &[&str] = &[
-    "Raskolnikov", "Luzhin", "Svidrigailov", "Marmeladov", "Razumikhin", "Petrovich", "Ivanovna",
-    "Lebezyatnikov", "Zamyotov", "Lizaveta",
+    "Raskolnikov",
+    "Luzhin",
+    "Svidrigailov",
+    "Marmeladov",
+    "Razumikhin",
+    "Petrovich",
+    "Ivanovna",
+    "Lebezyatnikov",
+    "Zamyotov",
+    "Lizaveta",
 ];
 
-const MAIL_HOSTS: &[&str] = &["edu.ru", "edu.uk", "uni.de", "inst.fr", "labs.org", "dept.edu"];
+const MAIL_HOSTS: &[&str] = &[
+    "edu.ru", "edu.uk", "uni.de", "inst.fr", "labs.org", "dept.edu",
+];
 
-const POSITIVE_WORDS: &[&str] = &["excellent", "outstanding", "brilliant", "recommended", "strong"];
+const POSITIVE_WORDS: &[&str] = &[
+    "excellent",
+    "outstanding",
+    "brilliant",
+    "recommended",
+    "strong",
+];
 const NEUTRAL_WORDS: &[&str] = &["attended", "average", "completed", "enrolled", "registered"];
 
 /// The exact example document `dStudents` of Figure 1 (three student lines).
@@ -64,7 +80,11 @@ pub fn student_records(lines: usize, seed: u64) -> Document {
 /// Generates a student-records document extended with recommendation lines
 /// (for the Example 5.1 / 5.4 queries): after each student line, with the
 /// given probability, a line `"<LastName> rec: <words>"` follows.
-pub fn student_records_with_recommendations(lines: usize, rec_probability: f64, seed: u64) -> Document {
+pub fn student_records_with_recommendations(
+    lines: usize,
+    rec_probability: f64,
+    seed: u64,
+) -> Document {
     let mut rng = StdRng::seed_from_u64(seed);
     let base = student_records(lines, seed);
     let mut text = String::with_capacity(base.len() * 2);
@@ -92,7 +112,13 @@ pub fn student_records_with_recommendations(lines: usize, rec_probability: f64, 
 pub fn access_log(lines: usize, seed: u64) -> Document {
     let mut rng = StdRng::seed_from_u64(seed);
     let methods = ["GET", "POST", "PUT", "DELETE"];
-    let paths = ["/index", "/api/v1/items", "/login", "/static/app.js", "/health"];
+    let paths = [
+        "/index",
+        "/api/v1/items",
+        "/login",
+        "/static/app.js",
+        "/health",
+    ];
     let mut text = String::with_capacity(lines * 64);
     for _ in 0..lines {
         let ip = format!(

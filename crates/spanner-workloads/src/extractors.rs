@@ -26,9 +26,7 @@ pub fn phone_extractor() -> SpannerResult<Rgx> {
 /// phone, and mail address. Sequential but **not** functional (the optional
 /// fields may be absent).
 pub fn student_info_extractor() -> SpannerResult<Rgx> {
-    parse(
-        r"(.*\n)?({first:\u\l+} )?{last:\u\l+} ({phone:\d+} )?{mail:\l+@\l+(\.\l+)+}\n.*",
-    )
+    parse(r"(.*\n)?({first:\u\l+} )?{last:\u\l+} ({phone:\d+} )?{mail:\l+@\l+(\.\l+)+}\n.*")
 }
 
 /// The paper's `αUKm` (Example 2.4): binds `mail` to an address ending in

@@ -20,7 +20,11 @@ fn main() {
 
     let alpha = workloads::student_info_extractor().unwrap();
     let vsa = compile(&alpha);
-    println!("extractor: {} automaton states, {} variables", vsa.state_count(), vsa.vars().len());
+    println!(
+        "extractor: {} automaton states, {} variables",
+        vsa.state_count(),
+        vsa.vars().len()
+    );
     println!(
         "{:>10} {:>10} {:>12} {:>12} {:>12} {:>12}",
         "doc bytes", "mappings", "total", "first", "mean delay", "max delay"

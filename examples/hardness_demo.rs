@@ -39,7 +39,9 @@ fn main() {
         // projection, since the instance has 2·n·m capture variables) is the
         // reduction's answer. The compilation is exponential in the shared
         // variables, so a state budget keeps the demo bounded.
-        let limits = document_spanners::vset::JoinOptions { max_states: 500_000 };
+        let limits = document_spanners::vset::JoinOptions {
+            max_states: 500_000,
+        };
         match document_spanners::vset::join_with_options(&gamma1, &gamma2, limits) {
             Ok(joined) => {
                 let boolean = joined.project(&VarSet::new());
@@ -77,7 +79,7 @@ fn main() {
         "{:>5} {:>8} {:>6} {:>12} {:>10}",
         "vars", "clauses", "SAT?", "spanner", "agree"
     );
-    for n in 2..=max_vars.min(7).max(2) {
+    for n in 2..=max_vars.clamp(2, 7) {
         let cnf = random_3cnf(n, 4.26, 100 + n as u64);
         let sat = dpll(&cnf).is_some();
         let instance = difference_hardness_instance(&cnf);
@@ -98,9 +100,9 @@ fn main() {
             cnf.num_clauses(),
             sat,
             spanner_time,
-            !diff.is_empty() == sat
+            diff.is_empty() != sat
         );
-        assert_eq!(!diff.is_empty(), sat);
+        assert_ne!(diff.is_empty(), sat);
     }
     println!("\nBoth reductions agree with DPLL on every instance — and the spanner-side");
     println!("running time grows much faster, as the NP-hardness results predict.");

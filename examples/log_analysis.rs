@@ -18,7 +18,11 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(200);
     let doc = workloads::access_log(lines, 42);
-    println!("analysing a {}-line access log ({} bytes)\n", lines, doc.len());
+    println!(
+        "analysing a {}-line access log ({} bytes)\n",
+        lines,
+        doc.len()
+    );
 
     let requests = compile(&workloads::log_request_extractor().unwrap());
     let errors = compile(&workloads::log_error_extractor().unwrap());
@@ -38,8 +42,8 @@ fn main() {
 
     // 3. Difference: IPs with requests but no errors (ad-hoc compilation).
     let t = Instant::now();
-    let clean = difference_product_eval(&ip_only, &error_ips, &doc, DifferenceOptions::default())
-        .unwrap();
+    let clean =
+        difference_product_eval(&ip_only, &error_ips, &doc, DifferenceOptions::default()).unwrap();
     let clean_ips: BTreeSet<&str> = clean
         .iter()
         .filter_map(|m| m.get(&"ip".into()))

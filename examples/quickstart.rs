@@ -34,14 +34,20 @@ fn main() {
     let uk = compile(&alpha_uk);
     let kept = difference_product_eval(&info, &uk, &doc, DifferenceOptions::default())
         .expect("difference evaluation");
-    println!("\nV α_info \\ α_UKm W(d) — {} mappings (UK students removed):", kept.len());
+    println!(
+        "\nV α_info \\ α_UKm W(d) — {} mappings (UK students removed):",
+        kept.len()
+    );
     print_table(&doc, &kept);
 }
 
 /// Prints the mappings as a table, resolving spans to text.
 fn print_table(doc: &Document, mappings: &MappingSet) {
     let columns = ["first", "last", "phone", "mail"];
-    println!("  {:<10} {:<14} {:<9} {:<14}", columns[0], columns[1], columns[2], columns[3]);
+    println!(
+        "  {:<10} {:<14} {:<9} {:<14}",
+        columns[0], columns[1], columns[2], columns[3]
+    );
     for m in mappings.iter() {
         let cell = |name: &str| {
             m.get(&Variable::new(name))

@@ -25,7 +25,8 @@ fn main() {
     );
 
     // Atomic extractors: (student, mail), (student, phone), (student, rec).
-    let alpha_sm = parse(r"(.*\n)?(\u\l+ )?{student:\u\l+} (\d+ )?{mail:\l+@\l+(\.\l+)+}\n.*").unwrap();
+    let alpha_sm =
+        parse(r"(.*\n)?(\u\l+ )?{student:\u\l+} (\d+ )?{mail:\l+@\l+(\.\l+)+}\n.*").unwrap();
     let alpha_sp = parse(r"(.*\n)?(\u\l+ )?{student:\u\l+} {phone:\d+} .*").unwrap();
     let alpha_nr = parse(r"(.*\n)?{student:\u\l+} rec {rec:[\l ]+}\n.*").unwrap();
 

@@ -72,9 +72,8 @@ fn run(args: &[String]) -> Result<(), String> {
             let doc = read_document(args.get(3))?;
             let a1 = compile(&parse(p1).map_err(|e| e.to_string())?);
             let a2 = compile(&parse(p2).map_err(|e| e.to_string())?);
-            let result =
-                difference_product_eval(&a1, &a2, &doc, DifferenceOptions::default())
-                    .map_err(|e| e.to_string())?;
+            let result = difference_product_eval(&a1, &a2, &doc, DifferenceOptions::default())
+                .map_err(|e| e.to_string())?;
             for mapping in result.iter() {
                 print_mapping(&doc, mapping);
             }

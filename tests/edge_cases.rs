@@ -9,8 +9,13 @@ use spanner_vset::JoinOptions;
 fn empty_document_everywhere() {
     let doc = Document::new("");
     // Extraction.
-    assert_eq!(evaluate_rgx(&parse("{x:a*}").unwrap(), &doc).unwrap().len(), 1);
-    assert!(evaluate_rgx(&parse("{x:a+}").unwrap(), &doc).unwrap().is_empty());
+    assert_eq!(
+        evaluate_rgx(&parse("{x:a*}").unwrap(), &doc).unwrap().len(),
+        1
+    );
+    assert!(evaluate_rgx(&parse("{x:a+}").unwrap(), &doc)
+        .unwrap()
+        .is_empty());
     // Join.
     let a1 = compile(&parse("{x:a*}").unwrap());
     let a2 = compile(&parse("{x:()}|a").unwrap());
@@ -20,8 +25,12 @@ fn empty_document_everywhere() {
     // Difference on the empty document: every pair of mappings is compatible
     // (all spans are [1,1⟩), so a nonempty right side empties the result.
     let opts = DifferenceOptions::default();
-    assert!(difference_product_eval(&a1, &a2, &doc, opts).unwrap().is_empty());
-    assert!(difference_adhoc_eval(&a1, &a2, &doc, opts).unwrap().is_empty());
+    assert!(difference_product_eval(&a1, &a2, &doc, opts)
+        .unwrap()
+        .is_empty());
+    assert!(difference_adhoc_eval(&a1, &a2, &doc, opts)
+        .unwrap()
+        .is_empty());
 }
 
 #[test]
@@ -42,7 +51,8 @@ fn too_many_variables_is_a_clean_error() {
 fn join_state_limit_is_reported() {
     let a1 = compile(&parse("({a:x})?({b:x})?({c:x})?({d:x})?x*").unwrap());
     let a2 = compile(&parse("({a:x})?({b:x})?({c:x})?({d:x})?x*").unwrap());
-    let err = spanner_vset::join_with_options(&a1, &a2, JoinOptions { max_states: 10 }).unwrap_err();
+    let err =
+        spanner_vset::join_with_options(&a1, &a2, JoinOptions { max_states: 10 }).unwrap_err();
     assert!(matches!(err, SpannerError::LimitExceeded { .. }));
 }
 
@@ -72,7 +82,9 @@ fn unicode_documents_are_handled_bytewise() {
     assert!(!result.is_empty());
     for m in result.iter() {
         let span = m.get(&"x".into()).unwrap();
-        assert!(doc.try_slice(span).is_some() || doc.text().as_bytes().get(span.as_range()).is_some());
+        assert!(
+            doc.try_slice(span).is_some() || doc.text().as_bytes().get(span.as_range()).is_some()
+        );
     }
 }
 
@@ -93,8 +105,14 @@ fn difference_with_empty_right_operand_is_identity() {
     let doc = Document::new("ab");
     let expected = evaluate(&a1, &doc).unwrap();
     let opts = DifferenceOptions::default();
-    assert_eq!(difference_product_eval(&a1, &empty, &doc, opts).unwrap(), expected);
-    assert_eq!(difference_adhoc_eval(&a1, &empty, &doc, opts).unwrap(), expected);
+    assert_eq!(
+        difference_product_eval(&a1, &empty, &doc, opts).unwrap(),
+        expected
+    );
+    assert_eq!(
+        difference_adhoc_eval(&a1, &empty, &doc, opts).unwrap(),
+        expected
+    );
     assert_eq!(difference_filter(&a1, &empty, &doc).unwrap(), expected);
 }
 
@@ -109,7 +127,9 @@ fn self_difference_is_always_empty() {
             }
             let opts = DifferenceOptions::default();
             assert!(
-                difference_product_eval(&a, &a, &doc, opts).unwrap().is_empty(),
+                difference_product_eval(&a, &a, &doc, opts)
+                    .unwrap()
+                    .is_empty(),
                 "{pattern} on {text:?}"
             );
         }

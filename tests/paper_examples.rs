@@ -2,7 +2,9 @@
 
 use document_spanners::prelude::*;
 use spanner_core::ByteClass;
-use spanner_rgx::{is_disjunctive_functional, is_functional, is_sequential, to_disjunctive_functional};
+use spanner_rgx::{
+    is_disjunctive_functional, is_functional, is_sequential, to_disjunctive_functional,
+};
 use spanner_vset::{analysis, interpret, make_semi_functional, Label, Vsa};
 
 /// Example 2.3: the sequential VA with the `q0 → q2` shortcut and its
@@ -114,7 +116,10 @@ fn example_4_5_synchronization() {
     ));
     let a = compile(&alpha);
     assert!(spanner_vset::is_synchronized(&a, &VarSet::from_iter(["y"])));
-    assert!(!spanner_vset::is_synchronized(&a, &VarSet::from_iter(["x"])));
+    assert!(!spanner_vset::is_synchronized(
+        &a,
+        &VarSet::from_iter(["x"])
+    ));
 }
 
 #[test]
@@ -130,7 +135,10 @@ fn proposition_4_7_witness_language() {
     assert_eq!(m.get(&"x".into()), Some(Span::new(2, 2)));
     // The compiled automaton is (of course) not synchronized for x.
     let a = compile(&gamma);
-    assert!(!spanner_vset::is_synchronized(&a, &VarSet::from_iter(["x"])));
+    assert!(!spanner_vset::is_synchronized(
+        &a,
+        &VarSet::from_iter(["x"])
+    ));
 }
 
 #[test]
@@ -172,7 +180,10 @@ fn example_5_1_and_5_4_ra_trees() {
     let sp = parse(r"(.*\n)?{student:\u\l+} \l+@[\l\.]+ {phone:\d+}.*").unwrap();
     let nr = parse(r"(.*\n)?{student:\u\l+} [^\n]*rec {rec:[\l ]+}\n.*").unwrap();
 
-    let inst = Instantiation::new().with(0, sm.clone()).with(1, sp.clone()).with(2, nr);
+    let inst = Instantiation::new()
+        .with(0, sm.clone())
+        .with(1, sp.clone())
+        .with(2, nr);
     let no_rec = evaluate_ra(&tree, &inst, &doc, RaOptions::default()).unwrap();
     let names = |set: &MappingSet| -> Vec<String> {
         set.iter()

@@ -25,7 +25,17 @@ fn patterns() -> Vec<&'static str> {
 }
 
 fn documents() -> Vec<&'static str> {
-    vec!["", "a", "b", "ab", "ba", "aab", "abc", "bob smith 42", "abab"]
+    vec![
+        "",
+        "a",
+        "b",
+        "ab",
+        "ba",
+        "aab",
+        "abc",
+        "bob smith 42",
+        "abab",
+    ]
 }
 
 #[test]
@@ -137,9 +147,18 @@ fn disjunctive_functional_rewrite_and_join_round_trip() {
 fn ra_tree_pipeline_matches_materialized_evaluation() {
     let tree = figure_2_tree(VarSet::from_iter(["student"]));
     let inst = Instantiation::new()
-        .with(0, parse(r"(.*\n)?{student:\u\l+} m:{mail:\l+}\n.*").unwrap())
-        .with(1, parse(r"(.*\n)?{student:\u\l+} .*p:{phone:\d+}\n.*").unwrap())
-        .with(2, parse(r"(.*\n)?{student:\u\l+} .*r:{rec:\l+}\n.*").unwrap());
+        .with(
+            0,
+            parse(r"(.*\n)?{student:\u\l+} m:{mail:\l+}\n.*").unwrap(),
+        )
+        .with(
+            1,
+            parse(r"(.*\n)?{student:\u\l+} .*p:{phone:\d+}\n.*").unwrap(),
+        )
+        .with(
+            2,
+            parse(r"(.*\n)?{student:\u\l+} .*r:{rec:\l+}\n.*").unwrap(),
+        );
     let docs = [
         "Bob m:b p:1\nAnn m:a p:2 r:good\n",
         "Bob m:b p:1 r:ok\n",
