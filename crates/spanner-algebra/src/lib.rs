@@ -17,7 +17,11 @@
 //!   Lemma 4.2 marker construction, and the Theorem 4.8-style product
 //!   construction;
 //! * [`ratree`] — RA trees, instantiations, the extraction-complexity
-//!   parameter of Theorem 5.2, and the ad-hoc evaluation pipeline.
+//!   parameter of Theorem 5.2, and the ad-hoc evaluation pipeline;
+//! * [`plan`] — the logical plan optimizer (projection pushdown, union
+//!   flattening, greedy join reordering) and compiled physical plans
+//!   ([`CompiledPlan`]) whose static subtrees are compiled once and shared
+//!   across documents and threads.
 //!
 //! # Example: the paper's Example 2.4
 //!
@@ -42,6 +46,7 @@
 pub mod adhoc;
 pub mod blackbox;
 pub mod difference;
+pub mod plan;
 pub mod ratree;
 pub mod spanner;
 
@@ -51,8 +56,9 @@ pub use difference::{
     difference_adhoc, difference_adhoc_eval, difference_filter, difference_product,
     difference_product_eval, DifferenceOptions,
 };
+pub use plan::{optimize_ra, optimize_ra_with_stats, CompiledPlan, PlanStats};
 pub use ratree::{
     compile_ra, evaluate_ra, evaluate_ra_materialized, figure_2_tree, shared_variable_bound,
-    tree_vars, Atom, Instantiation, RaOptions, RaTree,
+    tree_vars, Atom, Instantiation, LeafId, RaOptions, RaTree,
 };
 pub use spanner::{MaterializedSpanner, RgxSpanner, Spanner, SpannerRef, VsaSpanner};

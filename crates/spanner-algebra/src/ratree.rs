@@ -218,6 +218,10 @@ pub struct RaOptions {
     pub max_states: usize,
     /// Bound on the Lemma 4.2 signature materialization.
     pub max_signatures: usize,
+    /// Run the logical plan optimizer ([`crate::plan::optimize_ra`]) before
+    /// compiling. On by default; turn off to evaluate the tree exactly as
+    /// written (the differential tests do).
+    pub optimize: bool,
 }
 
 impl Default for RaOptions {
@@ -225,6 +229,17 @@ impl Default for RaOptions {
         RaOptions {
             max_states: 4_000_000,
             max_signatures: 1_000_000,
+            optimize: true,
+        }
+    }
+}
+
+impl RaOptions {
+    /// The default options with the plan optimizer disabled.
+    pub fn unoptimized() -> Self {
+        RaOptions {
+            optimize: false,
+            ..RaOptions::default()
         }
     }
 }
@@ -272,51 +287,80 @@ pub fn compile_ra(
     doc: &Document,
     options: RaOptions,
 ) -> SpannerResult<Vsa> {
+    if options.optimize {
+        let optimized = crate::plan::optimize_ra(tree, inst)?;
+        return compile_ra_node(&optimized, inst, doc, options);
+    }
+    compile_ra_node(tree, inst, doc, options)
+}
+
+/// Looks up the atom assigned to a placeholder.
+pub(crate) fn resolve_atom(inst: &Instantiation, id: LeafId) -> SpannerResult<&Atom> {
+    inst.atom(id)
+        .ok_or_else(|| SpannerError::Instantiation(format!("placeholder ?{id} unassigned")))
+}
+
+/// Compiles a regex-formula or automaton atom into a (document-independent)
+/// automaton, checking sequentiality. Black boxes are rejected — they are
+/// inherently document-dependent, and each pipeline incorporates them its
+/// own way.
+pub(crate) fn compile_static_atom(id: LeafId, atom: &Atom) -> SpannerResult<Vsa> {
+    match atom {
+        Atom::Rgx(r) => {
+            if !spanner_rgx::is_sequential(r) {
+                return Err(SpannerError::requirement(
+                    "sequential",
+                    format!("leaf ?{id}: regex formula is not sequential"),
+                ));
+            }
+            Ok(spanner_vset::compile(r))
+        }
+        Atom::Vsa(a) => {
+            if !spanner_vset::is_sequential(a) {
+                return Err(SpannerError::requirement(
+                    "sequential",
+                    format!("leaf ?{id}: automaton is not sequential"),
+                ));
+            }
+            Ok(a.clone())
+        }
+        Atom::BlackBox(s) => Err(SpannerError::Instantiation(format!(
+            "leaf ?{id}: black box `{}` has no static compilation",
+            s.name()
+        ))),
+    }
+}
+
+/// [`compile_ra`] without the optimizer pass (the recursive worker).
+fn compile_ra_node(
+    tree: &RaTree,
+    inst: &Instantiation,
+    doc: &Document,
+    options: RaOptions,
+) -> SpannerResult<Vsa> {
     let diff_options = DifferenceOptions {
         max_states: options.max_states,
         max_signatures: options.max_signatures,
     };
     Ok(match tree {
-        RaTree::Leaf(id) => {
-            let atom = inst.atom(*id).ok_or_else(|| {
-                SpannerError::Instantiation(format!("placeholder ?{id} unassigned"))
-            })?;
-            match atom {
-                Atom::Rgx(r) => {
-                    if !spanner_rgx::is_sequential(r) {
-                        return Err(SpannerError::requirement(
-                            "sequential",
-                            format!("leaf ?{id}: regex formula is not sequential"),
-                        ));
-                    }
-                    spanner_vset::compile(r)
-                }
-                Atom::Vsa(a) => {
-                    if !spanner_vset::is_sequential(a) {
-                        return Err(SpannerError::requirement(
-                            "sequential",
-                            format!("leaf ?{id}: automaton is not sequential"),
-                        ));
-                    }
-                    a.clone()
-                }
-                Atom::BlackBox(s) => {
-                    // Ad-hoc incorporation of a black box: evaluate it on the
-                    // document and compile the relation into a path automaton.
-                    let relation = s.eval(doc)?;
-                    mapping_set_to_vsa(&relation, doc)?
-                }
+        RaTree::Leaf(id) => match resolve_atom(inst, *id)? {
+            Atom::BlackBox(s) => {
+                // Ad-hoc incorporation of a black box: evaluate it on the
+                // document and compile the relation into a path automaton.
+                let relation = s.eval(doc)?;
+                mapping_set_to_vsa(&relation, doc)?
             }
-        }
-        RaTree::Project(vars, child) => compile_ra(child, inst, doc, options)?.project(vars),
+            atom => compile_static_atom(*id, atom)?,
+        },
+        RaTree::Project(vars, child) => compile_ra_node(child, inst, doc, options)?.project(vars),
         RaTree::Union(l, r) => {
-            let left = compile_ra(l, inst, doc, options)?;
-            let right = compile_ra(r, inst, doc, options)?;
+            let left = compile_ra_node(l, inst, doc, options)?;
+            let right = compile_ra_node(r, inst, doc, options)?;
             left.union(&right)
         }
         RaTree::Join(l, r) => {
-            let left = compile_ra(l, inst, doc, options)?;
-            let right = compile_ra(r, inst, doc, options)?;
+            let left = compile_ra_node(l, inst, doc, options)?;
+            let right = compile_ra_node(r, inst, doc, options)?;
             join::join_with_options(
                 &left,
                 &right,
@@ -326,8 +370,8 @@ pub fn compile_ra(
             )?
         }
         RaTree::Difference(l, r) => {
-            let left = compile_ra(l, inst, doc, options)?;
-            let right = compile_ra(r, inst, doc, options)?;
+            let left = compile_ra_node(l, inst, doc, options)?;
+            let right = compile_ra_node(r, inst, doc, options)?;
             difference_product(&left, &right, doc, diff_options)?
         }
     })

@@ -1,0 +1,137 @@
+//! E11 — what the plan optimizer buys.
+//!
+//! Three measurements over the same queries evaluated as written
+//! (`RaOptions::unoptimized()`) and through the planner (the default):
+//! projection pushdown below a join, join-chain reordering by the
+//! shared-variable bound, and the corpus engine's thread scaling with one
+//! shared compiled plan.
+
+use spanner_algebra::{
+    evaluate_ra, optimize_ra, shared_variable_bound, Instantiation, RaOptions, RaTree,
+};
+use spanner_bench::{header, ms, row, timed};
+use spanner_core::VarSet;
+use spanner_corpus::{split_lines, CorpusEngine};
+use spanner_rgx::parse;
+use spanner_workloads::{access_log, random_text, student_records};
+
+fn median_of<T>(runs: usize, mut f: impl FnMut() -> T) -> (T, std::time::Duration) {
+    let mut times = Vec::with_capacity(runs);
+    let mut out = None;
+    for _ in 0..runs {
+        let (value, elapsed) = timed(&mut f);
+        times.push(elapsed);
+        out = Some(value);
+    }
+    times.sort();
+    (out.expect("runs > 0"), times[times.len() / 2])
+}
+
+fn main() {
+    println!("## E11 — plan optimizer and corpus engine\n");
+
+    // --- Projection pushdown below a join -------------------------------
+    println!("### Projection pushdown: π_student((student,mail) ⋈ (student,phone))\n");
+    let push_tree = RaTree::project(
+        VarSet::from_iter(["student"]),
+        RaTree::join(RaTree::leaf(0), RaTree::leaf(1)),
+    );
+    let push_inst = Instantiation::new()
+        .with(
+            0,
+            parse(r"(.*\n)?(\u\l+ )?{student:\u\l+} (\d+ )?{mail:\l+@\l+(\.\l+)+}\n.*").unwrap(),
+        )
+        .with(
+            1,
+            parse(r"(.*\n)?(\u\l+ )?{student:\u\l+} {phone:\d+} .*").unwrap(),
+        );
+    println!(
+        "optimized plan: {}\n",
+        optimize_ra(&push_tree, &push_inst).unwrap()
+    );
+    header(&["lines", "as-written ms", "optimized ms", "|result|"]);
+    for lines in [16usize, 32, 64] {
+        let doc = student_records(lines, 5);
+        let (n1, t1) = median_of(5, || {
+            evaluate_ra(&push_tree, &push_inst, &doc, RaOptions::unoptimized())
+                .unwrap()
+                .len()
+        });
+        let (n2, t2) = median_of(5, || {
+            evaluate_ra(&push_tree, &push_inst, &doc, RaOptions::default())
+                .unwrap()
+                .len()
+        });
+        assert_eq!(n1, n2);
+        row(&[lines.to_string(), ms(t1), ms(t2), n1.to_string()]);
+    }
+
+    // --- Join reordering ------------------------------------------------
+    println!("\n### Join reordering: (?0{{x}} ⋈ ?1{{y}}) ⋈ ?2{{x,y}}\n");
+    let chain_tree = RaTree::join(
+        RaTree::join(RaTree::leaf(0), RaTree::leaf(1)),
+        RaTree::leaf(2),
+    );
+    let chain_inst = Instantiation::new()
+        .with(0, parse(r".*(ab|ba)(ab|ba){x:b+}(ab|ba)(ab|ba).*").unwrap())
+        .with(1, parse(r".*(aa|bb)(aa|bb){y:a+}(aa|bb)(aa|bb).*").unwrap())
+        .with(2, parse(r".*ab{x:b+}ab.*bb{y:a+}bb.*").unwrap());
+    let reordered = optimize_ra(&chain_tree, &chain_inst).unwrap();
+    println!(
+        "as written: {chain_tree} (bound {}), optimized: {reordered} (bound {})\n",
+        shared_variable_bound(&chain_tree, &chain_inst).unwrap(),
+        shared_variable_bound(&reordered, &chain_inst).unwrap(),
+    );
+    header(&["doc bytes", "as-written ms", "optimized ms", "|result|"]);
+    for len in [60usize, 120, 240] {
+        let doc = random_text(len, b"ab", 3);
+        let (n1, t1) = median_of(5, || {
+            evaluate_ra(&chain_tree, &chain_inst, &doc, RaOptions::unoptimized())
+                .unwrap()
+                .len()
+        });
+        let (n2, t2) = median_of(5, || {
+            evaluate_ra(&chain_tree, &chain_inst, &doc, RaOptions::default())
+                .unwrap()
+                .len()
+        });
+        assert_eq!(n1, n2);
+        row(&[len.to_string(), ms(t1), ms(t2), n1.to_string()]);
+    }
+
+    // --- Corpus engine thread scaling -----------------------------------
+    println!("\n### Corpus engine: shared compiled plan over an access log\n");
+    let corpus = access_log(2_000, 11);
+    let docs = split_lines(corpus.text());
+    let engine_tree = RaTree::project(VarSet::from_iter(["path", "status"]), RaTree::leaf(0));
+    let engine_inst = Instantiation::new().with(
+        0,
+        parse(
+            r#"{ip:\d+\.\d+\.\d+\.\d+} - ({user:\l+}|-) \[[\d/]+\] "{method:\u+} {path:[\w/\.]+}" {status:\d\d\d} \d+"#,
+        )
+        .unwrap(),
+    );
+    let engine = CorpusEngine::compile(&engine_tree, &engine_inst, RaOptions::default()).unwrap();
+    println!(
+        "corpus: {} documents, {} bytes; plan is {}\n",
+        docs.len(),
+        corpus.len(),
+        if engine.plan().is_static() {
+            "static"
+        } else {
+            "dynamic"
+        }
+    );
+    header(&["threads", "ms", "MiB/s", "mappings"]);
+    for threads in [1usize, 2, 4] {
+        let (stats, _) = median_of(3, || {
+            engine.evaluate_with_threads(&docs, threads).unwrap().stats
+        });
+        row(&[
+            threads.to_string(),
+            ms(stats.elapsed),
+            format!("{:.1}", stats.bytes_per_second() / (1024.0 * 1024.0)),
+            stats.mappings.to_string(),
+        ]);
+    }
+}

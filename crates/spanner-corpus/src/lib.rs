@@ -1,0 +1,249 @@
+//! Parallel multi-document evaluation of compiled RA plans.
+//!
+//! The paper treats a spanner as a function from one document to a relation;
+//! production workloads apply the same query to a *corpus*. This crate adds
+//! that batch layer on top of `spanner-algebra`:
+//!
+//! * [`CorpusEngine`] compiles an instantiated RA tree **once** into a
+//!   [`CompiledPlan`] (optimized by the `spanner-algebra::plan` rewriter by
+//!   default) and then evaluates it over any number of documents;
+//! * [`CorpusEngine::evaluate_with_threads`] shards the corpus across a
+//!   scoped thread pool. The compiled plan is read-only after compilation
+//!   (`CompiledPlan: Sync`), so every worker evaluates against the *same*
+//!   shared automata — no per-thread compilation, no locking on the hot
+//!   path. Results are returned **in corpus order** and are bit-identical
+//!   for every thread count (each document is evaluated independently);
+//! * [`CorpusResult`] carries the per-document relations plus aggregate
+//!   [`CorpusStats`].
+//!
+//! ```
+//! use spanner_algebra::{Instantiation, RaOptions, RaTree};
+//! use spanner_core::Document;
+//! use spanner_corpus::CorpusEngine;
+//!
+//! let tree = RaTree::leaf(0);
+//! let inst = Instantiation::new().with(0, spanner_rgx::parse("{x:a+}").unwrap());
+//! let engine = CorpusEngine::compile(&tree, &inst, RaOptions::default()).unwrap();
+//! let docs = vec![Document::new("aaa"), Document::new("b"), Document::new("a")];
+//! let out = engine.evaluate_with_threads(&docs, 2).unwrap();
+//! assert_eq!(out.results.len(), 3);
+//! assert_eq!(out.stats.documents, 3);
+//! assert!(out.results[1].is_empty());
+//! ```
+
+use spanner_algebra::{CompiledPlan, Instantiation, RaOptions, RaTree};
+use spanner_core::{Document, MappingSet, SpannerResult};
+use std::num::NonZeroUsize;
+use std::time::{Duration, Instant};
+
+/// Aggregate statistics of one corpus evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CorpusStats {
+    /// Number of documents evaluated.
+    pub documents: usize,
+    /// Total corpus size in bytes.
+    pub bytes: usize,
+    /// Total number of extracted mappings, over all documents.
+    pub mappings: usize,
+    /// Number of documents with at least one mapping.
+    pub matched_documents: usize,
+    /// Number of worker threads actually used.
+    pub threads: usize,
+    /// Wall-clock time of the evaluation (excluding plan compilation).
+    pub elapsed: Duration,
+}
+
+impl CorpusStats {
+    /// Corpus throughput in bytes per second (0 when nothing was timed).
+    pub fn bytes_per_second(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.bytes as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The outcome of evaluating a corpus: one relation per document, in corpus
+/// order, plus aggregate statistics.
+#[derive(Debug)]
+pub struct CorpusResult {
+    /// Per-document results, indexed like the input corpus.
+    pub results: Vec<MappingSet>,
+    /// Aggregate statistics.
+    pub stats: CorpusStats,
+}
+
+/// A compiled RA query ready to be evaluated over many documents.
+pub struct CorpusEngine {
+    plan: CompiledPlan,
+}
+
+/// `CompiledPlan` is read-only after compilation; the engine shares it with
+/// every worker thread by reference.
+const _: fn() = || {
+    fn assert_sync<T: Send + Sync>() {}
+    assert_sync::<CorpusEngine>();
+};
+
+impl CorpusEngine {
+    /// Optimizes and compiles an instantiated RA tree into an engine.
+    pub fn compile(
+        tree: &RaTree,
+        inst: &Instantiation,
+        options: RaOptions,
+    ) -> SpannerResult<CorpusEngine> {
+        Ok(CorpusEngine {
+            plan: CompiledPlan::compile(tree, inst, options)?,
+        })
+    }
+
+    /// Wraps an already-compiled plan.
+    pub fn from_plan(plan: CompiledPlan) -> CorpusEngine {
+        CorpusEngine { plan }
+    }
+
+    /// The underlying compiled plan.
+    pub fn plan(&self) -> &CompiledPlan {
+        &self.plan
+    }
+
+    /// Evaluates the corpus with one worker per available CPU.
+    pub fn evaluate(&self, docs: &[Document]) -> SpannerResult<CorpusResult> {
+        self.evaluate_with_threads(docs, 0)
+    }
+
+    /// Evaluates the corpus with an explicit worker count (`0` = one worker
+    /// per available CPU). The per-document results are identical for every
+    /// `threads` value; only the wall-clock time changes.
+    pub fn evaluate_with_threads(
+        &self,
+        docs: &[Document],
+        threads: usize,
+    ) -> SpannerResult<CorpusResult> {
+        let start = Instant::now();
+        let threads = effective_threads(threads, docs.len());
+        let mut slots: Vec<Option<SpannerResult<MappingSet>>> = vec![None; docs.len()];
+        if threads <= 1 {
+            for (slot, doc) in slots.iter_mut().zip(docs) {
+                *slot = Some(self.plan.evaluate(doc));
+            }
+        } else {
+            // Contiguous shards, one per worker: results land directly in
+            // their corpus position, so no reordering pass is needed.
+            let chunk = docs.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (doc_chunk, slot_chunk) in docs.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                    scope.spawn(move || {
+                        for (slot, doc) in slot_chunk.iter_mut().zip(doc_chunk) {
+                            *slot = Some(self.plan.evaluate(doc));
+                        }
+                    });
+                }
+            });
+        }
+        let mut results = Vec::with_capacity(docs.len());
+        for slot in slots {
+            results.push(slot.expect("every document was evaluated")?);
+        }
+        let stats = CorpusStats {
+            documents: docs.len(),
+            bytes: docs.iter().map(Document::len).sum(),
+            mappings: results.iter().map(MappingSet::len).sum(),
+            matched_documents: results.iter().filter(|r| !r.is_empty()).count(),
+            threads,
+            elapsed: start.elapsed(),
+        };
+        Ok(CorpusResult { results, stats })
+    }
+}
+
+impl std::fmt::Debug for CorpusEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CorpusEngine({:?})", self.plan)
+    }
+}
+
+/// Hard ceiling on spawned workers: corpora can be arbitrarily large, and a
+/// requested count far past the CPU count would only pay thread-spawn cost
+/// (or abort the process when the OS refuses to spawn).
+const MAX_THREADS: usize = 256;
+
+/// Resolves the requested worker count: `0` means one per available CPU;
+/// there is never a point in more workers than documents, nor past
+/// [`MAX_THREADS`].
+fn effective_threads(requested: usize, docs: usize) -> usize {
+    let available = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    let threads = if requested == 0 { available } else { requested };
+    threads.clamp(1, docs.clamp(1, MAX_THREADS))
+}
+
+/// Splits a document into one [`Document`] per line — the shape of the
+/// log-scanning and record-extraction workloads, where each line is an
+/// independent record.
+pub fn split_lines(text: &str) -> Vec<Document> {
+    text.lines().map(Document::new).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(pattern: &str) -> CorpusEngine {
+        let inst = Instantiation::new().with(0, spanner_rgx::parse(pattern).unwrap());
+        CorpusEngine::compile(&RaTree::leaf(0), &inst, RaOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn results_are_in_corpus_order() {
+        let e = engine("{x:a+}");
+        let docs = vec![
+            Document::new("aa"),
+            Document::new("b"),
+            Document::new("a"),
+            Document::new(""),
+        ];
+        let out = e.evaluate_with_threads(&docs, 2).unwrap();
+        assert_eq!(out.results.len(), 4);
+        assert_eq!(out.results[0].len(), 1); // x = [1,3⟩ (formulas are anchored)
+        assert!(out.results[1].is_empty());
+        assert_eq!(out.results[2].len(), 1);
+        assert!(out.results[3].is_empty());
+        assert_eq!(out.stats.matched_documents, 2);
+        assert_eq!(out.stats.mappings, 2);
+        assert_eq!(out.stats.bytes, 4);
+    }
+
+    #[test]
+    fn empty_corpus_is_fine() {
+        let e = engine("{x:a}");
+        let out = e.evaluate_with_threads(&[], 4).unwrap();
+        assert!(out.results.is_empty());
+        assert_eq!(out.stats.documents, 0);
+        assert_eq!(out.stats.mappings, 0);
+    }
+
+    #[test]
+    fn errors_propagate_from_workers() {
+        // A plan over more variables than the enumerator supports errors at
+        // evaluation time; the engine must surface that error.
+        let mut parts = Vec::new();
+        for i in 0..=spanner_enum::MAX_VARS {
+            parts.push(format!("{{v{i:02}:a?}}"));
+        }
+        let e = engine(&parts.concat());
+        let docs = vec![Document::new("aaa")];
+        assert!(e.evaluate_with_threads(&docs, 2).is_err());
+    }
+
+    #[test]
+    fn split_lines_shape() {
+        let docs = split_lines("a\nbb\n\nc");
+        assert_eq!(docs.len(), 4);
+        assert_eq!(docs[1].text(), "bb");
+        assert!(docs[2].is_empty());
+    }
+}

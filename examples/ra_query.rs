@@ -9,7 +9,7 @@
 
 use document_spanners::prelude::*;
 use document_spanners::workloads;
-use spanner_algebra::shared_variable_bound;
+use spanner_algebra::{optimize_ra, shared_variable_bound};
 use std::time::Instant;
 
 fn main() {
@@ -42,6 +42,22 @@ fn main() {
     println!(
         "shared-variable bound k = {}",
         shared_variable_bound(&tree, &inst_regex).unwrap()
+    );
+
+    // Planner quickstart: `evaluate_ra` optimizes by default; the rewritten
+    // plan can also be inspected (here the projection sinks into the join
+    // operands but stops above the difference), compiled once with
+    // `CompiledPlan`, and fanned out over a corpus with `CorpusEngine`.
+    let optimized = optimize_ra(&tree, &inst_regex).unwrap();
+    println!("optimized plan: {optimized}");
+    let plan = CompiledPlan::compile(&tree, &inst_regex, RaOptions::default()).unwrap();
+    println!(
+        "compiled plan is {}",
+        if plan.is_static() {
+            "static"
+        } else {
+            "dynamic"
+        }
     );
     let t = Instant::now();
     let without_rec = evaluate_ra(&tree, &inst_regex, &doc, RaOptions::default()).unwrap();

@@ -20,6 +20,7 @@
 //! | [`algebra`] | `spanner-algebra` | difference operator, RA trees, black-box spanners |
 //! | [`reductions`] | `spanner-reductions` | SAT reductions for the lower bounds |
 //! | [`workloads`] | `spanner-workloads` | synthetic corpora, extractor library, random spanners |
+//! | [`corpus`] | `spanner-corpus` | parallel multi-document evaluation of compiled plans |
 //!
 //! # Quickstart
 //!
@@ -43,6 +44,7 @@
 
 pub use spanner_algebra as algebra;
 pub use spanner_core as core;
+pub use spanner_corpus as corpus;
 pub use spanner_enum as enumeration;
 pub use spanner_reductions as reductions;
 pub use spanner_rgx as rgx;
@@ -53,11 +55,12 @@ pub use spanner_workloads as workloads;
 pub mod prelude {
     pub use spanner_algebra::{
         difference_adhoc_eval, difference_filter, difference_product_eval, evaluate_ra,
-        figure_2_tree, Atom, DictionarySpanner, DifferenceOptions, Instantiation, RaOptions,
-        RaTree, RgxSpanner, SentimentSpanner, Spanner, TokenEqualitySpanner, TokenizerSpanner,
-        VsaSpanner,
+        figure_2_tree, optimize_ra, Atom, CompiledPlan, DictionarySpanner, DifferenceOptions,
+        Instantiation, PlanStats, RaOptions, RaTree, RgxSpanner, SentimentSpanner, Spanner,
+        TokenEqualitySpanner, TokenizerSpanner, VsaSpanner,
     };
     pub use spanner_core::{Document, Mapping, MappingSet, Span, SpannerError, VarSet, Variable};
+    pub use spanner_corpus::{split_lines, CorpusEngine, CorpusResult, CorpusStats};
     pub use spanner_enum::{count_mappings, evaluate, evaluate_rgx, is_nonempty, Enumerator};
     pub use spanner_rgx::{parse, reference_eval, Rgx};
     pub use spanner_vset::{compile, join, Vsa};

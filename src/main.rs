@@ -6,6 +6,9 @@
 //! document-spanners classify <pattern>               report the syntactic classes
 //! document-spanners diff     <pattern1> <pattern2> [file]
 //!                                                    evaluate Vα1 \ α2W(d)
+//! document-spanners corpus   <pattern> [file [threads]]
+//!                                                    evaluate every line as its
+//!                                                    own document, in parallel
 //! ```
 //!
 //! The pattern syntax is the one of `spanner_rgx::parse`; when no file is
@@ -28,6 +31,7 @@ fn main() -> ExitCode {
             eprintln!("  document-spanners count    <pattern> [file]");
             eprintln!("  document-spanners classify <pattern>");
             eprintln!("  document-spanners diff     <pattern1> <pattern2> [file]");
+            eprintln!("  document-spanners corpus   <pattern> [file [threads]]");
             ExitCode::FAILURE
         }
     }
@@ -77,6 +81,40 @@ fn run(args: &[String]) -> Result<(), String> {
             for mapping in result.iter() {
                 print_mapping(&doc, mapping);
             }
+            Ok(())
+        }
+        "corpus" => {
+            let pattern = args.get(1).ok_or("missing pattern")?;
+            let doc = read_document(args.get(2))?;
+            let threads: usize = match args.get(3) {
+                Some(t) => t.parse().map_err(|_| format!("bad thread count `{t}`"))?,
+                None => 0, // one worker per CPU
+            };
+            let docs = split_lines(doc.text());
+            let alpha = parse(pattern).map_err(|e| e.to_string())?;
+            let inst = Instantiation::new().with(0, alpha);
+            let engine = CorpusEngine::compile(&RaTree::leaf(0), &inst, RaOptions::default())
+                .map_err(|e| e.to_string())?;
+            let out = engine
+                .evaluate_with_threads(&docs, threads)
+                .map_err(|e| e.to_string())?;
+            for (line, result) in docs.iter().zip(&out.results) {
+                if !result.is_empty() {
+                    println!("{}\t{}", result.len(), line.text());
+                }
+            }
+            let s = out.stats;
+            eprintln!(
+                "{} documents ({} bytes), {} mappings in {} matching documents; \
+                 {} threads, {:?} ({:.1} MiB/s)",
+                s.documents,
+                s.bytes,
+                s.mappings,
+                s.matched_documents,
+                s.threads,
+                s.elapsed,
+                s.bytes_per_second() / (1024.0 * 1024.0),
+            );
             Ok(())
         }
         other => Err(format!("unknown command `{other}`")),

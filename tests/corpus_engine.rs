@@ -1,0 +1,129 @@
+//! Concurrency tests for the corpus engine: the worker count must never
+//! change what is computed — only how fast.
+
+use document_spanners::prelude::*;
+use document_spanners::workloads;
+use spanner_algebra::evaluate_ra_materialized;
+use spanner_core::MappingSet;
+
+/// The Figure 2 student query over a per-line corpus — a dynamic plan (the
+/// difference node recompiles per document).
+fn student_query() -> (RaTree, Instantiation) {
+    let tree = figure_2_tree(VarSet::from_iter(["student"]));
+    let inst = Instantiation::new()
+        .with(
+            0,
+            parse(r"(\u\l+ )?{student:\u\l+} (\d+ )?{mail:\l+@\l+(\.\l+)+}( .*)?").unwrap(),
+        )
+        .with(
+            1,
+            parse(r"(\u\l+ )?{student:\u\l+} {phone:\d+} .*").unwrap(),
+        )
+        .with(2, parse(r"{student:\u\l+} rec {rec:[\l ]+}").unwrap());
+    (tree, inst)
+}
+
+fn student_engine() -> CorpusEngine {
+    let (tree, inst) = student_query();
+    CorpusEngine::compile(&tree, &inst, RaOptions::default()).unwrap()
+}
+
+/// A static plan (pure projection over a regex leaf).
+fn log_engine() -> CorpusEngine {
+    let tree = RaTree::project(VarSet::from_iter(["path", "status"]), RaTree::leaf(0));
+    let inst = Instantiation::new().with(
+        0,
+        parse(
+            r#"{ip:\d+\.\d+\.\d+\.\d+} - ({user:\l+}|-) \[[\d/]+\] "{method:\u+} {path:[\w/\.]+}" {status:\d\d\d} \d+"#,
+        )
+        .unwrap(),
+    );
+    CorpusEngine::compile(&tree, &inst, RaOptions::default()).unwrap()
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let corpus = workloads::access_log(120, 3);
+    let mut docs = split_lines(corpus.text());
+    // An empty document in the middle of the corpus must be handled too.
+    docs.insert(60, Document::new(""));
+    let engine = log_engine();
+    assert!(engine.plan().is_static());
+
+    let baseline = engine.evaluate_with_threads(&docs, 1).unwrap();
+    assert_eq!(baseline.stats.threads, 1);
+    assert!(baseline.stats.mappings > 0);
+    assert!(baseline.results[60].is_empty());
+    for threads in [2usize, 3, 8, 1024] {
+        let out = engine.evaluate_with_threads(&docs, threads).unwrap();
+        assert_eq!(
+            out.results, baseline.results,
+            "{threads} threads changed the per-document results"
+        );
+        assert_eq!(out.stats.mappings, baseline.stats.mappings);
+        assert_eq!(
+            out.stats.matched_documents,
+            baseline.stats.matched_documents
+        );
+        // Workers are never oversubscribed past the corpus size.
+        assert!(out.stats.threads <= docs.len());
+    }
+}
+
+#[test]
+fn dynamic_plans_are_thread_safe_too() {
+    let corpus = workloads::student_records_with_recommendations(40, 0.6, 7);
+    let docs = split_lines(corpus.text());
+    let engine = student_engine();
+    assert!(!engine.plan().is_static());
+
+    let single = engine.evaluate_with_threads(&docs, 1).unwrap();
+    let multi = engine.evaluate_with_threads(&docs, 4).unwrap();
+    assert_eq!(single.results, multi.results);
+
+    // And both match per-document materialized evaluation of the original
+    // tree.
+    let (tree, inst) = student_query();
+    for (doc, actual) in docs.iter().zip(&single.results) {
+        let oracle = evaluate_ra_materialized(&tree, &inst, doc).unwrap();
+        assert_eq!(actual, &oracle, "on {:?}", doc.text());
+    }
+}
+
+#[test]
+fn empty_corpus_and_empty_documents() {
+    let engine = log_engine();
+    // Empty corpus.
+    let out = engine.evaluate_with_threads(&[], 4).unwrap();
+    assert!(out.results.is_empty());
+    assert_eq!(
+        out.stats,
+        CorpusStats {
+            documents: 0,
+            bytes: 0,
+            mappings: 0,
+            matched_documents: 0,
+            threads: out.stats.threads,
+            elapsed: out.stats.elapsed,
+        }
+    );
+
+    // A corpus made only of empty documents.
+    let docs = vec![Document::new(""), Document::new("")];
+    let out = engine.evaluate_with_threads(&docs, 2).unwrap();
+    assert_eq!(out.results, vec![MappingSet::new(), MappingSet::new()]);
+    assert_eq!(out.stats.matched_documents, 0);
+}
+
+#[test]
+fn zero_threads_means_auto() {
+    let docs = split_lines(workloads::access_log(10, 1).text());
+    let engine = log_engine();
+    let out = engine.evaluate_with_threads(&docs, 0).unwrap();
+    assert!(out.stats.threads >= 1);
+    assert_eq!(out.results.len(), docs.len());
+    assert_eq!(
+        out.results,
+        engine.evaluate_with_threads(&docs, 1).unwrap().results
+    );
+}

@@ -1,7 +1,9 @@
 //! Edge cases and failure injection across the public API.
 
 use document_spanners::prelude::*;
-use spanner_algebra::{difference_adhoc_eval, DifferenceOptions};
+use spanner_algebra::{
+    difference_adhoc_eval, evaluate_ra_materialized, tree_vars, DifferenceOptions,
+};
 use spanner_enum::MAX_VARS;
 use spanner_vset::JoinOptions;
 
@@ -134,6 +136,102 @@ fn self_difference_is_always_empty() {
             );
         }
     }
+}
+
+#[test]
+fn planner_projection_to_empty_variable_set() {
+    // π_∅ over a join: the planner pushes the (boolean) projection into the
+    // operands but must keep the join variable alive through the join.
+    let tree = RaTree::project(
+        VarSet::new(),
+        RaTree::join(RaTree::leaf(0), RaTree::leaf(1)),
+    );
+    let inst = Instantiation::new()
+        .with(0, parse("{x:a+}{y:b*}").unwrap())
+        .with(1, parse("{x:a+}{z:b?}b*").unwrap());
+    let optimized = optimize_ra(&tree, &inst).unwrap();
+    assert!(tree_vars(&optimized, &inst).unwrap().is_empty());
+    for text in ["", "a", "ab", "abb", "ba"] {
+        let doc = Document::new(text);
+        let expected = evaluate_ra_materialized(&tree, &inst, &doc).unwrap();
+        let actual = evaluate_ra(&tree, &inst, &doc, RaOptions::default()).unwrap();
+        assert_eq!(actual, expected, "on {text:?}");
+        // A boolean spanner yields either nothing or the single empty
+        // mapping.
+        assert!(actual.len() <= 1);
+        assert!(actual.iter().all(|m| m.is_empty()));
+    }
+}
+
+#[test]
+fn planner_union_of_schema_disjoint_operands() {
+    // {x} ∪ {y}: schemaless semantics keep both sides' mappings as-is; the
+    // planner must not project either operand onto the other's schema.
+    let tree = RaTree::project(
+        VarSet::from_iter(["x", "y"]),
+        RaTree::union(RaTree::leaf(0), RaTree::leaf(1)),
+    );
+    let inst = Instantiation::new()
+        .with(0, parse("{x:a}b*").unwrap())
+        .with(1, parse("a{y:b+}").unwrap());
+    let optimized = optimize_ra(&tree, &inst).unwrap();
+    assert_eq!(
+        tree_vars(&optimized, &inst).unwrap(),
+        VarSet::from_iter(["x", "y"])
+    );
+    for text in ["ab", "a", "abb", "b", ""] {
+        let doc = Document::new(text);
+        assert_eq!(
+            evaluate_ra(&tree, &inst, &doc, RaOptions::default()).unwrap(),
+            evaluate_ra_materialized(&tree, &inst, &doc).unwrap(),
+            "on {text:?}"
+        );
+    }
+}
+
+/// The blocked rewrite: `π_Y(P1 \ P2)` must NOT become `π_Y(P1) \ π_Y(P2)`.
+/// P1 binds the same `x` with two different `y`s and P2 subtracts only one
+/// of the pairs: the sound plan keeps that `x` (one pair survives), while
+/// the pushed-down plan would subtract `π_x(P2)` and lose it. The optimizer
+/// must keep the projection above the difference.
+#[test]
+fn planner_does_not_push_projection_through_difference() {
+    let tree = RaTree::project(
+        VarSet::from_iter(["x"]),
+        RaTree::difference(RaTree::leaf(0), RaTree::leaf(1)),
+    );
+    // On "abb", P1 = {(x=[1,2⟩, y=[2,3⟩), (x=[1,2⟩, y=[3,4⟩)} and P2
+    // removes exactly the first pair.
+    let inst = Instantiation::new()
+        .with(0, parse("{x:a}({y:b}b|b{y:b})").unwrap())
+        .with(1, parse("{x:a}{y:b}b").unwrap());
+    let optimized = optimize_ra(&tree, &inst).unwrap();
+    assert!(
+        matches!(&optimized, RaTree::Project(_, child) if matches!(child.as_ref(), RaTree::Difference(_, _))),
+        "projection must stay above the difference, got {optimized}"
+    );
+
+    let doc = Document::new("abb");
+    let expected = evaluate_ra_materialized(&tree, &inst, &doc).unwrap();
+    assert_eq!(expected.len(), 1, "one pair must survive the difference");
+    // The unsound pushed-down plan loses the surviving x:
+    let unsound = evaluate_ra_materialized(
+        &RaTree::difference(
+            RaTree::project(VarSet::from_iter(["x"]), RaTree::leaf(0)),
+            RaTree::project(VarSet::from_iter(["x"]), RaTree::leaf(1)),
+        ),
+        &inst,
+        &doc,
+    )
+    .unwrap();
+    assert_ne!(
+        expected, unsound,
+        "test vectors must actually distinguish the two plans"
+    );
+    assert_eq!(
+        evaluate_ra(&tree, &inst, &doc, RaOptions::default()).unwrap(),
+        expected
+    );
 }
 
 #[test]

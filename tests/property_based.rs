@@ -7,10 +7,14 @@
 
 use document_spanners::prelude::*;
 use proptest::prelude::*;
-use spanner_algebra::{difference_adhoc_eval, DifferenceOptions};
+use spanner_algebra::{
+    difference_adhoc_eval, evaluate_ra_materialized, shared_variable_bound, tree_vars,
+    DifferenceOptions,
+};
 use spanner_core::MappingSet;
 use spanner_rgx::{is_sequential, to_disjunctive_functional};
 use spanner_vset::{interpret, is_sequential as vsa_sequential, make_semi_functional};
+use spanner_workloads::{random_ra_tree, RandomRaConfig};
 
 /// A strategy for small sequential regex formulas over {a, b} with capture
 /// variables drawn from {x, y, z}.
@@ -68,6 +72,23 @@ fn strip_var(r: Rgx, name: &str) -> Rgx {
 fn doc_strategy() -> impl Strategy<Value = String> {
     proptest::collection::vec(prop_oneof![Just('a'), Just('b')], 0..=5)
         .prop_map(|chars| chars.into_iter().collect())
+}
+
+/// A uniform 24-bit seed (the compat proptest has no integer-range
+/// strategy, so the seed is assembled from coin flips).
+fn seed_strategy() -> impl Strategy<Value = u64> {
+    proptest::collection::vec(prop_oneof![Just(false), Just(true)], 24..=24)
+        .prop_map(|bits| bits.iter().fold(0u64, |acc, &b| (acc << 1) | b as u64))
+}
+
+/// The random-plan shape used by the planner properties.
+fn plan_cfg(seed: u64) -> RandomRaConfig {
+    RandomRaConfig {
+        depth: 2 + (seed % 2) as usize,
+        leaves: 2 + (seed % 3) as usize,
+        vars_per_leaf: 2,
+        allow_difference: !seed.is_multiple_of(3),
+    }
 }
 
 /// Skips formulas that the generator may produce with duplicated variables
@@ -180,5 +201,53 @@ proptest! {
         prop_assert_eq!(evaluate(&a1.project(&keep), &doc).unwrap(), expected_proj);
         let expected_union = reference_eval(&alpha1, &doc).union(&reference_eval(&alpha2, &doc));
         prop_assert_eq!(evaluate(&a1.union(&a2), &doc).unwrap(), expected_union);
+    }
+
+    // ----- planner invariants (spanner_algebra::plan) -----
+
+    #[test]
+    fn planner_preserves_tree_vars(seed in seed_strategy()) {
+        let (tree, inst) = random_ra_tree(plan_cfg(seed), seed);
+        let optimized = optimize_ra(&tree, &inst).unwrap();
+        prop_assert_eq!(
+            tree_vars(&optimized, &inst).unwrap(),
+            tree_vars(&tree, &inst).unwrap(),
+            "{} vs {}", tree, optimized
+        );
+    }
+
+    #[test]
+    fn planner_never_increases_shared_variable_bound(seed in seed_strategy()) {
+        let (tree, inst) = random_ra_tree(plan_cfg(seed), seed);
+        let optimized = optimize_ra(&tree, &inst).unwrap();
+        prop_assert!(
+            shared_variable_bound(&optimized, &inst).unwrap()
+                <= shared_variable_bound(&tree, &inst).unwrap(),
+            "{} (bound {}) optimized to {} (bound {})",
+            tree,
+            shared_variable_bound(&tree, &inst).unwrap(),
+            optimized,
+            shared_variable_bound(&optimized, &inst).unwrap()
+        );
+    }
+
+    #[test]
+    fn planner_is_idempotent(seed in seed_strategy()) {
+        let (tree, inst) = random_ra_tree(plan_cfg(seed), seed);
+        let once = optimize_ra(&tree, &inst).unwrap();
+        let twice = optimize_ra(&once, &inst).unwrap();
+        prop_assert_eq!(&once, &twice, "optimizing twice diverged from {}", tree);
+    }
+
+    #[test]
+    fn planner_preserves_semantics(seed in seed_strategy(), text in doc_strategy()) {
+        let (tree, inst) = random_ra_tree(plan_cfg(seed), seed);
+        let optimized = optimize_ra(&tree, &inst).unwrap();
+        let doc = Document::new(text);
+        prop_assert_eq!(
+            evaluate_ra_materialized(&optimized, &inst, &doc).unwrap(),
+            evaluate_ra_materialized(&tree, &inst, &doc).unwrap(),
+            "{} vs {}", tree, optimized
+        );
     }
 }
