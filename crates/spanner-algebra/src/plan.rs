@@ -620,6 +620,33 @@ impl CompiledPlan {
         })
     }
 
+    /// Streams the plan's mappings on one document.
+    ///
+    /// Static plans enumerate straight off the shared compiled automaton
+    /// with polynomial delay (Theorem 5.2) and never materialize the result;
+    /// dynamic plans pay their ad-hoc compilation up front and then drain
+    /// the materialized relation.
+    pub fn stream<'a>(&'a self, doc: &'a Document) -> SpannerResult<PlanStream<'a>> {
+        match &self.kind {
+            PlanKind::Static { compiled, vsa } => {
+                if vsa.accepting_states().is_empty() {
+                    return Ok(PlanStream::Empty);
+                }
+                Ok(PlanStream::Streaming(Box::new(
+                    spanner_enum::Enumerator::from_compiled(compiled, doc)?,
+                )))
+            }
+            PlanKind::Dynamic(node) => {
+                let vsa = Self::materialize(node, doc, self.options)?;
+                if vsa.accepting_states().is_empty() {
+                    return Ok(PlanStream::Empty);
+                }
+                let set = spanner_enum::evaluate(&vsa, doc)?;
+                Ok(PlanStream::Materialized(set.into_iter()))
+            }
+        }
+    }
+
     /// Whether the whole plan compiled into one static automaton (no
     /// per-document compilation at all).
     pub fn is_static(&self) -> bool {
@@ -639,6 +666,29 @@ impl CompiledPlan {
     /// The options the plan was compiled with.
     pub fn options(&self) -> RaOptions {
         self.options
+    }
+}
+
+/// The mapping stream of [`CompiledPlan::stream`].
+pub enum PlanStream<'a> {
+    /// The plan accepts nothing (trimmed automaton has no accepting state).
+    Empty,
+    /// Lazy polynomial-delay enumeration off the shared static automaton
+    /// (boxed: the enumerator is much larger than the other variants).
+    Streaming(Box<spanner_enum::Enumerator<'a>>),
+    /// Drained from a relation the dynamic pipeline materialized.
+    Materialized(<MappingSet as IntoIterator>::IntoIter),
+}
+
+impl Iterator for PlanStream<'_> {
+    type Item = SpannerResult<spanner_core::Mapping>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            PlanStream::Empty => None,
+            PlanStream::Streaming(e) => e.next(),
+            PlanStream::Materialized(iter) => iter.next().map(Ok),
+        }
     }
 }
 
@@ -790,6 +840,29 @@ mod tests {
                 evaluate_ra_materialized(&tree, &inst, &doc).unwrap(),
                 "text {text:?}"
             );
+        }
+    }
+
+    #[test]
+    fn stream_matches_evaluate_on_static_and_dynamic_plans() {
+        let static_tree = RaTree::union(RaTree::leaf(0), RaTree::leaf(1));
+        let dynamic_tree = RaTree::difference(RaTree::leaf(0), RaTree::leaf(1));
+        let inst = Instantiation::new()
+            .with(0, parse("{x:a+}b*").unwrap())
+            .with(1, parse("{x:a}b").unwrap());
+        for tree in [static_tree, dynamic_tree] {
+            let plan = CompiledPlan::compile(&tree, &inst, RaOptions::default()).unwrap();
+            for text in ["ab", "aab", "b", ""] {
+                let doc = Document::new(text);
+                let streamed: MappingSet = plan
+                    .stream(&doc)
+                    .unwrap()
+                    .collect::<SpannerResult<Vec<_>>>()
+                    .unwrap()
+                    .into_iter()
+                    .collect();
+                assert_eq!(streamed, plan.evaluate(&doc).unwrap(), "{tree} on {text:?}");
+            }
         }
     }
 

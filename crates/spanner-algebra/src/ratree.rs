@@ -88,6 +88,48 @@ impl RaTree {
         }
     }
 
+    /// Renders the tree as an indented multi-line outline, one node per
+    /// line, leaves annotated with the atom the instantiation assigns them
+    /// (the `explain` output of the query-language front end).
+    pub fn describe(&self, inst: &Instantiation) -> String {
+        fn node_label(tree: &RaTree, inst: &Instantiation) -> String {
+            match tree {
+                RaTree::Leaf(id) => match inst.atom(*id) {
+                    Some(atom) => format!("?{id} = {}", atom.describe()),
+                    None => format!("?{id} (unassigned)"),
+                },
+                RaTree::Project(vars, _) => {
+                    let names: Vec<String> = vars.iter().map(|v| v.to_string()).collect();
+                    format!("π{{{}}}", names.join(","))
+                }
+                RaTree::Union(_, _) => "∪".to_string(),
+                RaTree::Join(_, _) => "⋈".to_string(),
+                RaTree::Difference(_, _) => "\\".to_string(),
+            }
+        }
+        fn walk(tree: &RaTree, inst: &Instantiation, prefix: &str, out: &mut String) {
+            let children: Vec<&RaTree> = match tree {
+                RaTree::Leaf(_) => Vec::new(),
+                RaTree::Project(_, child) => vec![child],
+                RaTree::Union(l, r) | RaTree::Join(l, r) | RaTree::Difference(l, r) => {
+                    vec![l, r]
+                }
+            };
+            for (i, child) in children.iter().enumerate() {
+                let last = i + 1 == children.len();
+                out.push('\n');
+                out.push_str(prefix);
+                out.push_str(if last { "└─ " } else { "├─ " });
+                out.push_str(&node_label(child, inst));
+                let extended = format!("{prefix}{}", if last { "   " } else { "│  " });
+                walk(child, inst, &extended, out);
+            }
+        }
+        let mut out = node_label(self, inst);
+        walk(self, inst, "", &mut out);
+        out
+    }
+
     /// Number of operator nodes (a size measure).
     pub fn size(&self) -> usize {
         match self {
@@ -460,6 +502,23 @@ mod tests {
         assert_eq!(tree.leaves(), vec![0, 1, 2]);
         assert_eq!(tree.size(), 6);
         assert_eq!(format!("{tree}"), "π{xstdnt}(((?0 ⋈ ?1) \\ ?2))");
+    }
+
+    #[test]
+    fn describe_renders_an_outline() {
+        let tree = figure_2_tree(VarSet::from_iter(["student"]));
+        let inst = Instantiation::new()
+            .with(0, parse("{student:a}{mail:b}").unwrap())
+            .with(1, parse("{student:a}{phone:b?}").unwrap());
+        let outline = tree.describe(&inst);
+        let lines: Vec<&str> = outline.lines().collect();
+        assert_eq!(lines[0], "π{student}");
+        assert!(lines[1].contains('\\'), "{outline}");
+        assert!(
+            outline.contains("?0 = rgx({student:a}{mail:b})"),
+            "{outline}"
+        );
+        assert!(outline.contains("?2 (unassigned)"), "{outline}");
     }
 
     #[test]

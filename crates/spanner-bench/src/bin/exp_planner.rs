@@ -4,31 +4,21 @@
 //! (`RaOptions::unoptimized()`) and through the planner (the default):
 //! projection pushdown below a join, join-chain reordering by the
 //! shared-variable bound, and the corpus engine's thread scaling with one
-//! shared compiled plan.
+//! shared compiled plan. The optimized-path measurements are merged into
+//! `BENCH_ql.json` (see `exp_ql`) so per-PR perf is trackable.
 
 use spanner_algebra::{
     evaluate_ra, optimize_ra, shared_variable_bound, Instantiation, RaOptions, RaTree,
 };
-use spanner_bench::{header, ms, row, timed};
+use spanner_bench::{header, median_of, merge_bench_json, mib_per_second, ms, row, BenchEntry};
 use spanner_core::VarSet;
 use spanner_corpus::{split_lines, CorpusEngine};
 use spanner_rgx::parse;
 use spanner_workloads::{access_log, random_text, student_records};
 
-fn median_of<T>(runs: usize, mut f: impl FnMut() -> T) -> (T, std::time::Duration) {
-    let mut times = Vec::with_capacity(runs);
-    let mut out = None;
-    for _ in 0..runs {
-        let (value, elapsed) = timed(&mut f);
-        times.push(elapsed);
-        out = Some(value);
-    }
-    times.sort();
-    (out.expect("runs > 0"), times[times.len() / 2])
-}
-
 fn main() {
     println!("## E11 — plan optimizer and corpus engine\n");
+    let mut entries = Vec::new();
 
     // --- Projection pushdown below a join -------------------------------
     println!("### Projection pushdown: π_student((student,mail) ⋈ (student,phone))\n");
@@ -64,6 +54,7 @@ fn main() {
         });
         assert_eq!(n1, n2);
         row(&[lines.to_string(), ms(t1), ms(t2), n1.to_string()]);
+        entries.push(BenchEntry::new(format!("planner/pushdown/{lines}"), t2, n2));
     }
 
     // --- Join reordering ------------------------------------------------
@@ -97,6 +88,7 @@ fn main() {
         });
         assert_eq!(n1, n2);
         row(&[len.to_string(), ms(t1), ms(t2), n1.to_string()]);
+        entries.push(BenchEntry::new(format!("planner/reorder/{len}"), t2, n2));
     }
 
     // --- Corpus engine thread scaling -----------------------------------
@@ -124,14 +116,22 @@ fn main() {
     );
     header(&["threads", "ms", "MiB/s", "mappings"]);
     for threads in [1usize, 2, 4] {
-        let (stats, _) = median_of(3, || {
+        let (stats, median) = median_of(3, || {
             engine.evaluate_with_threads(&docs, threads).unwrap().stats
         });
         row(&[
             threads.to_string(),
-            ms(stats.elapsed),
-            format!("{:.1}", stats.bytes_per_second() / (1024.0 * 1024.0)),
+            ms(median),
+            format!("{:.1}", mib_per_second(stats.bytes, median)),
             stats.mappings.to_string(),
         ]);
+        entries.push(BenchEntry::new(
+            format!("planner/corpus/t{threads}"),
+            median,
+            stats.mappings,
+        ));
     }
+
+    merge_bench_json("BENCH_ql.json", &entries).expect("write BENCH_ql.json");
+    println!("\nwrote {} entries to BENCH_ql.json", entries.len());
 }

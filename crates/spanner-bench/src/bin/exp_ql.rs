@@ -1,0 +1,106 @@
+//! E12 — the SpannerQL front end, end to end.
+//!
+//! Measures the three phases a QL user pays for: preparing a program
+//! (parse → lower → optimize → compile), evaluating a prepared query on
+//! single documents, and scanning a line corpus through the shared plan.
+//! Alongside the human-readable tables, the measurements are merged into
+//! `BENCH_ql.json` (workload name, median ns, mapping count) so per-PR perf
+//! is trackable; `exp_planner` contributes to the same file.
+
+use spanner_bench::{header, median_of, merge_bench_json, mib_per_second, ms, row, BenchEntry};
+use spanner_corpus::split_lines;
+use spanner_ql::PreparedQuery;
+use spanner_workloads::{access_log, random_text};
+
+/// The running-example query: user/host pairs, admins filtered out with
+/// the difference operator.
+const USERS_QUERY: &str = "\
+let user = /{user:[a-z]+}@[a-z]+(\\.[a-z]+)*( .*)?/;
+let host = /[a-z]+@{host:[a-z]+(\\.[a-z]+)*}( .*)?/;
+project user (user join host) minus /{user:admin[a-z]*}@.*( .*)?/;";
+
+/// The planner-reorder chain: (?0{x} ⋈ ?1{y}) ⋈ ?2{x,y} — bound 2 as
+/// written, 1 after planning.
+const CHAIN_QUERY: &str = "\
+let a = /.*(ab|ba)(ab|ba){x:b+}(ab|ba)(ab|ba).*/;
+let b = /.*(aa|bb)(aa|bb){y:a+}(aa|bb)(aa|bb).*/;
+let c = /.*ab{x:b+}ab.*bb{y:a+}bb.*/;
+(a join b) join c;";
+
+/// The access-log extractor from the corpus experiment, as a QL program.
+const LOG_QUERY: &str = "\
+project path, status (/{ip:[0-9]+\\.[0-9]+\\.[0-9]+\\.[0-9]+} - ({user:[a-z]+}|-) \
+\\[[0-9\\/]+\\] \"{method:[A-Z]+} {path:[a-zA-Z0-9_\\/\\.]+}\" {status:[0-9][0-9][0-9]} [0-9]+/);";
+
+fn main() {
+    println!("## E12 — SpannerQL front end\n");
+    let mut entries = Vec::new();
+
+    // --- Preparation cost -----------------------------------------------
+    println!("### Preparation (parse → lower → optimize → compile)\n");
+    header(&["program", "prepare ms"]);
+    for (name, src) in [
+        ("users", USERS_QUERY),
+        ("chain", CHAIN_QUERY),
+        ("log", LOG_QUERY),
+    ] {
+        let (_, t) = median_of(5, || PreparedQuery::prepare(src).unwrap());
+        row(&[name.to_string(), ms(t)]);
+        entries.push(BenchEntry::new(format!("ql/prepare/{name}"), t, 0));
+    }
+
+    // --- Single-document evaluation -------------------------------------
+    println!("\n### Single-document evaluation (prepared once)\n");
+    let users = PreparedQuery::prepare(USERS_QUERY).unwrap();
+    let chain = PreparedQuery::prepare(CHAIN_QUERY).unwrap();
+    println!(
+        "users plan is {}; chain bound {} → {}\n",
+        if users.plan().is_static() {
+            "static"
+        } else {
+            "dynamic"
+        },
+        chain.shared_variable_bound_before(),
+        chain.shared_variable_bound_after(),
+    );
+    header(&["workload", "doc bytes", "ms", "mappings"]);
+    let user_doc = spanner_core::Document::new("bob@edu.ru extra adminx@edu.ru trail");
+    let (n, t) = median_of(5, || users.evaluate(&user_doc).unwrap().len());
+    row(&[
+        "users".to_string(),
+        user_doc.len().to_string(),
+        ms(t),
+        n.to_string(),
+    ]);
+    entries.push(BenchEntry::new("ql/eval/users", t, n));
+    for len in [60usize, 120] {
+        let doc = random_text(len, b"ab", 3);
+        let (n, t) = median_of(5, || chain.evaluate(&doc).unwrap().len());
+        row(&["chain".to_string(), len.to_string(), ms(t), n.to_string()]);
+        entries.push(BenchEntry::new(format!("ql/eval/chain/{len}"), t, n));
+    }
+
+    // --- Corpus scan ----------------------------------------------------
+    println!("\n### Corpus scan (access log through the shared plan)\n");
+    let log = PreparedQuery::prepare(LOG_QUERY).unwrap();
+    let corpus = access_log(1_000, 11);
+    let docs = split_lines(corpus.text());
+    header(&["threads", "ms", "MiB/s", "mappings"]);
+    for threads in [1usize, 2] {
+        let (stats, median) = median_of(3, || log.evaluate_corpus(&docs, threads).unwrap().stats);
+        row(&[
+            threads.to_string(),
+            ms(median),
+            format!("{:.1}", mib_per_second(stats.bytes, median)),
+            stats.mappings.to_string(),
+        ]);
+        entries.push(BenchEntry::new(
+            format!("ql/corpus/access-log/t{threads}"),
+            median,
+            stats.mappings,
+        ));
+    }
+
+    merge_bench_json("BENCH_ql.json", &entries).expect("write BENCH_ql.json");
+    println!("\nwrote {} entries to BENCH_ql.json", entries.len());
+}

@@ -1,6 +1,7 @@
 //! Shared helpers for the benchmark harness and the `exp_*` experiment
 //! binaries (see EXPERIMENTS.md for the experiment index).
 
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// Times a closure, returning its result and the elapsed wall-clock time.
@@ -15,6 +16,16 @@ pub fn ms(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64() * 1e3)
 }
 
+/// Throughput in MiB/s (0 when nothing was timed).
+pub fn mib_per_second(bytes: usize, elapsed: Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs > 0.0 {
+        bytes as f64 / secs / (1024.0 * 1024.0)
+    } else {
+        0.0
+    }
+}
+
 /// Prints a Markdown-style table row.
 pub fn row(cells: &[String]) {
     println!("| {} |", cells.join(" | "));
@@ -27,6 +38,93 @@ pub fn header(cells: &[&str]) {
         "|{}|",
         cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
     );
+}
+
+/// One machine-readable measurement in the `BENCH_ql.json` summary: a
+/// workload name, the median wall-clock time, and the mapping count (so a
+/// perf regression that silently changes the result is visible too).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchEntry {
+    /// Hierarchical workload name, e.g. `"ql/join-chain/120"`.
+    pub workload: String,
+    /// Median wall-clock nanoseconds.
+    pub median_ns: u128,
+    /// Number of mappings the workload produced.
+    pub mappings: usize,
+}
+
+impl BenchEntry {
+    /// Builds an entry from a [`median_of`]-style measurement.
+    pub fn new(workload: impl Into<String>, median: Duration, mappings: usize) -> BenchEntry {
+        BenchEntry {
+            workload: workload.into(),
+            median_ns: median.as_nanos(),
+            mappings,
+        }
+    }
+}
+
+/// Runs `f` `runs` times and returns the last value with the median
+/// wall-clock time.
+pub fn median_of<T>(runs: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
+    let mut times = Vec::with_capacity(runs);
+    let mut out = None;
+    for _ in 0..runs {
+        let (value, elapsed) = timed(&mut f);
+        times.push(elapsed);
+        out = Some(value);
+    }
+    times.sort();
+    (out.expect("runs > 0"), times[times.len() / 2])
+}
+
+/// Merges entries into a `BENCH_ql.json`-style summary file: existing
+/// entries with other workload names are kept (so `exp_planner` and
+/// `exp_ql` can both contribute to one file), same-named ones are replaced,
+/// and the result is written sorted by workload name — one entry per line,
+/// so diffs across PRs stay readable.
+pub fn merge_bench_json(path: impl AsRef<Path>, new_entries: &[BenchEntry]) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let mut entries: Vec<BenchEntry> = std::fs::read_to_string(path)
+        .map(|existing| parse_bench_json(&existing))
+        .unwrap_or_default();
+    entries.retain(|e| !new_entries.iter().any(|n| n.workload == e.workload));
+    entries.extend_from_slice(new_entries);
+    entries.sort_by(|a, b| a.workload.cmp(&b.workload));
+    let mut out = String::from("{\n  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"median_ns\": {}, \"mappings\": {}}}{}\n",
+            e.workload,
+            e.median_ns,
+            e.mappings,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+/// Parses the summary format written by [`merge_bench_json`] (one entry per
+/// line); lines that do not look like entries are ignored, so a corrupted
+/// file degrades to a rewrite instead of an error.
+pub fn parse_bench_json(text: &str) -> Vec<BenchEntry> {
+    let field = |line: &str, key: &str| -> Option<String> {
+        let at = line.find(&format!("\"{key}\":"))? + key.len() + 3;
+        let rest = line[at..].trim_start();
+        let rest = rest.strip_prefix('"').unwrap_or(rest);
+        let end = rest.find(['"', ',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim().to_string())
+    };
+    text.lines()
+        .filter_map(|line| {
+            Some(BenchEntry {
+                workload: field(line, "workload")?,
+                median_ns: field(line, "median_ns")?.parse().ok()?,
+                mappings: field(line, "mappings")?.parse().ok()?,
+            })
+        })
+        .collect()
 }
 
 /// Least-squares slope of `log(y)` against `log(x)` — the empirical
@@ -71,5 +169,45 @@ mod tests {
         let (value, d) = timed(|| 40 + 2);
         assert_eq!(value, 42);
         assert!(!ms(d).is_empty());
+    }
+
+    #[test]
+    fn bench_json_round_trips_and_merges() {
+        let path = std::env::temp_dir().join(format!("bench-json-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        merge_bench_json(
+            &path,
+            &[
+                BenchEntry::new("b/two", Duration::from_nanos(200), 2),
+                BenchEntry::new("a/one", Duration::from_nanos(100), 1),
+            ],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = parse_bench_json(&text);
+        assert_eq!(parsed.len(), 2);
+        // Sorted by workload.
+        assert_eq!(parsed[0].workload, "a/one");
+        assert_eq!(parsed[0].median_ns, 100);
+        assert_eq!(parsed[1].mappings, 2);
+
+        // A second merge replaces same-named entries and keeps the rest.
+        merge_bench_json(
+            &path,
+            &[BenchEntry::new("a/one", Duration::from_nanos(150), 3)],
+        )
+        .unwrap();
+        let parsed = parse_bench_json(&std::fs::read_to_string(&path).unwrap());
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].median_ns, 150);
+        assert_eq!(parsed[0].mappings, 3);
+        assert_eq!(parsed[1].workload, "b/two");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn parse_bench_json_ignores_garbage() {
+        assert!(parse_bench_json("not json at all").is_empty());
+        assert!(parse_bench_json("{\"workload\": \"x\"}").is_empty());
     }
 }

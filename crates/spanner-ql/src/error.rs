@@ -1,0 +1,134 @@
+//! Spanned errors for SpannerQL programs.
+
+use spanner_core::SpannerError;
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the program source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SrcSpan {
+    /// First byte of the offending region.
+    pub start: usize,
+    /// One past the last byte of the offending region.
+    pub end: usize,
+}
+
+impl SrcSpan {
+    /// A span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> SrcSpan {
+        SrcSpan { start, end }
+    }
+
+    /// A zero-width span at `pos` (end-of-input errors).
+    pub fn at(pos: usize) -> SrcSpan {
+        SrcSpan {
+            start: pos,
+            end: pos,
+        }
+    }
+}
+
+/// An error raised while parsing, lowering, or compiling a SpannerQL
+/// program. Syntax and lowering errors always carry the source span they
+/// were detected at; errors surfaced by the compilation layers below the
+/// language (state-limit blowups and the like) may not map to one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QlError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Source region the error points at, when known.
+    pub span: Option<SrcSpan>,
+}
+
+impl QlError {
+    /// Builds a spanned error.
+    pub fn new(message: impl Into<String>, span: SrcSpan) -> QlError {
+        QlError {
+            message: message.into(),
+            span: Some(span),
+        }
+    }
+
+    /// Renders the error with the offending source line and a caret marker:
+    ///
+    /// ```text
+    /// error at line 2, column 11: unknown extractor `hots`
+    ///   project x (hots join user);
+    ///              ^^^^
+    /// ```
+    pub fn pretty(&self, src: &str) -> String {
+        let Some(span) = self.span else {
+            return format!("error: {}", self.message);
+        };
+        // Spans originating from byte-oriented layers (the regex parser) can
+        // land inside a multi-byte character; snap to char boundaries.
+        let mut start = span.start.min(src.len());
+        while !src.is_char_boundary(start) {
+            start -= 1;
+        }
+        let line_start = src[..start].rfind('\n').map_or(0, |i| i + 1);
+        let line_end = src[start..].find('\n').map_or(src.len(), |i| start + i);
+        let line_no = src[..start].matches('\n').count() + 1;
+        let column = src[line_start..start].chars().count() + 1;
+        let caret_pad = " ".repeat(column - 1);
+        let mut end = span.end.clamp(start, line_end);
+        while !src.is_char_boundary(end) {
+            end -= 1;
+        }
+        let width = src[start..end.max(start)].chars().count();
+        let carets = "^".repeat(width.max(1));
+        format!(
+            "error at line {line_no}, column {column}: {}\n  {}\n  {caret_pad}{carets}",
+            self.message,
+            &src[line_start..line_end],
+        )
+    }
+}
+
+impl fmt::Display for QlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.span {
+            Some(span) => write!(f, "error at byte {}: {}", span.start, self.message),
+            None => write!(f, "error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for QlError {}
+
+impl From<SpannerError> for QlError {
+    fn from(e: SpannerError) -> QlError {
+        QlError {
+            message: e.to_string(),
+            span: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = QlError::new("unexpected `)`", SrcSpan::new(4, 5));
+        assert_eq!(e.to_string(), "error at byte 4: unexpected `)`");
+    }
+
+    #[test]
+    fn pretty_points_at_the_line() {
+        let src = "let a = /x/;\nproject q (b);";
+        let pos = src.find('b').unwrap();
+        let e = QlError::new("unknown extractor `b`", SrcSpan::new(pos, pos + 1));
+        let rendered = e.pretty(src);
+        assert!(rendered.contains("line 2"), "{rendered}");
+        assert!(rendered.contains("project q (b);"), "{rendered}");
+        assert!(rendered.lines().last().unwrap().contains('^'), "{rendered}");
+    }
+
+    #[test]
+    fn pretty_survives_out_of_range_spans() {
+        let e = QlError::new("truncated", SrcSpan::at(1_000));
+        let rendered = e.pretty("ab");
+        assert!(rendered.contains("truncated"), "{rendered}");
+    }
+}

@@ -1,0 +1,222 @@
+//! Tokenizer for SpannerQL programs.
+//!
+//! The lexer produces spanned tokens; every keyword has a symbolic alias
+//! from the paper's notation (`π` for `project`, `∪` for `union`, `⋈` for
+//! `join`, `\` for `minus`). Regex literals are delimited by `/` and keep
+//! their content verbatim — the content is parsed by `spanner_rgx::parse`
+//! later, with positions mapped back into the program source. `\/` inside a
+//! literal escapes the delimiter (and reaches the regex parser unchanged,
+//! where `\/` denotes the literal byte `/`). `#` starts a comment running
+//! to the end of the line.
+
+use crate::error::{QlError, SrcSpan};
+
+/// A token kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// A name: bindings, variables.
+    Ident(String),
+    /// A regex literal `/…/`; the payload is the text between the slashes.
+    Regex(String),
+    /// `let`.
+    Let,
+    /// `project` or `π`.
+    Project,
+    /// `union` or `∪`.
+    Union,
+    /// `join` or `⋈`.
+    Join,
+    /// `minus` or `\`.
+    Minus,
+    /// `=`.
+    Eq,
+    /// `;`.
+    Semi,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `,`.
+    Comma,
+}
+
+impl Tok {
+    /// How the token reads in an error message.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(name) => format!("`{name}`"),
+            Tok::Regex(_) => "a regex literal".to_string(),
+            Tok::Let => "`let`".to_string(),
+            Tok::Project => "`project`".to_string(),
+            Tok::Union => "`union`".to_string(),
+            Tok::Join => "`join`".to_string(),
+            Tok::Minus => "`minus`".to_string(),
+            Tok::Eq => "`=`".to_string(),
+            Tok::Semi => "`;`".to_string(),
+            Tok::LParen => "`(`".to_string(),
+            Tok::RParen => "`)`".to_string(),
+            Tok::Comma => "`,`".to_string(),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind (and payload).
+    pub tok: Tok,
+    /// Where it sits in the source.
+    pub span: SrcSpan,
+}
+
+/// Tokenizes a whole program.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, QlError> {
+    let mut out = Vec::new();
+    let mut chars = src.char_indices().peekable();
+    while let Some((start, c)) = chars.next() {
+        let tok = match c {
+            c if c.is_whitespace() => continue,
+            '#' => {
+                while let Some(&(_, c)) = chars.peek() {
+                    chars.next();
+                    if c == '\n' {
+                        break;
+                    }
+                }
+                continue;
+            }
+            '=' => Tok::Eq,
+            ';' => Tok::Semi,
+            '(' => Tok::LParen,
+            ')' => Tok::RParen,
+            ',' => Tok::Comma,
+            'π' => Tok::Project,
+            '∪' => Tok::Union,
+            '⋈' => Tok::Join,
+            '\\' => Tok::Minus,
+            '/' => {
+                let mut content = String::new();
+                loop {
+                    match chars.next() {
+                        None => {
+                            return Err(QlError::new(
+                                "unterminated regex literal (missing closing `/`)",
+                                SrcSpan::new(start, src.len()),
+                            ))
+                        }
+                        Some((_, '/')) => break,
+                        Some((i, '\\')) => {
+                            // Keep the escape pair verbatim for the regex
+                            // parser; only the delimiter must not end the
+                            // literal here.
+                            content.push('\\');
+                            match chars.next() {
+                                Some((_, c)) => content.push(c),
+                                None => {
+                                    return Err(QlError::new(
+                                        "dangling escape in regex literal",
+                                        SrcSpan::new(i, src.len()),
+                                    ))
+                                }
+                            }
+                        }
+                        Some((_, c)) => content.push(c),
+                    }
+                }
+                let end = chars.peek().map_or(src.len(), |&(i, _)| i);
+                out.push(Token {
+                    tok: Tok::Regex(content),
+                    span: SrcSpan::new(start, end),
+                });
+                continue;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut name = String::new();
+                name.push(c);
+                while let Some(&(_, c)) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                match name.as_str() {
+                    "let" => Tok::Let,
+                    "project" => Tok::Project,
+                    "union" => Tok::Union,
+                    "join" => Tok::Join,
+                    "minus" => Tok::Minus,
+                    _ => Tok::Ident(name),
+                }
+            }
+            other => {
+                return Err(QlError::new(
+                    format!("unexpected character `{other}`"),
+                    SrcSpan::new(start, start + other.len_utf8()),
+                ))
+            }
+        };
+        let end = chars.peek().map_or(src.len(), |&(i, _)| i);
+        out.push(Token {
+            tok,
+            span: SrcSpan::new(start, end),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_aliases() {
+        assert_eq!(
+            kinds("project union join minus let"),
+            vec![Tok::Project, Tok::Union, Tok::Join, Tok::Minus, Tok::Let]
+        );
+        assert_eq!(
+            kinds(r"π ∪ ⋈ \"),
+            vec![Tok::Project, Tok::Union, Tok::Join, Tok::Minus]
+        );
+    }
+
+    #[test]
+    fn regex_literals_keep_content_verbatim() {
+        assert_eq!(
+            kinds(r"/{x:[a-z]+}@/"),
+            vec![Tok::Regex("{x:[a-z]+}@".to_string())]
+        );
+        // `\/` does not terminate the literal.
+        assert_eq!(kinds(r"/a\/b/"), vec![Tok::Regex(r"a\/b".to_string())]);
+    }
+
+    #[test]
+    fn idents_and_punctuation_are_spanned() {
+        let toks = tokenize("let user = /a/;").unwrap();
+        assert_eq!(toks[1].tok, Tok::Ident("user".to_string()));
+        assert_eq!(toks[1].span, SrcSpan::new(4, 8));
+        assert_eq!(toks.last().unwrap().tok, Tok::Semi);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("# a comment\nuser # trailing\n"),
+            vec![Tok::Ident("user".to_string())]
+        );
+    }
+
+    #[test]
+    fn errors_are_spanned() {
+        let err = tokenize("a @ b").unwrap_err();
+        assert_eq!(err.span.unwrap().start, 2);
+        let err = tokenize("/never closed").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+}

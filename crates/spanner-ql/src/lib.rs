@@ -1,0 +1,50 @@
+//! SpannerQL — a declarative query language for relational algebra over
+//! document spanners.
+//!
+//! The paper's headline results (Theorem 5.2 / Corollary 5.3) are about
+//! evaluating *whole RA trees* over extractors with polynomial delay. This
+//! crate puts a textual front end on that machinery: a program is a sequence
+//! of `let` bindings and one result expression over the RA operators
+//! `project` / `union` / `join` / `minus` (with the paper's symbols `π`,
+//! `∪`, `⋈`, `\` as aliases), and regex-formula literals written `/…/` in
+//! the `spanner_rgx::parse` syntax:
+//!
+//! ```text
+//! let user = /.*{user:[a-z]+}@.*/;
+//! let host = /.*@{host:[a-z]+(\.[a-z]+)*}.*/;
+//! project user, host (user join host) minus /.*{user:admin[a-z]*}@.*/;
+//! ```
+//!
+//! The pipeline is parse ([`parse_program`]) → lower
+//! ([`Program::lower`], producing `RaTree` + `Instantiation` with
+//! duplicate-binding / unknown-name / non-sequentiality diagnostics) →
+//! optimize + compile once ([`PreparedQuery::prepare`], through
+//! `spanner_algebra::optimize_ra` and `CompiledPlan`) → evaluate any number
+//! of documents (single documents via the polynomial-delay enumerator,
+//! corpora via `spanner_corpus::CorpusEngine`). Every error before
+//! compilation carries a source span; [`QlError::pretty`] renders it with
+//! the offending line and a caret.
+//!
+//! ```
+//! use spanner_core::Document;
+//! use spanner_ql::PreparedQuery;
+//!
+//! let q = PreparedQuery::prepare(
+//!     "let word = /.*{w:[a-z]+}.*/; project w (word) minus /.*{w:the}.*/;",
+//! )
+//! .unwrap();
+//! let doc = Document::new("the cat");
+//! let out = q.evaluate(&doc).unwrap();
+//! assert!(!out.is_empty());
+//! ```
+
+pub mod error;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+pub mod prepare;
+
+pub use error::{QlError, SrcSpan};
+pub use lower::Lowered;
+pub use parser::{parse_program, Binding, Program, QlExpr};
+pub use prepare::PreparedQuery;

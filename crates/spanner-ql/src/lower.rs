@@ -1,0 +1,171 @@
+//! Lowering parsed programs to `RaTree` + `Instantiation`.
+//!
+//! Every `let` binding becomes one leaf placeholder (reused by every
+//! reference to the name, so a binding used in several positions shares one
+//! atom); anonymous regex literals get fresh placeholders in source order.
+//! Lowering diagnoses duplicate bindings, unknown names, and non-sequential
+//! regex formulas — all with source spans, before any compilation work
+//! starts.
+
+use crate::error::{QlError, SrcSpan};
+use crate::parser::{Program, QlExpr};
+use spanner_algebra::{Instantiation, LeafId, RaTree};
+use spanner_core::VarSet;
+use std::collections::HashMap;
+
+/// A lowered program, ready for the planner and the compilation pipelines.
+#[derive(Debug, Clone)]
+pub struct Lowered {
+    /// The RA tree exactly as the program wrote it.
+    pub tree: RaTree,
+    /// The atom assignment for the tree's placeholders.
+    pub inst: Instantiation,
+    /// For each placeholder, the binding name it came from (or the regex
+    /// literal text for anonymous atoms) — used by `explain` output.
+    pub leaf_names: Vec<String>,
+}
+
+impl Program {
+    /// Lowers the program to an instantiated RA tree.
+    pub fn lower(&self) -> Result<Lowered, QlError> {
+        let mut inst = Instantiation::new();
+        let mut leaf_names: Vec<String> = Vec::new();
+        let mut by_name: HashMap<&str, LeafId> = HashMap::new();
+        for binding in &self.bindings {
+            if by_name.contains_key(binding.name.as_str()) {
+                return Err(QlError::new(
+                    format!("duplicate binding `{}`", binding.name),
+                    binding.name_span,
+                ));
+            }
+            check_sequential(&binding.rgx, binding.rgx_span)?;
+            let id = leaf_names.len();
+            by_name.insert(binding.name.as_str(), id);
+            leaf_names.push(binding.name.clone());
+            inst = inst.with(id, binding.rgx.clone());
+        }
+        let tree = lower_expr(&self.expr, &by_name, &mut inst, &mut leaf_names)?;
+        Ok(Lowered {
+            tree,
+            inst,
+            leaf_names,
+        })
+    }
+}
+
+fn lower_expr(
+    expr: &QlExpr,
+    by_name: &HashMap<&str, LeafId>,
+    inst: &mut Instantiation,
+    leaf_names: &mut Vec<String>,
+) -> Result<RaTree, QlError> {
+    Ok(match expr {
+        QlExpr::Name(name, span) => match by_name.get(name.as_str()) {
+            Some(&id) => RaTree::leaf(id),
+            None => {
+                return Err(QlError::new(
+                    format!("unknown extractor `{name}` (no `let {name} = /…/;` binding)"),
+                    *span,
+                ))
+            }
+        },
+        QlExpr::Regex(rgx, span) => {
+            check_sequential(rgx, *span)?;
+            let id = leaf_names.len();
+            leaf_names.push(format!("/{rgx}/"));
+            *inst = std::mem::take(inst).with(id, rgx.clone());
+            RaTree::leaf(id)
+        }
+        QlExpr::Project(vars, child) => RaTree::project(
+            VarSet::from_iter(vars.iter().map(String::as_str)),
+            lower_expr(child, by_name, inst, leaf_names)?,
+        ),
+        QlExpr::Union(l, r) => RaTree::union(
+            lower_expr(l, by_name, inst, leaf_names)?,
+            lower_expr(r, by_name, inst, leaf_names)?,
+        ),
+        QlExpr::Join(l, r) => RaTree::join(
+            lower_expr(l, by_name, inst, leaf_names)?,
+            lower_expr(r, by_name, inst, leaf_names)?,
+        ),
+        QlExpr::Minus(l, r) => RaTree::difference(
+            lower_expr(l, by_name, inst, leaf_names)?,
+            lower_expr(r, by_name, inst, leaf_names)?,
+        ),
+    })
+}
+
+/// The whole pipeline below the language requires sequential formulas;
+/// rejecting them here attaches the source span the compiler would lose.
+fn check_sequential(rgx: &spanner_rgx::Rgx, span: SrcSpan) -> Result<(), QlError> {
+    if spanner_rgx::is_sequential(rgx) {
+        Ok(())
+    } else {
+        Err(QlError::new(
+            "regex formula is not sequential (a capture repeats on some path, \
+             e.g. under a star or on both sides of a concatenation)",
+            span,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn lower(src: &str) -> Result<Lowered, QlError> {
+        parse_program(src)?.lower()
+    }
+
+    #[test]
+    fn names_share_one_placeholder() {
+        let lowered = lower("let u = /{x:a}/; u join u").unwrap();
+        assert_eq!(lowered.tree, RaTree::join(RaTree::leaf(0), RaTree::leaf(0)));
+        assert_eq!(lowered.inst.len(), 1);
+        assert_eq!(lowered.leaf_names, vec!["u"]);
+    }
+
+    #[test]
+    fn anonymous_literals_get_fresh_placeholders() {
+        let lowered = lower("let u = /{x:a}/; u union /{x:b}/").unwrap();
+        assert_eq!(
+            lowered.tree,
+            RaTree::union(RaTree::leaf(0), RaTree::leaf(1))
+        );
+        assert_eq!(lowered.leaf_names[1], "/{x:b}/");
+    }
+
+    #[test]
+    fn duplicate_binding_is_diagnosed_at_the_name() {
+        let src = "let u = /a/; let u = /b/; u";
+        let err = lower(src).unwrap_err();
+        assert!(err.message.contains("duplicate binding `u`"), "{err}");
+        assert_eq!(err.span.unwrap().start, src.rfind("u =").unwrap());
+    }
+
+    #[test]
+    fn unknown_name_is_diagnosed_at_the_use() {
+        let src = "let user = /a/; usr";
+        let err = lower(src).unwrap_err();
+        assert!(err.message.contains("unknown extractor `usr`"), "{err}");
+        assert_eq!(err.span.unwrap().start, src.find("usr").unwrap());
+    }
+
+    #[test]
+    fn non_sequential_formulas_are_rejected_with_a_span() {
+        let err = lower("let b = /({x:a})*/; b").unwrap_err();
+        assert!(err.message.contains("not sequential"), "{err}");
+        let err = lower("/({x:a})*/ minus /b/").unwrap_err();
+        assert!(err.message.contains("not sequential"), "{err}");
+        assert_eq!(err.span.unwrap().start, 0);
+    }
+
+    #[test]
+    fn projection_onto_unknown_variables_is_allowed() {
+        // π over a variable no atom binds intersects to the empty schema —
+        // legal RA, so the language allows it.
+        let lowered = lower("let u = /{x:a}/; project nope (u)").unwrap();
+        assert!(matches!(lowered.tree, RaTree::Project(_, _)));
+    }
+}

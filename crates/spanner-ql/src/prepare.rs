@@ -1,0 +1,256 @@
+//! Prepared queries: parse + lower + optimize + compile once, evaluate many.
+//!
+//! [`PreparedQuery::prepare`] runs the whole front half of the pipeline —
+//! tokenize, parse, lower to `RaTree` + `Instantiation`, optimize with
+//! `spanner_algebra::optimize_ra`, compile to a [`CompiledPlan`] — exactly
+//! once. The handle then evaluates any number of documents: single documents
+//! stream through the polynomial-delay [`Enumerator`]
+//! (`spanner_enum`, via [`CompiledPlan::stream`]), corpora shard across a
+//! [`CorpusEngine`] thread pool.
+
+use crate::error::QlError;
+use crate::lower::Lowered;
+use crate::parser::{parse_program, Program};
+use spanner_algebra::{
+    shared_variable_bound, tree_vars, CompiledPlan, Instantiation, PlanStream, RaOptions, RaTree,
+};
+use spanner_core::{Document, MappingSet, SpannerResult, VarSet};
+use spanner_corpus::{CorpusEngine, CorpusResult};
+
+/// A compiled SpannerQL query, ready for repeated evaluation.
+pub struct PreparedQuery {
+    program: Program,
+    lowered: Lowered,
+    engine: CorpusEngine,
+    vars: VarSet,
+    bound_before: usize,
+    bound_after: usize,
+}
+
+impl PreparedQuery {
+    /// Parses, lowers, optimizes, and compiles a program with the default
+    /// [`RaOptions`].
+    pub fn prepare(src: &str) -> Result<PreparedQuery, QlError> {
+        PreparedQuery::prepare_with_options(src, RaOptions::default())
+    }
+
+    /// [`PreparedQuery::prepare`] with explicit evaluation options (the
+    /// differential tests prepare with the optimizer off).
+    pub fn prepare_with_options(src: &str, options: RaOptions) -> Result<PreparedQuery, QlError> {
+        let program = parse_program(src)?;
+        let lowered = program.lower()?;
+        let vars = tree_vars(&lowered.tree, &lowered.inst)?;
+        let bound_before = shared_variable_bound(&lowered.tree, &lowered.inst)?;
+        let engine = CorpusEngine::compile(&lowered.tree, &lowered.inst, options)?;
+        let bound_after = shared_variable_bound(engine.plan().tree(), &lowered.inst)?;
+        Ok(PreparedQuery {
+            program,
+            lowered,
+            engine,
+            vars,
+            bound_before,
+            bound_after,
+        })
+    }
+
+    /// Evaluates the query on one document into a materialized relation.
+    pub fn evaluate(&self, doc: &Document) -> SpannerResult<MappingSet> {
+        self.engine.plan().evaluate(doc)
+    }
+
+    /// Streams the query's mappings on one document (polynomial delay for
+    /// fully static plans).
+    pub fn stream<'a>(&'a self, doc: &'a Document) -> SpannerResult<PlanStream<'a>> {
+        self.engine.plan().stream(doc)
+    }
+
+    /// Evaluates the query over a corpus, sharded across `threads` workers
+    /// (`0` = one per CPU). Results are in corpus order and bit-identical
+    /// for every thread count.
+    pub fn evaluate_corpus(
+        &self,
+        docs: &[Document],
+        threads: usize,
+    ) -> SpannerResult<CorpusResult> {
+        self.engine.evaluate_with_threads(docs, threads)
+    }
+
+    /// The corpus engine wrapping the compiled plan.
+    pub fn engine(&self) -> &CorpusEngine {
+        &self.engine
+    }
+
+    /// The compiled physical plan.
+    pub fn plan(&self) -> &CompiledPlan {
+        self.engine.plan()
+    }
+
+    /// The parsed program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The RA tree exactly as the program wrote it (before optimization).
+    pub fn tree(&self) -> &RaTree {
+        &self.lowered.tree
+    }
+
+    /// The optimized RA tree the plan was compiled from.
+    pub fn optimized_tree(&self) -> &RaTree {
+        self.engine.plan().tree()
+    }
+
+    /// The atom assignment shared by both trees.
+    pub fn instantiation(&self) -> &Instantiation {
+        &self.lowered.inst
+    }
+
+    /// The declared output variables of the query.
+    pub fn vars(&self) -> &VarSet {
+        &self.vars
+    }
+
+    /// The Lemma 3.2 / Theorem 5.2 shared-variable bound of the tree as
+    /// written.
+    pub fn shared_variable_bound_before(&self) -> usize {
+        self.bound_before
+    }
+
+    /// The shared-variable bound after planning (never larger than
+    /// [`PreparedQuery::shared_variable_bound_before`] — the optimizer
+    /// guards every rewrite on it).
+    pub fn shared_variable_bound_after(&self) -> usize {
+        self.bound_after
+    }
+
+    /// A human-readable explanation: the query as written, the leaf
+    /// bindings, the optimized tree, the shared-variable bound before and
+    /// after planning, and whether the plan compiled statically.
+    pub fn explain(&self) -> String {
+        let plan = self.engine.plan();
+        let vars: Vec<String> = self.vars.iter().map(|v| v.to_string()).collect();
+        let mut out = String::new();
+        out.push_str(&format!("query      : {}\n", self.lowered.tree));
+        for (id, name) in self.lowered.leaf_names.iter().enumerate() {
+            out.push_str(&format!("  ?{id} = {name}\n"));
+        }
+        out.push_str(&format!("output vars: {{{}}}\n", vars.join(", ")));
+        out.push_str(&format!(
+            "shared-variable bound (Lemma 3.2): {} before planning, {} after\n",
+            self.bound_before, self.bound_after
+        ));
+        out.push_str(&format!(
+            "optimized  : {}\n{}\n",
+            plan.tree(),
+            plan.tree().describe(&self.lowered.inst)
+        ));
+        out.push_str(&format!(
+            "plan       : {} ({})\n",
+            if plan.is_static() {
+                "static — compiled once, zero per-document compilation"
+            } else {
+                "dynamic — difference/black-box parts re-compiled per document"
+            },
+            if plan.is_static() {
+                "Theorem 5.2"
+            } else {
+                "Theorem 5.2 / Corollary 5.3, ad-hoc"
+            },
+        ));
+        out
+    }
+}
+
+impl std::fmt::Debug for PreparedQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PreparedQuery({})", self.lowered.tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_and_evaluate_the_readme_query() {
+        // Difference is *relational*: the subtracted relation must have the
+        // same schema, hence the projection down to `user` on both sides.
+        let q = PreparedQuery::prepare(
+            "let user = /{user:[a-z]+}@[a-z]+(\\.[a-z]+)*/;\n\
+             let host = /[a-z]+@{host:[a-z]+(\\.[a-z]+)*}/;\n\
+             project user (user join host) minus /{user:admin[a-z]*}@.*/;",
+        )
+        .unwrap();
+        let doc = Document::new("bob@edu.ru");
+        let out = q.evaluate(&doc).unwrap();
+        assert_eq!(out.len(), 1);
+        let admin = Document::new("adminx@edu.ru");
+        assert!(q.evaluate(&admin).unwrap().is_empty());
+    }
+
+    #[test]
+    fn stream_agrees_with_evaluate() {
+        let q = PreparedQuery::prepare("let a = /{x:a+}b*/; a union /{x:b+}/").unwrap();
+        for text in ["aab", "bb", ""] {
+            let doc = Document::new(text);
+            let streamed: MappingSet = q
+                .stream(&doc)
+                .unwrap()
+                .collect::<SpannerResult<Vec<_>>>()
+                .unwrap()
+                .into_iter()
+                .collect();
+            assert_eq!(streamed, q.evaluate(&doc).unwrap(), "{text:?}");
+        }
+    }
+
+    #[test]
+    fn corpus_evaluation_matches_per_document() {
+        let q = PreparedQuery::prepare("/{x:a+}/").unwrap();
+        let docs = vec![Document::new("aa"), Document::new("b"), Document::new("a")];
+        let out = q.evaluate_corpus(&docs, 2).unwrap();
+        for (doc, got) in docs.iter().zip(&out.results) {
+            assert_eq!(got, &q.evaluate(doc).unwrap());
+        }
+    }
+
+    #[test]
+    fn explain_reports_the_planner_firing_on_a_join_chain() {
+        // (?0{x} ⋈ ?1{y}) ⋈ ?2{x,y}: bound 2 as written, 1 after reordering.
+        let q = PreparedQuery::prepare(
+            "let a = /{x:a}b*/; let b = /a{y:b+}/; let c = /{x:a}{y:b+}/;\n\
+             (a join b) join c;",
+        )
+        .unwrap();
+        assert_eq!(q.shared_variable_bound_before(), 2);
+        assert_eq!(q.shared_variable_bound_after(), 1);
+        let explain = q.explain();
+        assert!(explain.contains("2 before planning, 1 after"), "{explain}");
+        assert!(explain.contains("static"), "{explain}");
+        assert!(explain.contains("?0 = a"), "{explain}");
+    }
+
+    #[test]
+    fn bound_never_increases_under_planning() {
+        let q = PreparedQuery::prepare(
+            "let a = /{x:a}{y:b?}/; let b = /{x:a}{z:b?}/; project x (a join b) minus a;",
+        )
+        .unwrap();
+        assert!(q.shared_variable_bound_after() <= q.shared_variable_bound_before());
+    }
+
+    #[test]
+    fn compile_errors_surface_as_ql_errors() {
+        // A sequential program whose automaton-level compilation exceeds the
+        // configured state limit.
+        let result = PreparedQuery::prepare_with_options(
+            "let a = /{x:a+}{y:a+}/; a join a",
+            RaOptions {
+                max_states: 1,
+                ..RaOptions::default()
+            },
+        );
+        let err = result.unwrap_err();
+        assert!(err.message.contains("limit"), "{err}");
+    }
+}

@@ -10,6 +10,7 @@
 
 pub mod corpora;
 pub mod extractors;
+pub mod random_ql;
 pub mod random_ra;
 pub mod random_vsa;
 
@@ -22,5 +23,6 @@ pub use extractors::{
     name_extractor, phone_extractor, recommendation_extractor, student_info_extractor,
     uk_mail_extractor,
 };
+pub use random_ql::{random_ql_program, RandomQlConfig, RandomQlProgram};
 pub use random_ra::{random_ra_tree, RandomRaConfig};
 pub use random_vsa::{random_sequential_rgx, random_sequential_vsa, RandomVsaConfig};

@@ -1,0 +1,214 @@
+//! Random SpannerQL programs paired with their programmatic lowering.
+//!
+//! The query-language front end is differentially tested the same way the
+//! planner is: a seeded generator emits a program *text* together with the
+//! `RaTree` + `Instantiation` the text is supposed to lower to, built
+//! programmatically while the text is rendered. The oracle then checks that
+//! parsing + preparing the text evaluates bit-identically to the
+//! programmatic pair. The generator mixes spelled-out keywords with the
+//! symbolic aliases (`π`, `∪`, `⋈`, `\`), name references with anonymous
+//! regex literals, and exercises binding reuse (the same name in several
+//! positions).
+
+use crate::random_vsa::random_sequential_rgx;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spanner_algebra::{Instantiation, RaTree};
+use spanner_core::{VarSet, Variable};
+use spanner_rgx::Rgx;
+
+/// Configuration for [`random_ql_program`].
+#[derive(Debug, Clone, Copy)]
+pub struct RandomQlConfig {
+    /// Number of `let` bindings.
+    pub bindings: usize,
+    /// Maximum operator nesting depth of the result expression.
+    pub depth: usize,
+    /// Capture variables per regex formula.
+    pub vars_per_leaf: usize,
+    /// Whether `minus` may appear.
+    pub allow_difference: bool,
+}
+
+impl Default for RandomQlConfig {
+    fn default() -> Self {
+        RandomQlConfig {
+            bindings: 3,
+            depth: 3,
+            vars_per_leaf: 2,
+            allow_difference: true,
+        }
+    }
+}
+
+/// A generated program and the instantiated RA tree it must lower to.
+#[derive(Debug, Clone)]
+pub struct RandomQlProgram {
+    /// The SpannerQL source text.
+    pub text: String,
+    /// The RA tree built programmatically alongside the text.
+    pub tree: RaTree,
+    /// The matching atom assignment.
+    pub inst: Instantiation,
+}
+
+/// Generates a random SpannerQL program. Deterministic per `(config, seed)`.
+pub fn random_ql_program(config: RandomQlConfig, seed: u64) -> RandomQlProgram {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xa076_1d64_78bd_642f));
+    let bindings = config.bindings.max(1);
+
+    let mut text = String::new();
+    let mut inst = Instantiation::new();
+    let mut pool = VarSet::new();
+    for id in 0..bindings {
+        let rgx = random_sequential_rgx(3, config.vars_per_leaf, rng.next_u64());
+        pool = pool.union(&rgx.vars());
+        text.push_str(&format!("let b{id} = /{}/;\n", escape_regex(&rgx)));
+        inst = inst.with(id, rgx);
+    }
+    // Projections also target a variable no formula binds.
+    pool.insert(Variable::new("unbound"));
+
+    let mut gen = Gen {
+        rng,
+        bindings,
+        next_leaf: bindings,
+        pool: pool.to_vec(),
+        allow_difference: config.allow_difference,
+        vars_per_leaf: config.vars_per_leaf,
+    };
+    let tree = gen.expr(&mut text, &mut inst, config.depth);
+    text.push(';');
+    RandomQlProgram { text, tree, inst }
+}
+
+/// Escapes a formula's concrete syntax for embedding in a `/…/` literal
+/// (only the delimiter needs care; `\/` denotes a literal `/` byte).
+fn escape_regex(rgx: &Rgx) -> String {
+    format!("{rgx}").replace('/', "\\/")
+}
+
+struct Gen {
+    rng: StdRng,
+    bindings: usize,
+    next_leaf: usize,
+    pool: Vec<Variable>,
+    allow_difference: bool,
+    vars_per_leaf: usize,
+}
+
+impl Gen {
+    /// Emits a primary-level operand: a name reference, an anonymous regex
+    /// literal, or a parenthesized subexpression.
+    fn primary(&mut self, text: &mut String, inst: &mut Instantiation, depth: usize) -> RaTree {
+        if depth == 0 || self.rng.gen_bool(0.3) {
+            if self.rng.gen_bool(0.25) {
+                // Anonymous literal: a fresh placeholder.
+                let rgx = random_sequential_rgx(2, self.vars_per_leaf, self.rng.next_u64());
+                let id = self.next_leaf;
+                self.next_leaf += 1;
+                text.push_str(&format!("/{}/", escape_regex(&rgx)));
+                *inst = std::mem::take(inst).with(id, rgx);
+                return RaTree::leaf(id);
+            }
+            let id = self.rng.gen_range(0..self.bindings);
+            text.push_str(&format!("b{id}"));
+            return RaTree::leaf(id);
+        }
+        text.push('(');
+        let tree = self.expr(text, inst, depth - 1);
+        text.push(')');
+        tree
+    }
+
+    /// Emits an expression of the given depth budget.
+    fn expr(&mut self, text: &mut String, inst: &mut Instantiation, depth: usize) -> RaTree {
+        if depth == 0 {
+            return self.primary(text, inst, 0);
+        }
+        match self.rng.gen_range(0..8u32) {
+            0 | 1 => {
+                // Projection onto a random subset of the variable pool.
+                let mut keep = VarSet::new();
+                let mut names = Vec::new();
+                for v in &self.pool {
+                    if self.rng.gen_bool(0.5) {
+                        keep.insert(v.clone());
+                        names.push(v.name().to_string());
+                    }
+                }
+                text.push_str(if self.rng.gen_bool(0.5) {
+                    "project "
+                } else {
+                    "π "
+                });
+                text.push_str(&names.join(", "));
+                if !names.is_empty() {
+                    text.push(' ');
+                }
+                text.push('(');
+                let child = self.expr(text, inst, depth - 1);
+                text.push(')');
+                RaTree::project(keep, child)
+            }
+            2 | 3 => {
+                let (left, right) = self.pair(text, inst, depth, &["union", "∪"]);
+                RaTree::union(left, right)
+            }
+            4 | 5 => {
+                let (left, right) = self.pair(text, inst, depth, &["join", "⋈"]);
+                RaTree::join(left, right)
+            }
+            _ if self.allow_difference => {
+                let (left, right) = self.pair(text, inst, depth, &["minus", "\\"]);
+                RaTree::difference(left, right)
+            }
+            _ => {
+                let (left, right) = self.pair(text, inst, depth, &["join", "⋈"]);
+                RaTree::join(left, right)
+            }
+        }
+    }
+
+    /// Emits `left OP right` with a randomly chosen spelling of the
+    /// operator, parenthesizing the operands so the rendered precedence is
+    /// exactly the generated tree.
+    fn pair(
+        &mut self,
+        text: &mut String,
+        inst: &mut Instantiation,
+        depth: usize,
+        spellings: &[&str],
+    ) -> (RaTree, RaTree) {
+        let left = self.primary(text, inst, depth - 1);
+        let op = spellings[self.rng.gen_range(0..spellings.len())];
+        text.push_str(&format!(" {op} "));
+        let right = self.primary(text, inst, depth - 1);
+        (left, right)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = RandomQlConfig::default();
+        let a = random_ql_program(cfg, 11);
+        let b = random_ql_program(cfg, 11);
+        assert_eq!(a.text, b.text);
+        assert_eq!(a.tree, b.tree);
+        assert_eq!(a.inst.len(), b.inst.len());
+    }
+
+    #[test]
+    fn programs_mention_every_binding() {
+        let cfg = RandomQlConfig::default();
+        let p = random_ql_program(cfg, 3);
+        for id in 0..cfg.bindings {
+            assert!(p.text.contains(&format!("let b{id} = /")), "{}", p.text);
+        }
+        assert!(p.text.ends_with(';'), "{}", p.text);
+    }
+}

@@ -21,6 +21,7 @@
 //! | [`reductions`] | `spanner-reductions` | SAT reductions for the lower bounds |
 //! | [`workloads`] | `spanner-workloads` | synthetic corpora, extractor library, random spanners |
 //! | [`corpus`] | `spanner-corpus` | parallel multi-document evaluation of compiled plans |
+//! | [`ql`] | `spanner-ql` | SpannerQL: the declarative query-language front end |
 //!
 //! # Quickstart
 //!
@@ -46,6 +47,7 @@ pub use spanner_algebra as algebra;
 pub use spanner_core as core;
 pub use spanner_corpus as corpus;
 pub use spanner_enum as enumeration;
+pub use spanner_ql as ql;
 pub use spanner_reductions as reductions;
 pub use spanner_rgx as rgx;
 pub use spanner_vset as vset;
@@ -62,6 +64,7 @@ pub mod prelude {
     pub use spanner_core::{Document, Mapping, MappingSet, Span, SpannerError, VarSet, Variable};
     pub use spanner_corpus::{split_lines, CorpusEngine, CorpusResult, CorpusStats};
     pub use spanner_enum::{count_mappings, evaluate, evaluate_rgx, is_nonempty, Enumerator};
+    pub use spanner_ql::{parse_program, PreparedQuery, QlError};
     pub use spanner_rgx::{parse, reference_eval, Rgx};
     pub use spanner_vset::{compile, join, Vsa};
 }

@@ -9,15 +9,32 @@
 //! document-spanners corpus   <pattern> [file [threads]]
 //!                                                    evaluate every line as its
 //!                                                    own document, in parallel
+//! document-spanners query    <program> [file]        run a SpannerQL program
+//! document-spanners query --corpus <program> [file [threads]]
+//!                                                    … over every line, in parallel
+//! document-spanners explain  <program>               show the parsed tree, the
+//!                                                    optimized plan, and the
+//!                                                    shared-variable bound
 //! ```
 //!
-//! The pattern syntax is the one of `spanner_rgx::parse`; when no file is
+//! The pattern syntax is the one of `spanner_rgx::parse`; SpannerQL programs
+//! use the `spanner_ql` syntax (`let name = /…/; expr;`). When no file is
 //! given the document is read from standard input.
 
 use document_spanners::prelude::*;
 use spanner_rgx::RgxClass;
 use std::io::Read;
 use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  document-spanners extract  <pattern> [file]
+  document-spanners count    <pattern> [file]
+  document-spanners classify <pattern>
+  document-spanners diff     <pattern1> <pattern2> [file]
+  document-spanners corpus   <pattern> [file [threads]]
+  document-spanners query    <program> [file]
+  document-spanners query    --corpus <program> [file [threads]]
+  document-spanners explain  <program>";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,23 +43,48 @@ fn main() -> ExitCode {
         Err(message) => {
             eprintln!("error: {message}");
             eprintln!();
-            eprintln!("usage:");
-            eprintln!("  document-spanners extract  <pattern> [file]");
-            eprintln!("  document-spanners count    <pattern> [file]");
-            eprintln!("  document-spanners classify <pattern>");
-            eprintln!("  document-spanners diff     <pattern1> <pattern2> [file]");
-            eprintln!("  document-spanners corpus   <pattern> [file [threads]]");
+            eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
     }
 }
 
+/// Checks the number of operands after the command name: between `min` and
+/// `max`, rejecting silently-ignored trailing arguments.
+fn arity(command: &str, operands: &[String], min: usize, max: usize) -> Result<(), String> {
+    if operands.len() < min {
+        return Err(format!(
+            "`{command}` needs at least {min} argument{}, got {}",
+            if min == 1 { "" } else { "s" },
+            operands.len()
+        ));
+    }
+    if operands.len() > max {
+        return Err(format!(
+            "unexpected extra argument `{}` to `{command}` (takes at most {max})",
+            operands[max]
+        ));
+    }
+    Ok(())
+}
+
+/// Parses the optional worker-count operand (`0` = one worker per CPU).
+fn parse_threads(arg: Option<&String>) -> Result<usize, String> {
+    match arg {
+        None => Ok(0),
+        Some(t) => t.parse().map_err(|_| {
+            format!("invalid thread count `{t}`: expected a non-negative integer (0 = one per CPU)")
+        }),
+    }
+}
+
 fn run(args: &[String]) -> Result<(), String> {
     let command = args.first().ok_or("missing command")?;
+    let operands = &args[1..];
     match command.as_str() {
         "classify" => {
-            let pattern = args.get(1).ok_or("missing pattern")?;
-            let alpha = parse(pattern).map_err(|e| e.to_string())?;
+            arity(command, operands, 1, 1)?;
+            let alpha = parse(&operands[0]).map_err(|e| e.to_string())?;
             let class = RgxClass::of(&alpha);
             println!("formula      : {alpha}");
             println!("variables    : {:?}", alpha.vars());
@@ -54,9 +96,9 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "extract" | "count" => {
-            let pattern = args.get(1).ok_or("missing pattern")?;
-            let doc = read_document(args.get(2))?;
-            let alpha = parse(pattern).map_err(|e| e.to_string())?;
+            arity(command, operands, 1, 2)?;
+            let doc = read_document(operands.get(1))?;
+            let alpha = parse(&operands[0]).map_err(|e| e.to_string())?;
             let vsa = compile(&alpha);
             let enumerator = Enumerator::new(&vsa, &doc).map_err(|e| e.to_string())?;
             if command == "count" {
@@ -71,11 +113,10 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "diff" => {
-            let p1 = args.get(1).ok_or("missing first pattern")?;
-            let p2 = args.get(2).ok_or("missing second pattern")?;
-            let doc = read_document(args.get(3))?;
-            let a1 = compile(&parse(p1).map_err(|e| e.to_string())?);
-            let a2 = compile(&parse(p2).map_err(|e| e.to_string())?);
+            arity(command, operands, 2, 3)?;
+            let doc = read_document(operands.get(2))?;
+            let a1 = compile(&parse(&operands[0]).map_err(|e| e.to_string())?);
+            let a2 = compile(&parse(&operands[1]).map_err(|e| e.to_string())?);
             let result = difference_product_eval(&a1, &a2, &doc, DifferenceOptions::default())
                 .map_err(|e| e.to_string())?;
             for mapping in result.iter() {
@@ -84,41 +125,84 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "corpus" => {
-            let pattern = args.get(1).ok_or("missing pattern")?;
-            let doc = read_document(args.get(2))?;
-            let threads: usize = match args.get(3) {
-                Some(t) => t.parse().map_err(|_| format!("bad thread count `{t}`"))?,
-                None => 0, // one worker per CPU
-            };
+            arity(command, operands, 1, 3)?;
+            let doc = read_document(operands.get(1))?;
+            let threads = parse_threads(operands.get(2))?;
             let docs = split_lines(doc.text());
-            let alpha = parse(pattern).map_err(|e| e.to_string())?;
+            let alpha = parse(&operands[0]).map_err(|e| e.to_string())?;
             let inst = Instantiation::new().with(0, alpha);
             let engine = CorpusEngine::compile(&RaTree::leaf(0), &inst, RaOptions::default())
                 .map_err(|e| e.to_string())?;
             let out = engine
                 .evaluate_with_threads(&docs, threads)
                 .map_err(|e| e.to_string())?;
-            for (line, result) in docs.iter().zip(&out.results) {
-                if !result.is_empty() {
-                    println!("{}\t{}", result.len(), line.text());
+            print_corpus_result(&docs, &out);
+            Ok(())
+        }
+        "query" => {
+            let corpus_mode = operands.first().is_some_and(|a| a == "--corpus");
+            let operands = if corpus_mode {
+                &operands[1..]
+            } else {
+                operands
+            };
+            if corpus_mode {
+                arity("query --corpus", operands, 1, 3)?;
+            } else {
+                arity(command, operands, 1, 2)?;
+            }
+            let prepared = prepare_program(&operands[0])?;
+            let doc = read_document(operands.get(1))?;
+            if corpus_mode {
+                let threads = parse_threads(operands.get(2))?;
+                let docs = split_lines(doc.text());
+                let out = prepared
+                    .evaluate_corpus(&docs, threads)
+                    .map_err(|e| e.to_string())?;
+                print_corpus_result(&docs, &out);
+            } else {
+                let stream = prepared.stream(&doc).map_err(|e| e.to_string())?;
+                for mapping in stream {
+                    let mapping = mapping.map_err(|e| e.to_string())?;
+                    print_mapping(&doc, &mapping);
                 }
             }
-            let s = out.stats;
-            eprintln!(
-                "{} documents ({} bytes), {} mappings in {} matching documents; \
-                 {} threads, {:?} ({:.1} MiB/s)",
-                s.documents,
-                s.bytes,
-                s.mappings,
-                s.matched_documents,
-                s.threads,
-                s.elapsed,
-                s.bytes_per_second() / (1024.0 * 1024.0),
-            );
+            Ok(())
+        }
+        "explain" => {
+            arity(command, operands, 1, 1)?;
+            let prepared = prepare_program(&operands[0])?;
+            print!("{}", prepared.explain());
             Ok(())
         }
         other => Err(format!("unknown command `{other}`")),
     }
+}
+
+/// Prepares a SpannerQL program, rendering errors with their source line
+/// and a caret marker.
+fn prepare_program(src: &str) -> Result<PreparedQuery, String> {
+    PreparedQuery::prepare(src).map_err(|e| format!("in SpannerQL program:\n{}", e.pretty(src)))
+}
+
+fn print_corpus_result(docs: &[Document], out: &CorpusResult) {
+    for (line, result) in docs.iter().zip(&out.results) {
+        if !result.is_empty() {
+            println!("{}\t{}", result.len(), line.text());
+        }
+    }
+    let s = out.stats;
+    eprintln!(
+        "{} documents ({} bytes), {} mappings in {} matching documents; \
+         {} threads, {:?} ({:.1} MiB/s)",
+        s.documents,
+        s.bytes,
+        s.mappings,
+        s.matched_documents,
+        s.threads,
+        s.elapsed,
+        s.bytes_per_second() / (1024.0 * 1024.0),
+    );
 }
 
 fn read_document(path: Option<&String>) -> Result<Document, String> {
@@ -143,4 +227,109 @@ fn print_mapping(doc: &Document, mapping: &Mapping) {
         .collect();
     // Ignore broken pipes (e.g. when piped into `head`).
     let _ = writeln!(std::io::stdout(), "{}", cells.join("\t"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Writes a scratch document and returns its path.
+    fn scratch(name: &str, content: &str) -> String {
+        let path = std::env::temp_dir().join(format!(
+            "document-spanners-cli-{}-{name}",
+            std::process::id()
+        ));
+        std::fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn unknown_command_is_rejected() {
+        assert!(run(&argv(&["frobnicate"])).unwrap_err().contains("unknown"));
+        assert!(run(&[]).unwrap_err().contains("missing command"));
+    }
+
+    #[test]
+    fn trailing_arguments_are_rejected() {
+        let cases: &[&[&str]] = &[
+            &["classify", "{x:a}", "extra"],
+            &["extract", "{x:a}", "file", "extra"],
+            &["count", "{x:a}", "file", "extra"],
+            &["diff", "a", "b", "file", "extra"],
+            &["corpus", "a", "file", "2", "extra"],
+            &["query", "/a/", "file", "extra"],
+            &["query", "--corpus", "/a/", "file", "2", "extra"],
+            &["explain", "/a/", "extra"],
+        ];
+        for case in cases {
+            let err = run(&argv(case)).unwrap_err();
+            assert!(err.contains("unexpected extra argument"), "{case:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn missing_arguments_are_rejected() {
+        for case in [&["extract"][..], &["diff", "a"], &["query"], &["explain"]] {
+            let err = run(&argv(case)).unwrap_err();
+            assert!(err.contains("needs at least"), "{case:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn bad_thread_count_is_diagnosed() {
+        let file = scratch("threads", "aa\n");
+        let err = run(&argv(&["corpus", "{x:a+}", &file, "two"])).unwrap_err();
+        assert!(err.contains("invalid thread count `two`"), "{err}");
+        let err = run(&argv(&["query", "--corpus", "/{x:a+}/", &file, "-1"])).unwrap_err();
+        assert!(err.contains("invalid thread count"), "{err}");
+    }
+
+    #[test]
+    fn query_runs_a_program_over_a_file() {
+        let file = scratch("query", "aab");
+        assert_eq!(run(&argv(&["query", "/{x:a+}b/", &file])), Ok(()));
+        assert_eq!(
+            run(&argv(&[
+                "query",
+                "--corpus",
+                "let a = /{x:a+}b*/; project x (a);",
+                &file,
+                "2",
+            ])),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn query_errors_carry_positions() {
+        let err = run(&argv(&["query", "let a = /x/; b", "unused"])).unwrap_err();
+        assert!(err.contains("unknown extractor `b`"), "{err}");
+        assert!(err.contains("line 1"), "{err}");
+        assert!(err.contains('^'), "{err}");
+    }
+
+    #[test]
+    fn explain_accepts_a_join_chain() {
+        assert_eq!(
+            run(&argv(&[
+                "explain",
+                "let a = /{x:a}b*/; let b = /a{y:b+}/; let c = /{x:a}{y:b+}/; (a join b) join c;",
+            ])),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn classify_and_extract_still_work() {
+        let file = scratch("extract", "ab");
+        assert_eq!(run(&argv(&["classify", "{x:a}b"])), Ok(()));
+        assert_eq!(run(&argv(&["extract", "{x:a}b", &file])), Ok(()));
+        assert_eq!(run(&argv(&["count", "{x:a}b", &file])), Ok(()));
+        assert_eq!(run(&argv(&["diff", "{x:a}b", "{x:a}c", &file])), Ok(()));
+        assert_eq!(run(&argv(&["corpus", "{x:a}b", &file, "1"])), Ok(()));
+    }
 }

@@ -14,7 +14,7 @@ use spanner_algebra::{
 use spanner_core::MappingSet;
 use spanner_rgx::{is_sequential, to_disjunctive_functional};
 use spanner_vset::{interpret, is_sequential as vsa_sequential, make_semi_functional};
-use spanner_workloads::{random_ra_tree, RandomRaConfig};
+use spanner_workloads::{random_ra_tree, random_sequential_rgx, RandomRaConfig};
 
 /// A strategy for small sequential regex formulas over {a, b} with capture
 /// variables drawn from {x, y, z}.
@@ -71,6 +71,13 @@ fn strip_var(r: Rgx, name: &str) -> Rgx {
 /// exponential, so inputs must stay small).
 fn doc_strategy() -> impl Strategy<Value = String> {
     proptest::collection::vec(prop_oneof![Just('a'), Just('b')], 0..=5)
+        .prop_map(|chars| chars.into_iter().collect())
+}
+
+/// Documents over {a, b, c} — the alphabet of the workload formula
+/// generator (`random_sequential_rgx`).
+fn abc_doc_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(prop_oneof![Just('a'), Just('b'), Just('c')], 0..=5)
         .prop_map(|chars| chars.into_iter().collect())
 }
 
@@ -248,6 +255,31 @@ proptest! {
             evaluate_ra_materialized(&optimized, &inst, &doc).unwrap(),
             evaluate_ra_materialized(&tree, &inst, &doc).unwrap(),
             "{} vs {}", tree, optimized
+        );
+    }
+    // `Rgx`'s `Display` output re-parses to an equivalent formula: the
+    // concrete syntax and the printer stay in sync over the whole space of
+    // workload-generated formulas (which the SpannerQL program generator
+    // embeds verbatim in `/…/` literals). (A plain comment: the compat
+    // `proptest!` macro does not accept doc attributes before `#[test]`.)
+    #[test]
+    fn rgx_display_round_trips_through_the_parser(
+        seed in seed_strategy(),
+        text in abc_doc_strategy()
+    ) {
+        let alpha = random_sequential_rgx(3, 2, seed);
+        let printed = format!("{alpha}");
+        let reparsed = parse(&printed);
+        prop_assert!(
+            reparsed.is_ok(),
+            "Display output {:?} (seed {}) failed to re-parse: {:?}",
+            printed, seed, reparsed.err()
+        );
+        let doc = Document::new(text);
+        prop_assert_eq!(
+            reference_eval(&reparsed.unwrap(), &doc),
+            reference_eval(&alpha, &doc),
+            "round trip changed semantics (seed {}): {:?}", seed, printed
         );
     }
 }
