@@ -1,0 +1,733 @@
+//! The physical operator executor: one Volcano-style pipeline behind every
+//! evaluation path.
+//!
+//! Before this module existed the workspace had three divergent ways of
+//! evaluating an RA tree on a document: the recursive ad-hoc compilation of
+//! `evaluate_ra`, `CompiledPlan`'s per-document automaton *recomposition*
+//! for dynamic (difference / black-box) nodes, and the static-only
+//! `PlanStream`. They are now one layer:
+//!
+//! * [`PhysOp`] is the physical operator tree. Leaves are
+//!   [`PhysOp::CompiledScan`] (a static RA subtree compiled **once** into a
+//!   shared [`CompiledVsa`], enumerated with polynomial delay — Theorem 5.2)
+//!   and [`PhysOp::BlackBoxScan`] (a Corollary 5.3 black box). Inner nodes
+//!   are relational operators over mapping streams:
+//!   [`PhysOp::HashJoin`], [`PhysOp::UnionAll`] (with set-semantics dedup),
+//!   [`PhysOp::Difference`] (an anti-join over a materialized probe side —
+//!   no per-document `Vsa` recomposition), and [`PhysOp::Project`].
+//! * [`PhysicalPlan::lower`] obtains the operator tree of a
+//!   [`CompiledPlan`]; lowering happens exactly once at plan-compile time
+//!   and the operators share their automata through `Arc`, so the handle is
+//!   cheap and every consumer (`evaluate_ra`, `CompiledPlan::evaluate` /
+//!   `stream`, the corpus engine, `PreparedQuery`) runs through the same
+//!   executor.
+//! * Every operator exposes both a materializing [`PhysOp::execute`] (bulk
+//!   relational evaluation — hash join, hash anti-join, builder-based union)
+//!   and a pull-iterator [`PhysOp::stream`] ([`OpStream`]). A fully static
+//!   plan streams straight off its compiled automaton with polynomial
+//!   delay, exactly as before; plans with a difference at the root now
+//!   stream too (the probe side is materialized once, the input side is
+//!   enumerated lazily and filtered), which the old recomposition path
+//!   could not do.
+//!
+//! The executor evaluates difference and black-box composition at the
+//! *relation* level (the `spanner-core` operators, which are the paper's
+//! semantics by definition), while static subtrees keep the paper's
+//! automaton-level compilation (union / FPT join product / automaton
+//! projection). The ad-hoc constructions of Section 4
+//! (`difference_adhoc`, `difference_product`) remain available as library
+//! functions and as the differential baseline (`compile_ra`), but no plan
+//! evaluates through them anymore.
+
+use crate::plan::CompiledPlan;
+use crate::spanner::SpannerRef;
+use spanner_core::{Document, FxHashSet, Mapping, MappingSet, SpannerResult, VarSet};
+use spanner_enum::{enumerate_compiled, Enumerator};
+use spanner_vset::{CompiledVsa, Vsa};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+/// A node of the physical operator tree (see the module docs).
+///
+/// Operators are read-only after lowering and share their compiled automata
+/// through `Arc`, so a `PhysOp` tree is `Send + Sync` and cheap to clone —
+/// one plan serves any number of worker threads.
+#[derive(Clone)]
+pub enum PhysOp {
+    /// A maximal static RA subtree, compiled once into a shared automaton;
+    /// enumerated per document with polynomial delay.
+    CompiledScan {
+        /// The construction-time automaton (kept for schema/size reporting
+        /// and the empty-language fast path).
+        vsa: Arc<Vsa>,
+        /// The compile-once evaluation form the enumerator runs on.
+        compiled: Arc<CompiledVsa>,
+    },
+    /// A tractable, degree-bounded black-box spanner (Corollary 5.3),
+    /// evaluated per document through its own `eval`.
+    BlackBoxScan(SpannerRef),
+    /// Projection `π_keep` with set-semantics dedup.
+    Project {
+        /// Variables to keep.
+        keep: VarSet,
+        /// Input operator.
+        input: Box<PhysOp>,
+    },
+    /// N-ary union with set-semantics dedup.
+    UnionAll(Vec<PhysOp>),
+    /// Natural join; the materializing path runs as a hash join on the
+    /// common-variable span vector whenever both inputs bind all common
+    /// variables.
+    HashJoin {
+        /// Probe side (streamed by [`PhysOp::stream`]).
+        left: Box<PhysOp>,
+        /// Build side (always materialized).
+        right: Box<PhysOp>,
+    },
+    /// The paper's difference operator as an anti-join: the probe side is
+    /// materialized once and every input mapping survives iff it is
+    /// incompatible with all probe mappings. No automaton recomposition.
+    Difference {
+        /// Input side (streamed by [`PhysOp::stream`]).
+        input: Box<PhysOp>,
+        /// Probe side (always materialized).
+        probe: Box<PhysOp>,
+    },
+}
+
+impl PhysOp {
+    /// Evaluates the operator on one document into a materialized relation,
+    /// with no bound on intermediate sizes (see [`PhysOp::execute_bounded`]).
+    pub fn execute(&self, doc: &Document) -> SpannerResult<MappingSet> {
+        self.execute_bounded(doc, usize::MAX)
+    }
+
+    /// [`PhysOp::execute`] with a resource guard: every relation that feeds
+    /// a relational operator (a dynamic operator's input or probe/build
+    /// side) may hold at most `limit` mappings — the executor's counterpart
+    /// of the automaton state limits of the ad-hoc pipeline
+    /// (`RaOptions::max_signatures` is threaded through here by
+    /// [`CompiledPlan`]). The *root* result is not bounded: like the old
+    /// pipeline's final enumeration, the caller asked for it.
+    pub fn execute_bounded(&self, doc: &Document, limit: usize) -> SpannerResult<MappingSet> {
+        match self {
+            PhysOp::CompiledScan { vsa, compiled } => {
+                if vsa.accepting_states().is_empty() {
+                    return Ok(MappingSet::new());
+                }
+                spanner_enum::evaluate_compiled(compiled, doc)
+            }
+            PhysOp::BlackBoxScan(s) => s.eval(doc),
+            PhysOp::Project { keep, input } => {
+                Ok(checked(input.execute_bounded(doc, limit)?, limit)?.project(keep))
+            }
+            PhysOp::UnionAll(inputs) => {
+                let mut out = MappingSet::builder();
+                for op in inputs {
+                    out.extend(checked(op.execute_bounded(doc, limit)?, limit)?);
+                }
+                Ok(out.finish())
+            }
+            PhysOp::HashJoin { left, right } => {
+                let left = checked(left.execute_bounded(doc, limit)?, limit)?;
+                let right = checked(right.execute_bounded(doc, limit)?, limit)?;
+                Ok(left.join(&right))
+            }
+            PhysOp::Difference { input, probe } => {
+                let input = checked(input.execute_bounded(doc, limit)?, limit)?;
+                let probe = checked(probe.execute_bounded(doc, limit)?, limit)?;
+                Ok(input.anti_join(&probe))
+            }
+        }
+    }
+
+    /// Opens a pull iterator over the operator's mappings on one document,
+    /// with no bound on materialized sides (see [`PhysOp::stream_bounded`]).
+    pub fn stream<'a>(&'a self, doc: &'a Document) -> SpannerResult<OpStream<'a>> {
+        self.stream_bounded(doc, usize::MAX)
+    }
+
+    /// [`PhysOp::stream`] with the [`PhysOp::execute_bounded`] resource
+    /// guard applied to the sides the stream materializes at open time (a
+    /// join's build side, a difference's probe side).
+    ///
+    /// The stream is duplicate-free. A [`PhysOp::CompiledScan`] streams with
+    /// polynomial delay; [`PhysOp::Difference`] and [`PhysOp::HashJoin`]
+    /// materialize only their probe/build side and stream the other;
+    /// [`PhysOp::Project`] and [`PhysOp::UnionAll`] stream their inputs
+    /// through a dedup filter.
+    pub fn stream_bounded<'a>(
+        &'a self,
+        doc: &'a Document,
+        limit: usize,
+    ) -> SpannerResult<OpStream<'a>> {
+        let kind = match self {
+            PhysOp::CompiledScan { vsa, compiled } => {
+                if vsa.accepting_states().is_empty() {
+                    StreamKind::Empty
+                } else {
+                    StreamKind::Scan(Box::new(enumerate_compiled(compiled, doc)?))
+                }
+            }
+            PhysOp::BlackBoxScan(s) => StreamKind::Drain(s.eval(doc)?.into_iter()),
+            PhysOp::Project { keep, input } => StreamKind::Project {
+                input: Box::new(input.stream_bounded(doc, limit)?),
+                keep,
+                seen: FxHashSet::default(),
+            },
+            PhysOp::UnionAll(inputs) => StreamKind::Union {
+                inputs: inputs
+                    .iter()
+                    .map(|op| op.stream_bounded(doc, limit))
+                    .collect::<SpannerResult<Vec<_>>>()?,
+                idx: 0,
+                seen: FxHashSet::default(),
+            },
+            PhysOp::HashJoin { left, right } => StreamKind::Join {
+                probe: Box::new(left.stream_bounded(doc, limit)?),
+                build: RelationIndex::new(checked(right.execute_bounded(doc, limit)?, limit)?),
+                pending: VecDeque::new(),
+                seen: FxHashSet::default(),
+            },
+            PhysOp::Difference { input, probe } => StreamKind::AntiJoin {
+                input: Box::new(input.stream_bounded(doc, limit)?),
+                probe: RelationIndex::new(checked(probe.execute_bounded(doc, limit)?, limit)?),
+            },
+        };
+        Ok(OpStream { kind })
+    }
+
+    /// The operator's direct inputs.
+    pub fn children(&self) -> Vec<&PhysOp> {
+        match self {
+            PhysOp::CompiledScan { .. } | PhysOp::BlackBoxScan(_) => Vec::new(),
+            PhysOp::Project { input, .. } => vec![input],
+            PhysOp::UnionAll(inputs) => inputs.iter().collect(),
+            PhysOp::HashJoin { left, right } => vec![left, right],
+            PhysOp::Difference { input, probe } => vec![input, probe],
+        }
+    }
+
+    /// One-line label for outlines and debugging.
+    pub fn label(&self) -> String {
+        match self {
+            PhysOp::CompiledScan { vsa, .. } => format!(
+                "CompiledScan({} states, vars {{{}}})",
+                vsa.state_count(),
+                vsa.vars()
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+            PhysOp::BlackBoxScan(s) => format!("BlackBoxScan({})", s.name()),
+            PhysOp::Project { keep, .. } => format!(
+                "Project{{{}}}",
+                keep.iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+            PhysOp::UnionAll(inputs) => format!("UnionAll({} inputs, dedup)", inputs.len()),
+            PhysOp::HashJoin { .. } => "HashJoin".to_string(),
+            PhysOp::Difference { .. } => "Difference(anti-join)".to_string(),
+        }
+    }
+
+    /// Number of operators in the tree.
+    pub fn operator_count(&self) -> usize {
+        1 + self
+            .children()
+            .into_iter()
+            .map(PhysOp::operator_count)
+            .sum::<usize>()
+    }
+}
+
+impl fmt::Debug for PhysOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// The lowered, executable form of a [`CompiledPlan`]: a shared physical
+/// operator tree (see the module docs).
+#[derive(Clone)]
+pub struct PhysicalPlan {
+    root: Arc<PhysOp>,
+    /// Resource guard: maximum size of any relation feeding a relational
+    /// operator (see [`PhysOp::execute_bounded`]).
+    max_intermediate: usize,
+}
+
+impl PhysicalPlan {
+    pub(crate) fn with_limit(root: PhysOp, max_intermediate: usize) -> PhysicalPlan {
+        PhysicalPlan {
+            root: Arc::new(root),
+            max_intermediate,
+        }
+    }
+
+    /// The lowering step from the compiled logical plan to the physical
+    /// operator tree.
+    ///
+    /// Lowering itself runs exactly once, inside [`CompiledPlan::compile`]
+    /// (every static subtree is compiled to its shared automaton there);
+    /// this accessor hands out the shared operator tree, so it is cheap and
+    /// can be called per consumer.
+    pub fn lower(plan: &CompiledPlan) -> PhysicalPlan {
+        plan.physical().clone()
+    }
+
+    /// The root operator.
+    pub fn root(&self) -> &PhysOp {
+        &self.root
+    }
+
+    /// Whether the whole plan lowered to a single compiled scan (no
+    /// per-document composition work at all).
+    pub fn is_fully_compiled(&self) -> bool {
+        matches!(*self.root, PhysOp::CompiledScan { .. })
+    }
+
+    /// Number of physical operators.
+    pub fn operator_count(&self) -> usize {
+        self.root.operator_count()
+    }
+
+    /// Evaluates the plan on one document into a materialized relation
+    /// (intermediate relations bounded by the plan's resource guard).
+    pub fn execute(&self, doc: &Document) -> SpannerResult<MappingSet> {
+        self.root.execute_bounded(doc, self.max_intermediate)
+    }
+
+    /// Opens a pull iterator over the plan's mappings on one document
+    /// (materialized sides bounded by the plan's resource guard).
+    pub fn stream<'a>(&'a self, doc: &'a Document) -> SpannerResult<OpStream<'a>> {
+        self.root.stream_bounded(doc, self.max_intermediate)
+    }
+
+    /// Renders the operator tree as an indented multi-line outline (the
+    /// physical half of the query-language `explain` output).
+    pub fn describe(&self) -> String {
+        fn walk(op: &PhysOp, prefix: &str, out: &mut String) {
+            let children = op.children();
+            for (i, child) in children.iter().enumerate() {
+                let last = i + 1 == children.len();
+                out.push('\n');
+                out.push_str(prefix);
+                out.push_str(if last { "└─ " } else { "├─ " });
+                out.push_str(&child.label());
+                let extended = format!("{prefix}{}", if last { "   " } else { "│  " });
+                walk(child, &extended, out);
+            }
+        }
+        let mut out = self.root.label();
+        walk(&self.root, "", &mut out);
+        out
+    }
+}
+
+impl fmt::Debug for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+/// Enforces the intermediate-relation resource guard of
+/// [`PhysOp::execute_bounded`].
+fn checked(set: MappingSet, limit: usize) -> SpannerResult<MappingSet> {
+    if set.len() > limit {
+        return Err(spanner_core::SpannerError::LimitExceeded {
+            what: "executor intermediate relation",
+            limit,
+            actual: set.len(),
+        });
+    }
+    Ok(set)
+}
+
+/// A materialized relation with lazily-built hash indexes for compatibility
+/// lookups, keyed by the *overlap* — the variables a streamed mapping
+/// shares with the relation's active domain.
+///
+/// Two mappings are compatible iff they agree on their common variables;
+/// when every indexed mapping binds all of a given overlap set, agreement
+/// reduces to equality of the overlap's span vector, so the lookup is one
+/// hash probe (the streaming counterpart of the `MappingSet::join` /
+/// `anti_join` fast paths). Overlaps where some mapping misses a variable
+/// fall back to the wildcard-correct linear scan. One index is built per
+/// distinct overlap set encountered, each in one pass over the relation.
+struct RelationIndex {
+    mappings: Vec<Mapping>,
+    /// Active domain of the relation (union of all mapping domains).
+    domain: VarSet,
+    /// Per overlap set: a span-vector index, or `None` when some mapping
+    /// misses an overlap variable (scan fallback).
+    by_overlap: spanner_core::FxHashMap<VarSet, Option<OverlapIndex>>,
+}
+
+type OverlapIndex = spanner_core::FxHashMap<Vec<spanner_core::Span>, Vec<u32>>;
+
+impl RelationIndex {
+    fn new(set: MappingSet) -> RelationIndex {
+        RelationIndex {
+            domain: set.active_domain(),
+            mappings: set.into_iter().collect(),
+            by_overlap: spanner_core::FxHashMap::default(),
+        }
+    }
+
+    fn overlap_with(&self, m: &Mapping) -> VarSet {
+        m.domain().intersection(&self.domain)
+    }
+
+    /// Builds (once) and returns the index for `overlap`, or `None` when
+    /// hashing is unsound for it.
+    fn index_for(&mut self, overlap: &VarSet) -> Option<&OverlapIndex> {
+        let mappings = &self.mappings;
+        self.by_overlap
+            .entry(overlap.clone())
+            .or_insert_with(|| {
+                let total = mappings
+                    .iter()
+                    .all(|b| overlap.iter().all(|v| b.contains(v)));
+                total.then(|| {
+                    let mut idx = OverlapIndex::default();
+                    for (i, b) in mappings.iter().enumerate() {
+                        let key: Vec<spanner_core::Span> = overlap
+                            .iter()
+                            .map(|v| b.get(v).expect("checked total"))
+                            .collect();
+                        idx.entry(key).or_default().push(i as u32);
+                    }
+                    idx
+                })
+            })
+            .as_ref()
+    }
+
+    /// Whether some mapping of the relation is compatible with `m`.
+    fn has_compatible(&mut self, m: &Mapping) -> bool {
+        let overlap = self.overlap_with(m);
+        let key: Vec<spanner_core::Span> = overlap
+            .iter()
+            .map(|v| m.get(v).expect("overlap ⊆ dom(m)"))
+            .collect();
+        if self.index_for(&overlap).is_some() {
+            let idx = self.by_overlap[&overlap].as_ref().expect("just built");
+            idx.contains_key(&key)
+        } else {
+            self.mappings.iter().any(|b| m.is_compatible_with(b))
+        }
+    }
+
+    /// Pushes the union of `m` with every compatible mapping through `emit`.
+    fn for_each_join(&mut self, m: &Mapping, mut emit: impl FnMut(Mapping)) {
+        let overlap = self.overlap_with(m);
+        let key: Vec<spanner_core::Span> = overlap
+            .iter()
+            .map(|v| m.get(v).expect("overlap ⊆ dom(m)"))
+            .collect();
+        if self.index_for(&overlap).is_some() {
+            let idx = self.by_overlap[&overlap].as_ref().expect("just built");
+            if let Some(matches) = idx.get(&key) {
+                for &i in matches {
+                    let u = m
+                        .union(&self.mappings[i as usize])
+                        .expect("indexed mappings agree on the whole overlap");
+                    emit(u);
+                }
+            }
+        } else {
+            for b in &self.mappings {
+                if let Some(u) = m.union(b) {
+                    emit(u);
+                }
+            }
+        }
+    }
+}
+
+/// A pull iterator over one operator's mappings (the item type matches the
+/// polynomial-delay [`Enumerator`]): duplicate-free, fused after the first
+/// error.
+pub struct OpStream<'a> {
+    kind: StreamKind<'a>,
+}
+
+enum StreamKind<'a> {
+    /// The operator provably produces nothing on this document.
+    Empty,
+    /// Lazy polynomial-delay enumeration off a shared compiled automaton.
+    Scan(Box<Enumerator<'a>>),
+    /// Drains a relation that was materialized when the stream opened.
+    Drain(<MappingSet as IntoIterator>::IntoIter),
+    /// Restricts the input stream, deduplicating collapsed mappings.
+    Project {
+        input: Box<OpStream<'a>>,
+        keep: &'a VarSet,
+        seen: FxHashSet<Mapping>,
+    },
+    /// Chains the input streams, deduplicating across them.
+    Union {
+        inputs: Vec<OpStream<'a>>,
+        idx: usize,
+        seen: FxHashSet<Mapping>,
+    },
+    /// Streams the probe side against a materialized, hash-indexed build
+    /// side.
+    Join {
+        probe: Box<OpStream<'a>>,
+        build: RelationIndex,
+        pending: VecDeque<Mapping>,
+        seen: FxHashSet<Mapping>,
+    },
+    /// Streams the input side, dropping every mapping compatible with some
+    /// mapping of the materialized, hash-indexed probe side.
+    AntiJoin {
+        input: Box<OpStream<'a>>,
+        probe: RelationIndex,
+    },
+}
+
+impl OpStream<'_> {
+    fn advance(&mut self) -> Option<SpannerResult<Mapping>> {
+        match &mut self.kind {
+            StreamKind::Empty => None,
+            StreamKind::Scan(e) => e.next(),
+            StreamKind::Drain(iter) => iter.next().map(Ok),
+            StreamKind::Project { input, keep, seen } => loop {
+                match input.next() {
+                    None => return None,
+                    Some(Err(e)) => return Some(Err(e)),
+                    Some(Ok(m)) => {
+                        let restricted = m.restrict(keep);
+                        if seen.insert(restricted.clone()) {
+                            return Some(Ok(restricted));
+                        }
+                    }
+                }
+            },
+            StreamKind::Union { inputs, idx, seen } => {
+                while *idx < inputs.len() {
+                    match inputs[*idx].next() {
+                        None => *idx += 1,
+                        Some(Err(e)) => return Some(Err(e)),
+                        Some(Ok(m)) => {
+                            if seen.insert(m.clone()) {
+                                return Some(Ok(m));
+                            }
+                        }
+                    }
+                }
+                None
+            }
+            StreamKind::Join {
+                probe,
+                build,
+                pending,
+                seen,
+            } => loop {
+                if let Some(m) = pending.pop_front() {
+                    return Some(Ok(m));
+                }
+                match probe.next() {
+                    None => return None,
+                    Some(Err(e)) => return Some(Err(e)),
+                    Some(Ok(m1)) => {
+                        build.for_each_join(&m1, |u| {
+                            if seen.insert(u.clone()) {
+                                pending.push_back(u);
+                            }
+                        });
+                    }
+                }
+            },
+            StreamKind::AntiJoin { input, probe } => loop {
+                match input.next() {
+                    None => return None,
+                    Some(Err(e)) => return Some(Err(e)),
+                    Some(Ok(m1)) => {
+                        if !probe.has_compatible(&m1) {
+                            return Some(Ok(m1));
+                        }
+                    }
+                }
+            },
+        }
+    }
+}
+
+impl Iterator for OpStream<'_> {
+    type Item = SpannerResult<Mapping>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.advance();
+        if matches!(item, Some(Err(_))) {
+            // Fuse after an error: the underlying state may be inconsistent.
+            self.kind = StreamKind::Empty;
+        }
+        item
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blackbox::TokenizerSpanner;
+    use crate::ratree::{evaluate_ra_materialized, Instantiation, RaOptions, RaTree};
+    use spanner_rgx::parse;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn physical_plan_is_send_and_sync() {
+        assert_send_sync::<PhysOp>();
+        assert_send_sync::<PhysicalPlan>();
+    }
+
+    fn lower(tree: &RaTree, inst: &Instantiation) -> PhysicalPlan {
+        let plan = CompiledPlan::compile(tree, inst, RaOptions::default()).unwrap();
+        PhysicalPlan::lower(&plan)
+    }
+
+    #[test]
+    fn static_tree_lowers_to_one_compiled_scan() {
+        let tree = RaTree::project(
+            VarSet::from_iter(["x"]),
+            RaTree::union(RaTree::leaf(0), RaTree::leaf(1)),
+        );
+        let inst = Instantiation::new()
+            .with(0, parse("{x:a+}{y:b*}").unwrap())
+            .with(1, parse("{y:a*}{x:b+}").unwrap());
+        let physical = lower(&tree, &inst);
+        assert!(physical.is_fully_compiled());
+        assert_eq!(physical.operator_count(), 1);
+        assert!(physical.describe().starts_with("CompiledScan("));
+    }
+
+    #[test]
+    fn difference_lowers_to_anti_join_over_compiled_scans() {
+        let tree = RaTree::difference(
+            RaTree::join(RaTree::leaf(0), RaTree::leaf(1)),
+            RaTree::leaf(2),
+        );
+        let inst = Instantiation::new()
+            .with(0, parse("{x:a+}b*").unwrap())
+            .with(1, parse("{x:a+}{y:b*}").unwrap())
+            .with(2, parse("{x:a}b").unwrap());
+        let physical = lower(&tree, &inst);
+        assert!(!physical.is_fully_compiled());
+        // The static join collapsed into one compiled scan; the difference
+        // is a physical anti-join over two scans, not a recomposed Vsa.
+        assert_eq!(physical.operator_count(), 3);
+        let outline = physical.describe();
+        assert!(outline.starts_with("Difference(anti-join)"), "{outline}");
+        assert_eq!(outline.matches("CompiledScan(").count(), 2, "{outline}");
+        for text in ["ab", "aab", "a", ""] {
+            let doc = Document::new(text);
+            assert_eq!(
+                physical.execute(&doc).unwrap(),
+                evaluate_ra_materialized(&tree, &inst, &doc).unwrap(),
+                "text {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn black_box_lowers_to_a_scan_operator() {
+        let tree = RaTree::union(RaTree::leaf(0), RaTree::leaf(1));
+        let inst = Instantiation::new()
+            .with(0, parse(r"{t:\l+}").unwrap())
+            .with_black_box(1, TokenizerSpanner::new("t"));
+        let physical = lower(&tree, &inst);
+        let outline = physical.describe();
+        assert!(outline.contains("UnionAll(2 inputs, dedup)"), "{outline}");
+        assert!(outline.contains("BlackBoxScan(tokenize(t))"), "{outline}");
+    }
+
+    #[test]
+    fn streams_are_duplicate_free_and_match_execute() {
+        // A projection over a union whose operands overlap heavily: the
+        // stream must dedup both across union inputs and across collapsed
+        // projections.
+        let tree = RaTree::project(
+            VarSet::from_iter(["x"]),
+            RaTree::union(
+                RaTree::difference(RaTree::leaf(0), RaTree::leaf(2)),
+                RaTree::difference(RaTree::leaf(1), RaTree::leaf(2)),
+            ),
+        );
+        let inst = Instantiation::new()
+            .with(0, parse("{x:a+}{y:b*}").unwrap())
+            .with(1, parse("{x:a+}{z:b*}").unwrap())
+            .with(2, parse("{x:aa}bb").unwrap());
+        let physical = lower(&tree, &inst);
+        for text in ["aabb", "aab", "ab", ""] {
+            let doc = Document::new(text);
+            let streamed: Vec<Mapping> = physical
+                .stream(&doc)
+                .unwrap()
+                .collect::<SpannerResult<_>>()
+                .unwrap();
+            let unique: MappingSet = streamed.iter().cloned().collect();
+            assert_eq!(streamed.len(), unique.len(), "duplicates on {text:?}");
+            assert_eq!(unique, physical.execute(&doc).unwrap(), "on {text:?}");
+        }
+    }
+
+    #[test]
+    fn intermediate_relation_limit_is_enforced() {
+        // On "abcd" the left scan yields all 15 subspan mappings — past a
+        // tight `max_signatures`, both evaluate and stream must fail fast
+        // with a limit error instead of materializing unbounded inputs.
+        let tree = RaTree::difference(RaTree::leaf(0), RaTree::leaf(1));
+        let inst = Instantiation::new()
+            .with(0, parse(".*{x:.*}.*").unwrap())
+            .with(1, parse("{x:zz}").unwrap());
+        let tight = RaOptions {
+            max_signatures: 3,
+            ..RaOptions::default()
+        };
+        let plan = CompiledPlan::compile(&tree, &inst, tight).unwrap();
+        let doc = Document::new("abcd");
+        let err = plan.evaluate(&doc).unwrap_err();
+        assert!(
+            matches!(err, spanner_core::SpannerError::LimitExceeded { .. }),
+            "{err}"
+        );
+        // A difference root only materializes its probe side (0 mappings
+        // here, under the limit); the input side streams lazily, so the
+        // stream opens and drains fine — the guard bounds materialization,
+        // not lazy enumeration.
+        assert!(plan.stream(&doc).is_ok());
+        // A join build side past the limit fails at stream open.
+        let join_tree = RaTree::join(
+            RaTree::difference(RaTree::leaf(0), RaTree::leaf(1)),
+            RaTree::leaf(0),
+        );
+        let join_plan = CompiledPlan::compile(&join_tree, &inst, tight).unwrap();
+        assert!(join_plan.evaluate(&doc).is_err());
+        assert!(join_plan.stream(&doc).is_err());
+        // The default limit is far away: the same plans evaluate fine.
+        let plan = CompiledPlan::compile(&join_tree, &inst, RaOptions::default()).unwrap();
+        assert!(plan.evaluate(&doc).is_ok());
+    }
+
+    #[test]
+    fn stream_errors_fuse_the_iterator() {
+        // A plan over more variables than the enumerator supports fails at
+        // stream-open time with a clean error.
+        let mut parts = Vec::new();
+        for i in 0..=spanner_enum::MAX_VARS {
+            parts.push(format!("{{v{i:02}:a?}}"));
+        }
+        let inst = Instantiation::new().with(0, parse(&parts.concat()).unwrap());
+        let physical = lower(&RaTree::leaf(0), &inst);
+        let doc = Document::new("aaa");
+        assert!(physical.stream(&doc).is_err());
+        assert!(physical.execute(&doc).is_err());
+    }
+}

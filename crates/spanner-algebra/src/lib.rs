@@ -17,11 +17,15 @@
 //!   Lemma 4.2 marker construction, and the Theorem 4.8-style product
 //!   construction;
 //! * [`ratree`] — RA trees, instantiations, the extraction-complexity
-//!   parameter of Theorem 5.2, and the ad-hoc evaluation pipeline;
+//!   parameter of Theorem 5.2, and the ad-hoc compilation pipeline;
 //! * [`plan`] — the logical plan optimizer (projection pushdown, union
-//!   flattening, greedy join reordering) and compiled physical plans
-//!   ([`CompiledPlan`]) whose static subtrees are compiled once and shared
-//!   across documents and threads.
+//!   flattening with canonical operand order, greedy join reordering) and
+//!   compiled plans ([`CompiledPlan`]) whose static subtrees are compiled
+//!   once and shared across documents and threads;
+//! * [`exec`] — the physical operator executor ([`PhysOp`] /
+//!   [`PhysicalPlan`]): the single Volcano-style pipeline every evaluation
+//!   path (`evaluate_ra`, `CompiledPlan`, the corpus engine, SpannerQL)
+//!   runs through, with both materializing and pull-iterator operators.
 //!
 //! # Example: the paper's Example 2.4
 //!
@@ -46,6 +50,7 @@
 pub mod adhoc;
 pub mod blackbox;
 pub mod difference;
+pub mod exec;
 pub mod plan;
 pub mod ratree;
 pub mod spanner;
@@ -56,6 +61,7 @@ pub use difference::{
     difference_adhoc, difference_adhoc_eval, difference_filter, difference_product,
     difference_product_eval, DifferenceOptions,
 };
+pub use exec::{OpStream, PhysOp, PhysicalPlan};
 pub use plan::{optimize_ra, optimize_ra_with_stats, CompiledPlan, PlanStats, PlanStream};
 pub use ratree::{
     compile_ra, evaluate_ra, evaluate_ra_materialized, figure_2_tree, shared_variable_bound,

@@ -14,14 +14,16 @@
 //!   `π_Y(P1) \ π_Y(P2)` differ whenever distinct survivors of `P1` collapse
 //!   under `π_Y` (the rewrite is unsound on either operand), so difference
 //!   nodes act as optimization barriers.
-//! * [`CompiledPlan`] — the physical plan. Maximal *static* subtrees (no
+//! * [`CompiledPlan`] — the compiled plan. Maximal *static* subtrees (no
 //!   difference node, no black-box leaf) are compiled into a single
-//!   automaton **once**; only the document-dependent remainder (ad-hoc
-//!   difference compilation, black-box incorporation, Theorem 5.2 /
-//!   Corollary 5.3) is re-composed per document. A fully static plan
-//!   evaluates through a shared [`CompiledVsa`] with zero per-document
-//!   compilation work, which is what makes multi-document engines such as
-//!   `spanner-corpus` cheap: the compiled form is read-only and `Sync`, so
+//!   automaton **once** and the whole tree is lowered onto the physical
+//!   operator executor ([`crate::exec`]): every leaf of the operator tree
+//!   is a compiled scan or a black box, and difference / black-box
+//!   composition happens at the relation level — nothing is re-composed
+//!   into a per-document `Vsa` anymore. A fully static plan evaluates
+//!   through one shared [`CompiledVsa`] with zero per-document composition
+//!   work, which is what makes multi-document engines such as
+//!   `spanner-corpus` cheap: the lowered plan is read-only and `Sync`, so
 //!   one plan serves any number of worker threads.
 //!
 //! The rewrite rules maintain three invariants (checked by the planner
@@ -30,14 +32,11 @@
 //! that would increase it are discarded), and the pass is idempotent —
 //! optimizing an optimized plan returns it unchanged.
 
-use crate::adhoc::mapping_set_to_vsa;
-use crate::difference::{difference_product, DifferenceOptions};
+use crate::exec::{OpStream, PhysOp, PhysicalPlan};
 use crate::ratree::{
     compile_static_atom, resolve_atom, tree_vars, Atom, Instantiation, LeafId, RaOptions, RaTree,
 };
-use crate::spanner::SpannerRef;
-use spanner_core::{Document, MappingSet, SpannerResult, VarSet};
-use std::borrow::Cow;
+use spanner_core::{Document, Mapping, MappingSet, SpannerResult, VarSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -141,6 +140,15 @@ fn rewrite(
                 // dissolved); flatten those into the operand list too.
                 push_union_operand(op, &mut rewritten, stats);
             }
+            // Canonical operand order (union is commutative): the same set
+            // of operands always rebuilds the same tree, so union subtrees
+            // that differ only by operand order become syntactically equal
+            // after one pass — and commuted duplicates nested inside sibling
+            // operands (e.g. `(A ∪ B) ⋈ C` next to `(B ∪ A) ⋈ C`) then
+            // collapse under the syntactic dedup above on the next pass.
+            // Sorting is deterministic and order-independent, so the pass
+            // stays idempotent and the planner invariants are untouched.
+            rewritten.sort_by_cached_key(|op| op.to_string());
             let mut iter = rewritten.into_iter();
             let first = iter.next().expect("union has at least one operand");
             Ok(iter.fold(first, RaTree::union))
@@ -415,67 +423,69 @@ fn build_left_deep(order: &[usize], operands: &mut [RaTree]) -> RaTree {
 }
 
 // ---------------------------------------------------------------------------
-// Physical plans.
+// Compiled plans: lowering onto the physical operator executor.
 // ---------------------------------------------------------------------------
 
 use spanner_vset::{join, CompiledVsa, Vsa};
 
-/// A compiled physical plan: the document-independent parts of an RA tree
-/// are compiled into shared automata once, so evaluating the plan over many
-/// documents only pays for the document-dependent remainder.
+/// A compiled plan: the document-independent parts of an RA tree are
+/// compiled into shared automata once and the whole tree is lowered onto
+/// the physical operator executor ([`crate::exec`]), so evaluating the plan
+/// over many documents only pays relational work — never per-document
+/// automaton composition.
 ///
 /// `CompiledPlan` is `Send + Sync`: after [`CompiledPlan::compile`] it is
 /// read-only, so one plan can be shared by any number of worker threads
 /// (the `spanner-corpus` engine does exactly that).
 pub struct CompiledPlan {
-    kind: PlanKind,
+    physical: PhysicalPlan,
     tree: RaTree,
     vars: VarSet,
     options: RaOptions,
 }
 
-enum PlanKind {
-    /// The whole tree is document-independent: one automaton, compiled once.
-    Static {
-        vsa: Arc<Vsa>,
-        compiled: Arc<CompiledVsa>,
-    },
-    /// At least one difference node or black-box leaf forces per-document
-    /// work; static subtrees below it are still shared.
-    Dynamic(PlanNode),
-}
-
-/// A node of the document-dependent part of a plan.
-enum PlanNode {
-    /// A maximal static subtree, compiled to an automaton once.
-    Static(Arc<Vsa>),
-    /// A black-box leaf, incorporated ad hoc (Corollary 5.3).
-    BlackBox(SpannerRef),
-    Project(VarSet, Box<PlanNode>),
-    Union(Box<PlanNode>, Box<PlanNode>),
-    Join(Box<PlanNode>, Box<PlanNode>),
-    Difference(Box<PlanNode>, Box<PlanNode>),
-}
-
 /// Intermediate result of plan construction: either a static automaton
-/// (document-independent so far) or a dynamic node.
+/// (document-independent so far, still growable by further static algebra)
+/// or an already-lowered physical operator.
 enum Built {
     Static(Vsa),
-    Dynamic(PlanNode),
+    Dynamic(PhysOp),
 }
 
 impl Built {
-    fn into_node(self) -> PlanNode {
+    /// Finalizes into a physical operator; a static subtree becomes a
+    /// compiled scan here, which is the only place automata are compiled —
+    /// every leaf of the operator tree is therefore compiled exactly once.
+    fn into_op(self) -> PhysOp {
         match self {
-            Built::Static(vsa) => PlanNode::Static(Arc::new(vsa)),
-            Built::Dynamic(node) => node,
+            Built::Static(vsa) => compiled_scan(vsa),
+            Built::Dynamic(op) => op,
         }
+    }
+}
+
+/// Wraps a static automaton as a compiled-scan operator.
+fn compiled_scan(vsa: Vsa) -> PhysOp {
+    let compiled = CompiledVsa::compile(&vsa);
+    PhysOp::CompiledScan {
+        vsa: Arc::new(vsa),
+        compiled: Arc::new(compiled),
+    }
+}
+
+/// Appends a lowered union input, splicing nested unions into one n-ary
+/// operator (duplicate *operands* were already removed by the logical
+/// rewrite; the executor dedups at the mapping level).
+fn push_union_input(op: PhysOp, out: &mut Vec<PhysOp>) {
+    match op {
+        PhysOp::UnionAll(ops) => out.extend(ops),
+        other => out.push(other),
     }
 }
 
 impl CompiledPlan {
     /// Optimizes (unless `options.optimize` is off) and compiles an
-    /// instantiated RA tree into a physical plan.
+    /// instantiated RA tree, lowering it onto the physical executor.
     pub fn compile(
         tree: &RaTree,
         inst: &Instantiation,
@@ -487,18 +497,12 @@ impl CompiledPlan {
             tree.clone()
         };
         let vars = tree_vars(&tree, inst)?;
-        let kind = match Self::build(&tree, inst, options)? {
-            Built::Static(vsa) => {
-                let compiled = CompiledVsa::compile(&vsa);
-                PlanKind::Static {
-                    vsa: Arc::new(vsa),
-                    compiled: Arc::new(compiled),
-                }
-            }
-            Built::Dynamic(node) => PlanKind::Dynamic(node),
-        };
+        let root = Self::build(&tree, inst, options)?.into_op();
         Ok(CompiledPlan {
-            kind,
+            // `max_signatures` bounds the executor's materialized
+            // intermediate relations, the successor of its old role as the
+            // Lemma 4.2 signature cap in the recomposition path.
+            physical: PhysicalPlan::with_limit(root, options.max_signatures),
             tree,
             vars,
             options,
@@ -508,30 +512,39 @@ impl CompiledPlan {
     fn build(tree: &RaTree, inst: &Instantiation, options: RaOptions) -> SpannerResult<Built> {
         Ok(match tree {
             RaTree::Leaf(id) => match resolve_atom(inst, *id)? {
-                Atom::BlackBox(s) => Built::Dynamic(PlanNode::BlackBox(Arc::clone(s))),
+                Atom::BlackBox(s) => Built::Dynamic(PhysOp::BlackBoxScan(Arc::clone(s))),
                 atom => Built::Static(compile_static_atom(*id, atom)?),
             },
             RaTree::Project(keep, child) => match Self::build(child, inst, options)? {
+                // Static projection happens at the automaton level, before
+                // any product construction (the planner pushed it down for
+                // exactly that reason).
                 Built::Static(vsa) => Built::Static(vsa.project(keep)),
-                Built::Dynamic(node) => {
-                    Built::Dynamic(PlanNode::Project(keep.clone(), Box::new(node)))
-                }
+                Built::Dynamic(op) => Built::Dynamic(PhysOp::Project {
+                    keep: keep.clone(),
+                    input: Box::new(op),
+                }),
             },
             RaTree::Union(l, r) => {
                 let left = Self::build(l, inst, options)?;
                 let right = Self::build(r, inst, options)?;
                 match (left, right) {
                     (Built::Static(a), Built::Static(b)) => Built::Static(a.union(&b)),
-                    (left, right) => Built::Dynamic(PlanNode::Union(
-                        Box::new(left.into_node()),
-                        Box::new(right.into_node()),
-                    )),
+                    (left, right) => {
+                        let mut inputs = Vec::new();
+                        push_union_input(left.into_op(), &mut inputs);
+                        push_union_input(right.into_op(), &mut inputs);
+                        Built::Dynamic(PhysOp::UnionAll(inputs))
+                    }
                 }
             }
             RaTree::Join(l, r) => {
                 let left = Self::build(l, inst, options)?;
                 let right = Self::build(r, inst, options)?;
                 match (left, right) {
+                    // Static joins keep the paper's FPT product (Lemma 3.2):
+                    // the automaton compiles once and the shared-variable
+                    // bound governs its size.
                     (Built::Static(a), Built::Static(b)) => Built::Static(join::join_with_options(
                         &a,
                         &b,
@@ -539,118 +552,53 @@ impl CompiledPlan {
                             max_states: options.max_states,
                         },
                     )?),
-                    (left, right) => Built::Dynamic(PlanNode::Join(
-                        Box::new(left.into_node()),
-                        Box::new(right.into_node()),
-                    )),
+                    (left, right) => Built::Dynamic(PhysOp::HashJoin {
+                        left: Box::new(left.into_op()),
+                        right: Box::new(right.into_op()),
+                    }),
                 }
             }
             RaTree::Difference(l, r) => {
-                let left = Self::build(l, inst, options)?.into_node();
-                let right = Self::build(r, inst, options)?.into_node();
-                Built::Dynamic(PlanNode::Difference(Box::new(left), Box::new(right)))
+                // Difference is always a physical anti-join: both operands
+                // are lowered (compiling their static parts once) and the
+                // probe side is evaluated as a relation — the per-document
+                // `difference_product` recomposition is gone from plans.
+                let left = Self::build(l, inst, options)?.into_op();
+                let right = Self::build(r, inst, options)?.into_op();
+                Built::Dynamic(PhysOp::Difference {
+                    input: Box::new(left),
+                    probe: Box::new(right),
+                })
             }
         })
     }
 
-    /// Evaluates the plan on one document.
+    /// Evaluates the plan on one document through the physical executor.
     pub fn evaluate(&self, doc: &Document) -> SpannerResult<MappingSet> {
-        match &self.kind {
-            PlanKind::Static { compiled, vsa } => {
-                if vsa.accepting_states().is_empty() {
-                    return Ok(MappingSet::new());
-                }
-                spanner_enum::evaluate_compiled(compiled, doc)
-            }
-            PlanKind::Dynamic(node) => {
-                let vsa = Self::materialize(node, doc, self.options)?;
-                if vsa.accepting_states().is_empty() {
-                    return Ok(MappingSet::new());
-                }
-                spanner_enum::evaluate(&vsa, doc)
-            }
-        }
-    }
-
-    /// Composes the document-dependent automaton for one document, reusing
-    /// the shared static subtree automata without copying them.
-    fn materialize<'n>(
-        node: &'n PlanNode,
-        doc: &Document,
-        options: RaOptions,
-    ) -> SpannerResult<Cow<'n, Vsa>> {
-        Ok(match node {
-            PlanNode::Static(vsa) => Cow::Borrowed(vsa.as_ref()),
-            PlanNode::BlackBox(s) => {
-                let relation = s.eval(doc)?;
-                Cow::Owned(mapping_set_to_vsa(&relation, doc)?)
-            }
-            PlanNode::Project(keep, child) => {
-                Cow::Owned(Self::materialize(child, doc, options)?.project(keep))
-            }
-            PlanNode::Union(l, r) => {
-                let left = Self::materialize(l, doc, options)?;
-                let right = Self::materialize(r, doc, options)?;
-                Cow::Owned(left.union(&right))
-            }
-            PlanNode::Join(l, r) => {
-                let left = Self::materialize(l, doc, options)?;
-                let right = Self::materialize(r, doc, options)?;
-                Cow::Owned(join::join_with_options(
-                    &left,
-                    &right,
-                    join::JoinOptions {
-                        max_states: options.max_states,
-                    },
-                )?)
-            }
-            PlanNode::Difference(l, r) => {
-                let left = Self::materialize(l, doc, options)?;
-                let right = Self::materialize(r, doc, options)?;
-                Cow::Owned(difference_product(
-                    &left,
-                    &right,
-                    doc,
-                    DifferenceOptions {
-                        max_states: options.max_states,
-                        max_signatures: options.max_signatures,
-                    },
-                )?)
-            }
-        })
+        self.physical.execute(doc)
     }
 
     /// Streams the plan's mappings on one document.
     ///
-    /// Static plans enumerate straight off the shared compiled automaton
-    /// with polynomial delay (Theorem 5.2) and never materialize the result;
-    /// dynamic plans pay their ad-hoc compilation up front and then drain
-    /// the materialized relation.
+    /// Fully static plans enumerate straight off the shared compiled
+    /// automaton with polynomial delay (Theorem 5.2) and never materialize
+    /// the result. Plans with dynamic operators stream through the executor
+    /// pipeline: a difference root materializes only its probe side and
+    /// streams the input side lazily.
     pub fn stream<'a>(&'a self, doc: &'a Document) -> SpannerResult<PlanStream<'a>> {
-        match &self.kind {
-            PlanKind::Static { compiled, vsa } => {
-                if vsa.accepting_states().is_empty() {
-                    return Ok(PlanStream::Empty);
-                }
-                Ok(PlanStream::Streaming(Box::new(
-                    spanner_enum::Enumerator::from_compiled(compiled, doc)?,
-                )))
-            }
-            PlanKind::Dynamic(node) => {
-                let vsa = Self::materialize(node, doc, self.options)?;
-                if vsa.accepting_states().is_empty() {
-                    return Ok(PlanStream::Empty);
-                }
-                let set = spanner_enum::evaluate(&vsa, doc)?;
-                Ok(PlanStream::Materialized(set.into_iter()))
-            }
-        }
+        Ok(PlanStream(self.physical.stream(doc)?))
     }
 
     /// Whether the whole plan compiled into one static automaton (no
-    /// per-document compilation at all).
+    /// per-document composition at all).
     pub fn is_static(&self) -> bool {
-        matches!(self.kind, PlanKind::Static { .. })
+        self.physical.is_fully_compiled()
+    }
+
+    /// The lowered physical operator tree (shared, cheap to clone; see also
+    /// [`PhysicalPlan::lower`]).
+    pub fn physical(&self) -> &PhysicalPlan {
+        &self.physical
     }
 
     /// The optimized logical tree the plan was compiled from.
@@ -669,26 +617,15 @@ impl CompiledPlan {
     }
 }
 
-/// The mapping stream of [`CompiledPlan::stream`].
-pub enum PlanStream<'a> {
-    /// The plan accepts nothing (trimmed automaton has no accepting state).
-    Empty,
-    /// Lazy polynomial-delay enumeration off the shared static automaton
-    /// (boxed: the enumerator is much larger than the other variants).
-    Streaming(Box<spanner_enum::Enumerator<'a>>),
-    /// Drained from a relation the dynamic pipeline materialized.
-    Materialized(<MappingSet as IntoIterator>::IntoIter),
-}
+/// The mapping stream of [`CompiledPlan::stream`]: a thin wrapper around the
+/// executor's pull iterator ([`OpStream`]).
+pub struct PlanStream<'a>(OpStream<'a>);
 
 impl Iterator for PlanStream<'_> {
-    type Item = SpannerResult<spanner_core::Mapping>;
+    type Item = SpannerResult<Mapping>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        match self {
-            PlanStream::Empty => None,
-            PlanStream::Streaming(e) => e.next(),
-            PlanStream::Materialized(iter) => iter.next().map(Ok),
-        }
+        self.0.next()
     }
 }
 
@@ -763,6 +700,42 @@ mod tests {
         let (optimized, stats) = optimize_ra_with_stats(&tree, &inst).unwrap();
         assert_eq!(stats.union_duplicates_removed, 1);
         assert_eq!(optimized.leaves(), vec![0, 1]);
+    }
+
+    #[test]
+    fn commuted_duplicate_union_operands_collapse() {
+        // ((?0 ∪ ?1) ⋈ ?2) ∪ ((?1 ∪ ?0) ⋈ ?2): the two join operands are the
+        // same subtree modulo the order of the nested union. Canonical union
+        // operand ordering makes them syntactically equal, so the n-ary
+        // union dedup collapses them.
+        let j1 = RaTree::join(
+            RaTree::union(RaTree::leaf(0), RaTree::leaf(1)),
+            RaTree::leaf(2),
+        );
+        let j2 = RaTree::join(
+            RaTree::union(RaTree::leaf(1), RaTree::leaf(0)),
+            RaTree::leaf(2),
+        );
+        let tree = RaTree::union(j1, j2);
+        let inst = Instantiation::new()
+            .with(0, parse("{x:a}b*").unwrap())
+            .with(1, parse("{x:b+}").unwrap())
+            .with(2, parse("{x:a|b+}{y:b*}").unwrap());
+        let optimized = optimize_ra(&tree, &inst).unwrap();
+        assert_eq!(
+            optimized.leaves().len(),
+            3,
+            "commuted duplicate must collapse: {optimized}"
+        );
+        assert_eq!(optimized, optimize_ra(&optimized, &inst).unwrap());
+        for text in ["ab", "b", "a", "abb", ""] {
+            let doc = Document::new(text);
+            assert_eq!(
+                evaluate_ra_materialized(&optimized, &inst, &doc).unwrap(),
+                evaluate_ra_materialized(&tree, &inst, &doc).unwrap(),
+                "text {text:?}"
+            );
+        }
     }
 
     #[test]

@@ -10,11 +10,15 @@
 //! the instantiation and the document as input. Theorem 5.2 / Corollary 5.3:
 //! if every join and difference node shares at most `k` variables between its
 //! subtrees, the instantiated tree can be evaluated with polynomial delay.
-//! The evaluator below follows the paper's recipe: positive operators are
-//! compiled statically (automaton product / union / projection), the
-//! difference and black-box leaves use ad-hoc (document-dependent)
-//! compilation, and the final automaton is enumerated with the
-//! polynomial-delay enumerator.
+//! [`compile_ra`] implements the paper's ad-hoc recipe literally: positive
+//! operators are compiled statically (automaton product / union /
+//! projection), the difference and black-box leaves use ad-hoc
+//! (document-dependent) compilation, and the final automaton is enumerated
+//! with the polynomial-delay enumerator. [`evaluate_ra`] — the production
+//! entry point — instead lowers the tree onto the physical operator
+//! executor ([`crate::exec`]) via [`crate::plan::CompiledPlan`], which keeps
+//! the static compilation but evaluates difference and black-box
+//! composition at the relation level, with no per-document recomposition.
 
 use crate::adhoc::mapping_set_to_vsa;
 use crate::difference::{difference_product, DifferenceOptions};
@@ -256,9 +260,15 @@ impl Instantiation {
 /// Options controlling RA-tree evaluation.
 #[derive(Debug, Clone, Copy)]
 pub struct RaOptions {
-    /// Bound on intermediate automaton sizes.
+    /// Bound on intermediate automaton sizes (the static FPT join product
+    /// during plan compilation, and every construction of the ad-hoc
+    /// [`compile_ra`] pipeline).
     pub max_states: usize,
-    /// Bound on the Lemma 4.2 signature materialization.
+    /// Bound on materialized intermediate relations in the physical
+    /// executor (any relation feeding a dynamic operator — a difference's
+    /// probe side, a join's build side, union/projection inputs), and on
+    /// the Lemma 4.2 signature materialization in the ad-hoc
+    /// constructions.
     pub max_signatures: usize,
     /// Run the logical plan optimizer ([`crate::plan::optimize_ra`]) before
     /// compiling. On by default; turn off to evaluate the tree exactly as
@@ -419,19 +429,25 @@ fn compile_ra_node(
     })
 }
 
-/// Evaluates an instantiated RA tree on a document through the ad-hoc
-/// compilation pipeline (compile, then enumerate with polynomial delay).
+/// Evaluates an instantiated RA tree on a document through the physical
+/// operator executor: the tree is optimized (per `options`), its static
+/// subtrees are compiled once, and the lowered plan runs on the one
+/// evaluation pipeline every other consumer uses
+/// ([`crate::plan::CompiledPlan`] / [`crate::exec`]).
+///
+/// To evaluate the same tree on many documents, compile the plan once with
+/// [`crate::plan::CompiledPlan::compile`] (or use `spanner-corpus`) instead
+/// of calling this per document. The ad-hoc compilation pipeline of
+/// Theorem 5.2 / Corollary 5.3 remains available as [`compile_ra`]; it is
+/// no longer an evaluation path, only a construction (and the differential
+/// baseline the executor is measured against).
 pub fn evaluate_ra(
     tree: &RaTree,
     inst: &Instantiation,
     doc: &Document,
     options: RaOptions,
 ) -> SpannerResult<MappingSet> {
-    let vsa = compile_ra(tree, inst, doc, options)?;
-    if vsa.accepting_states().is_empty() {
-        return Ok(MappingSet::new());
-    }
-    spanner_enum::evaluate(&vsa, doc)
+    crate::plan::CompiledPlan::compile(tree, inst, options)?.evaluate(doc)
 }
 
 /// Evaluates an instantiated RA tree by materializing every node — the

@@ -1,0 +1,138 @@
+//! E13 — the physical operator executor vs. per-document recomposition.
+//!
+//! The executor lowers a difference-bearing plan onto compiled scans plus a
+//! relational anti-join: every static subtree (including the FPT join
+//! product) compiles exactly once, and per-document work is enumeration
+//! plus relational operators. The baseline is the old evaluation path — the
+//! ad-hoc pipeline (`compile_ra`), which re-composes the difference product
+//! automaton for **every** document. Medians are merged into
+//! `BENCH_exec.json` (workload name, median ns, mapping count) so per-PR
+//! perf is trackable, same format and discipline as `BENCH_ql.json`.
+
+use spanner_algebra::{compile_ra, figure_2_tree, CompiledPlan, Instantiation, RaOptions, RaTree};
+use spanner_bench::{header, median_of, merge_bench_json, ms, row, BenchEntry};
+use spanner_core::{Document, VarSet};
+use spanner_corpus::split_lines;
+use spanner_rgx::parse;
+use spanner_workloads::{random_text, student_records};
+
+/// Evaluates one document through the old per-document recomposition
+/// pipeline (ad-hoc compile, then enumerate) — what `evaluate_ra` did
+/// before the executor existed.
+fn recompose_eval(
+    tree: &RaTree,
+    inst: &Instantiation,
+    doc: &Document,
+    options: RaOptions,
+) -> usize {
+    let vsa = compile_ra(tree, inst, doc, options).unwrap();
+    if vsa.accepting_states().is_empty() {
+        return 0;
+    }
+    spanner_enum::evaluate(&vsa, doc).unwrap().len()
+}
+
+fn main() {
+    println!("## E13 — physical operator executor\n");
+    let mut entries = Vec::new();
+
+    // --- Difference-bearing plan over a record corpus --------------------
+    // π_student((student,mail) ⋈ (student,host) \ students-with-phones):
+    // the join compiles once into one scan; the difference is the dynamic
+    // part the two paths treat differently.
+    println!("### Difference plan: executor (compile once) vs recomposition (per line)\n");
+    let tree = figure_2_tree(VarSet::from_iter(["student"]));
+    let inst = Instantiation::new()
+        .with(
+            0,
+            parse(r"(\u\l+ )?{student:\u\l+} (\d+ )?{mail:\l+@\l+(\.\l+)*}").unwrap(),
+        )
+        .with(
+            1,
+            parse(r"(\u\l+ )?{student:\u\l+} (\d+ )?\l+@{host:\l+(\.\l+)*}").unwrap(),
+        )
+        .with(2, parse(r"(\u\l+ )?{student:\u\l+} \d+ .*").unwrap());
+    let options = RaOptions::default();
+    header(&[
+        "lines",
+        "executor ms",
+        "recompose ms",
+        "speedup",
+        "mappings",
+    ]);
+    for lines in [100usize, 300] {
+        let corpus = student_records(lines, 11);
+        let docs = split_lines(corpus.text());
+        let plan = CompiledPlan::compile(&tree, &inst, options).unwrap();
+        let (n_exec, t_exec) = median_of(5, || {
+            docs.iter()
+                .map(|d| plan.evaluate(d).unwrap().len())
+                .sum::<usize>()
+        });
+        let (n_base, t_base) = median_of(3, || {
+            docs.iter()
+                .map(|d| recompose_eval(&tree, &inst, d, options))
+                .sum::<usize>()
+        });
+        assert_eq!(n_exec, n_base, "the two paths must agree");
+        row(&[
+            lines.to_string(),
+            ms(t_exec),
+            ms(t_base),
+            format!("{:.1}x", t_base.as_secs_f64() / t_exec.as_secs_f64()),
+            n_exec.to_string(),
+        ]);
+        entries.push(BenchEntry::new(
+            format!("exec/difference/executor/{lines}"),
+            t_exec,
+            n_exec,
+        ));
+        entries.push(BenchEntry::new(
+            format!("exec/difference/recompose/{lines}"),
+            t_base,
+            n_base,
+        ));
+    }
+
+    // --- Streaming a difference root -------------------------------------
+    // New with the executor: a plan with a difference at the root streams
+    // (probe side materialized once, input side enumerated lazily). Measure
+    // the first-mapping delay against full materialization.
+    println!("\n### Streaming with a difference root (first mapping vs full evaluate)\n");
+    let stream_tree = RaTree::difference(RaTree::leaf(0), RaTree::leaf(1));
+    let stream_inst = Instantiation::new()
+        .with(0, parse(r".*{x:a+}.*").unwrap())
+        .with(1, parse(r".*{x:aaa+}.*").unwrap());
+    header(&[
+        "doc bytes",
+        "first mapping ms",
+        "full evaluate ms",
+        "mappings",
+    ]);
+    for len in [200usize, 400] {
+        let doc = random_text(len, b"ab", 7);
+        let plan = CompiledPlan::compile(&stream_tree, &stream_inst, options).unwrap();
+        let (_, t_first) = median_of(5, || {
+            plan.stream(&doc)
+                .unwrap()
+                .next()
+                .expect("at least one mapping")
+                .unwrap()
+        });
+        let (n, t_full) = median_of(5, || plan.evaluate(&doc).unwrap().len());
+        row(&[len.to_string(), ms(t_first), ms(t_full), n.to_string()]);
+        entries.push(BenchEntry::new(
+            format!("exec/stream/first-mapping/{len}"),
+            t_first,
+            1,
+        ));
+        entries.push(BenchEntry::new(
+            format!("exec/stream/evaluate/{len}"),
+            t_full,
+            n,
+        ));
+    }
+
+    merge_bench_json("BENCH_exec.json", &entries).expect("write BENCH_exec.json");
+    println!("\nwrote {} entries to BENCH_exec.json", entries.len());
+}

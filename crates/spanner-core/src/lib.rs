@@ -40,6 +40,6 @@ pub use error::{SpannerError, SpannerResult};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use interner::{Interner, VarId, VarTable};
 pub use mapping::Mapping;
-pub use relation::MappingSet;
+pub use relation::{MappingSet, MappingSetBuilder};
 pub use span::Span;
 pub use variable::{VarSet, Variable};

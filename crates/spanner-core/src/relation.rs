@@ -5,7 +5,7 @@
 //! These definitions *are* the semantics of the paper's algebra; every
 //! automaton-level compilation in the workspace is tested against them.
 
-use crate::fxhash::FxHashMap;
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::mapping::Mapping;
 use crate::span::Span;
 use crate::variable::{VarSet, Variable};
@@ -181,6 +181,58 @@ impl MappingSet {
         )
     }
 
+    /// The anti-join over a probe side: semantically identical to
+    /// [`MappingSet::difference`], but evaluated with a hash probe when both
+    /// relations bind all their common variables (the schema-based case, and
+    /// the common case for compiled operator outputs): the probe side is
+    /// hashed once on its common-variable span vector and every mapping of
+    /// `self` survives iff its own key misses — `O(|self| + |other|)`
+    /// instead of the quadratic compatibility scan. Schemaless inputs where
+    /// a common variable may be absent fall back to the nested-loop
+    /// evaluation, whose "missing variable = wildcard" semantics a hash key
+    /// cannot express.
+    ///
+    /// [`MappingSet::difference`] stays the deliberately naive oracle; this
+    /// is the production operator the physical executor runs on.
+    pub fn anti_join(&self, other: &MappingSet) -> MappingSet {
+        if other.is_empty() {
+            return self.clone();
+        }
+        let common = self.active_domain().intersection(&other.active_domain());
+        if common.is_empty() {
+            // No variable occurs on both sides: every pair of mappings has
+            // disjoint domains and is therefore compatible, so a nonempty
+            // probe side removes everything.
+            return MappingSet::new();
+        }
+        let total = |m: &Mapping| common.iter().all(|v| m.contains(v));
+        if self.mappings.iter().all(total) && other.mappings.iter().all(total) {
+            let key = |m: &Mapping| -> Vec<Span> {
+                common
+                    .iter()
+                    .map(|v| m.get(v).expect("checked total"))
+                    .collect()
+            };
+            let probe: FxHashSet<Vec<Span>> = other.mappings.iter().map(key).collect();
+            return MappingSet {
+                mappings: self
+                    .mappings
+                    .iter()
+                    .filter(|m| !probe.contains(&key(m)))
+                    .cloned()
+                    .collect(),
+            };
+        }
+        self.difference(other)
+    }
+
+    /// A [`MappingSetBuilder`] accumulating mappings for one bulk
+    /// sort-and-dedup build (the shape every executor operator materializes
+    /// through).
+    pub fn builder() -> MappingSetBuilder {
+        MappingSetBuilder::default()
+    }
+
     /// Plain set difference of the underlying mapping sets (not the paper's
     /// difference operator; provided for tests and diagnostics).
     pub fn set_minus(&self, other: &MappingSet) -> MappingSet {
@@ -203,6 +255,44 @@ impl MappingSet {
     /// Returns the mappings as a vector in deterministic order.
     pub fn to_vec(&self) -> Vec<Mapping> {
         self.mappings.iter().cloned().collect()
+    }
+}
+
+/// An incremental [`MappingSet`] accumulator: operators push mappings as
+/// they produce them and pay the sort-and-dedup exactly once at
+/// [`MappingSetBuilder::finish`] (the same bulk path as
+/// [`MappingSet::from_mappings`], without forcing producers through an
+/// iterator shape).
+#[derive(Debug, Default, Clone)]
+pub struct MappingSetBuilder {
+    mappings: Vec<Mapping>,
+}
+
+impl MappingSetBuilder {
+    /// Appends one mapping (duplicates are removed at build time).
+    pub fn push(&mut self, m: Mapping) {
+        self.mappings.push(m);
+    }
+
+    /// Number of mappings accumulated so far (duplicates still counted).
+    pub fn len(&self) -> usize {
+        self.mappings.len()
+    }
+
+    /// Whether nothing has been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.mappings.is_empty()
+    }
+
+    /// Builds the deduplicated relation.
+    pub fn finish(self) -> MappingSet {
+        MappingSet::from_mappings(self.mappings)
+    }
+}
+
+impl Extend<Mapping> for MappingSetBuilder {
+    fn extend<I: IntoIterator<Item = Mapping>>(&mut self, iter: I) {
+        self.mappings.extend(iter);
     }
 }
 
@@ -371,6 +461,44 @@ mod tests {
         ]);
         let j2 = a.join(&c);
         assert_eq!(j2.len(), 3);
+    }
+
+    #[test]
+    fn anti_join_agrees_with_difference() {
+        // Hash path (both sides total over the common variable x).
+        let a = MappingSet::from_mappings([
+            m(&[("x", (1, 2)), ("y", (2, 3))]),
+            m(&[("x", (2, 3)), ("y", (1, 1))]),
+        ]);
+        let b = MappingSet::from_mappings([m(&[("x", (1, 2)), ("z", (5, 6))])]);
+        assert_eq!(a.anti_join(&b), a.difference(&b));
+        assert_eq!(a.anti_join(&b).len(), 1);
+        // Disjoint schemas: a nonempty probe side removes everything.
+        let c = MappingSet::from_mappings([m(&[("w", (1, 1))])]);
+        assert_eq!(a.anti_join(&c), a.difference(&c));
+        assert!(a.anti_join(&c).is_empty());
+        // Empty probe side is the identity.
+        assert_eq!(a.anti_join(&MappingSet::new()), a);
+        // Schemaless fallback: a probe mapping missing the common variable
+        // acts as a wildcard and removes everything it is compatible with.
+        let d = MappingSet::from_mappings([m(&[("y", (2, 3))]), Mapping::new()]);
+        assert_eq!(a.anti_join(&d), a.difference(&d));
+        assert!(a.anti_join(&d).is_empty());
+        let e = MappingSet::from_mappings([m(&[("x", (9, 9))]), m(&[("y", (1, 1))])]);
+        assert_eq!(a.anti_join(&e), a.difference(&e));
+    }
+
+    #[test]
+    fn builder_deduplicates_on_finish() {
+        let mut b = MappingSet::builder();
+        assert!(b.is_empty());
+        b.push(m(&[("x", (1, 2))]));
+        b.push(m(&[("x", (1, 2))]));
+        b.extend([m(&[("y", (3, 4))])]);
+        assert_eq!(b.len(), 3);
+        let set = b.finish();
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(&m(&[("x", (1, 2))])));
     }
 
     #[test]

@@ -6,13 +6,17 @@
 //!
 //! * [`CorpusEngine`] compiles an instantiated RA tree **once** into a
 //!   [`CompiledPlan`] (optimized by the `spanner-algebra::plan` rewriter by
-//!   default) and then evaluates it over any number of documents;
+//!   default, lowered onto the physical operator executor of
+//!   `spanner-algebra::exec`) and then evaluates it over any number of
+//!   documents — every worker runs the same operator pipeline as
+//!   single-document evaluation and SpannerQL;
 //! * [`CorpusEngine::evaluate_with_threads`] shards the corpus across a
-//!   scoped thread pool. The compiled plan is read-only after compilation
+//!   scoped thread pool. The lowered plan is read-only after compilation
 //!   (`CompiledPlan: Sync`), so every worker evaluates against the *same*
-//!   shared automata — no per-thread compilation, no locking on the hot
-//!   path. Results are returned **in corpus order** and are bit-identical
-//!   for every thread count (each document is evaluated independently);
+//!   shared operator tree and compiled automata — no per-thread
+//!   compilation, no locking on the hot path. Results are returned **in
+//!   corpus order** and are bit-identical for every thread count (each
+//!   document is evaluated independently);
 //! * [`CorpusResult`] carries the per-document relations plus aggregate
 //!   [`CorpusStats`].
 //!

@@ -145,8 +145,20 @@ pub fn evaluate(vsa: &Vsa, doc: &Document) -> SpannerResult<MappingSet> {
 /// Enumerates `VAW(d)` for an already-compiled automaton.
 pub fn evaluate_compiled(compiled: &CompiledVsa, doc: &Document) -> SpannerResult<MappingSet> {
     let mappings: Vec<Mapping> =
-        Enumerator::from_compiled(compiled, doc)?.collect::<SpannerResult<_>>()?;
+        enumerate_compiled(compiled, doc)?.collect::<SpannerResult<_>>()?;
     Ok(MappingSet::from_mappings(mappings))
+}
+
+/// The iterator-shaped counterpart of [`evaluate_compiled`]: a lazy,
+/// duplicate-free, polynomial-delay mapping stream over an already-compiled
+/// automaton. This is the enumeration entry point the physical operator
+/// executor in `spanner-algebra` pulls from; it is [`Enumerator::from_compiled`]
+/// under a function name symmetric with the evaluate family.
+pub fn enumerate_compiled<'a>(
+    compiled: &'a CompiledVsa,
+    doc: &'a Document,
+) -> SpannerResult<Enumerator<'a>> {
+    Enumerator::from_compiled(compiled, doc)
 }
 
 /// Whether `VAW(d)` is nonempty (polynomial time; Theorem 2.5's

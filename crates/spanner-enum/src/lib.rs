@@ -31,7 +31,8 @@ pub mod matchgraph;
 pub mod opset;
 
 pub use enumerate::{
-    count_mappings, evaluate, evaluate_compiled, evaluate_rgx, is_nonempty, Enumerator,
+    count_mappings, enumerate_compiled, evaluate, evaluate_compiled, evaluate_rgx, is_nonempty,
+    Enumerator,
 };
 pub use matchgraph::MatchGraph;
 pub use opset::{OpSet, OpTable, MAX_VARS};

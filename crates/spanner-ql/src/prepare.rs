@@ -2,17 +2,19 @@
 //!
 //! [`PreparedQuery::prepare`] runs the whole front half of the pipeline —
 //! tokenize, parse, lower to `RaTree` + `Instantiation`, optimize with
-//! `spanner_algebra::optimize_ra`, compile to a [`CompiledPlan`] — exactly
-//! once. The handle then evaluates any number of documents: single documents
-//! stream through the polynomial-delay [`Enumerator`]
-//! (`spanner_enum`, via [`CompiledPlan::stream`]), corpora shard across a
+//! `spanner_algebra::optimize_ra`, compile to a [`CompiledPlan`] (which
+//! lowers onto the physical operator executor) — exactly once. The handle
+//! then evaluates any number of documents through that one executor: single
+//! documents stream through the operator pull pipeline (polynomial delay on
+//! static plans, via [`CompiledPlan::stream`]), corpora shard across a
 //! [`CorpusEngine`] thread pool.
 
 use crate::error::QlError;
 use crate::lower::Lowered;
 use crate::parser::{parse_program, Program};
 use spanner_algebra::{
-    shared_variable_bound, tree_vars, CompiledPlan, Instantiation, PlanStream, RaOptions, RaTree,
+    shared_variable_bound, tree_vars, CompiledPlan, Instantiation, PhysicalPlan, PlanStream,
+    RaOptions, RaTree,
 };
 use spanner_core::{Document, MappingSet, SpannerResult, VarSet};
 use spanner_corpus::{CorpusEngine, CorpusResult};
@@ -125,9 +127,11 @@ impl PreparedQuery {
 
     /// A human-readable explanation: the query as written, the leaf
     /// bindings, the optimized tree, the shared-variable bound before and
-    /// after planning, and whether the plan compiled statically.
+    /// after planning, whether the plan compiled statically, and the lowered
+    /// physical operator tree the executor runs.
     pub fn explain(&self) -> String {
         let plan = self.engine.plan();
+        let physical = PhysicalPlan::lower(plan);
         let vars: Vec<String> = self.vars.iter().map(|v| v.to_string()).collect();
         let mut out = String::new();
         out.push_str(&format!("query      : {}\n", self.lowered.tree));
@@ -147,15 +151,25 @@ impl PreparedQuery {
         out.push_str(&format!(
             "plan       : {} ({})\n",
             if plan.is_static() {
-                "static — compiled once, zero per-document compilation"
+                "static — one compiled scan, zero per-document composition"
             } else {
-                "dynamic — difference/black-box parts re-compiled per document"
+                "dynamic — relational operators over compiled scans"
             },
             if plan.is_static() {
                 "Theorem 5.2"
             } else {
-                "Theorem 5.2 / Corollary 5.3, ad-hoc"
+                "Theorem 5.2 / Corollary 5.3, executor"
             },
+        ));
+        out.push_str(&format!(
+            "physical   : {} operator{}\n{}\n",
+            physical.operator_count(),
+            if physical.operator_count() == 1 {
+                ""
+            } else {
+                "s"
+            },
+            physical.describe()
         ));
         out
     }
@@ -228,6 +242,21 @@ mod tests {
         assert!(explain.contains("2 before planning, 1 after"), "{explain}");
         assert!(explain.contains("static"), "{explain}");
         assert!(explain.contains("?0 = a"), "{explain}");
+        // The physical outline: a fully static plan is one compiled scan.
+        assert!(explain.contains("physical   : 1 operator\n"), "{explain}");
+        assert!(explain.contains("CompiledScan("), "{explain}");
+    }
+
+    #[test]
+    fn explain_outlines_the_physical_operators_of_a_dynamic_plan() {
+        let q = PreparedQuery::prepare(
+            "let a = /{x:a+}{y:b*}/; let b = /{x:a}b/; project x (a minus b);",
+        )
+        .unwrap();
+        let explain = q.explain();
+        assert!(explain.contains("Project{x}"), "{explain}");
+        assert!(explain.contains("Difference(anti-join)"), "{explain}");
+        assert!(explain.contains("physical   : 4 operators"), "{explain}");
     }
 
     #[test]

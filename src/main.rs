@@ -13,13 +13,16 @@
 //! document-spanners query --corpus <program> [file [threads]]
 //!                                                    … over every line, in parallel
 //! document-spanners explain  <program>               show the parsed tree, the
-//!                                                    optimized plan, and the
+//!                                                    optimized plan, the physical
+//!                                                    operators, and the
 //!                                                    shared-variable bound
 //! ```
 //!
 //! The pattern syntax is the one of `spanner_rgx::parse`; SpannerQL programs
 //! use the `spanner_ql` syntax (`let name = /…/; expr;`). When no file is
-//! given the document is read from standard input.
+//! given — or when the file argument is `-` — the document is read from
+//! standard input, so a thread count can follow in the pipe shape
+//! `tail -f log | document-spanners query --corpus <program> - 4`.
 
 use document_spanners::prelude::*;
 use spanner_rgx::RgxClass;
@@ -34,7 +37,9 @@ const USAGE: &str = "usage:
   document-spanners corpus   <pattern> [file [threads]]
   document-spanners query    <program> [file]
   document-spanners query    --corpus <program> [file [threads]]
-  document-spanners explain  <program>";
+  document-spanners explain  <program>
+
+a file argument of `-` reads the document from standard input";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -126,10 +131,13 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "corpus" => {
             arity(command, operands, 1, 3)?;
-            let doc = read_document(operands.get(1))?;
+            // Validate everything else before the document: `-` reads
+            // standard input, which must not be consumed (or blocked on)
+            // only to then reject a malformed thread count.
             let threads = parse_threads(operands.get(2))?;
-            let docs = split_lines(doc.text());
             let alpha = parse(&operands[0]).map_err(|e| e.to_string())?;
+            let doc = read_document(operands.get(1))?;
+            let docs = split_lines(doc.text());
             let inst = Instantiation::new().with(0, alpha);
             let engine = CorpusEngine::compile(&RaTree::leaf(0), &inst, RaOptions::default())
                 .map_err(|e| e.to_string())?;
@@ -151,16 +159,19 @@ fn run(args: &[String]) -> Result<(), String> {
             } else {
                 arity(command, operands, 1, 2)?;
             }
+            // Program and thread count are validated before the document is
+            // read: with `-` (stdin) the input must not be consumed first.
             let prepared = prepare_program(&operands[0])?;
-            let doc = read_document(operands.get(1))?;
             if corpus_mode {
                 let threads = parse_threads(operands.get(2))?;
+                let doc = read_document(operands.get(1))?;
                 let docs = split_lines(doc.text());
                 let out = prepared
                     .evaluate_corpus(&docs, threads)
                     .map_err(|e| e.to_string())?;
                 print_corpus_result(&docs, &out);
             } else {
+                let doc = read_document(operands.get(1))?;
                 let stream = prepared.stream(&doc).map_err(|e| e.to_string())?;
                 for mapping in stream {
                     let mapping = mapping.map_err(|e| e.to_string())?;
@@ -205,10 +216,29 @@ fn print_corpus_result(docs: &[Document], out: &CorpusResult) {
     );
 }
 
+/// Where a document argument dispatches to: standard input (no argument, or
+/// the conventional `-`) or a file path.
+#[derive(Debug, PartialEq, Eq)]
+enum DocSource<'a> {
+    Stdin,
+    File(&'a str),
+}
+
+/// Resolves the optional file operand. `-` selects standard input so a
+/// thread count can follow it (`corpus <pattern> - 4` in a pipe).
+fn document_source(arg: Option<&String>) -> DocSource<'_> {
+    match arg.map(String::as_str) {
+        None | Some("-") => DocSource::Stdin,
+        Some(path) => DocSource::File(path),
+    }
+}
+
 fn read_document(path: Option<&String>) -> Result<Document, String> {
-    let text = match path {
-        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
-        None => {
+    let text = match document_source(path) {
+        DocSource::File(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+        }
+        DocSource::Stdin => {
             let mut buffer = String::new();
             std::io::stdin()
                 .read_to_string(&mut buffer)
@@ -286,6 +316,26 @@ mod tests {
         assert!(err.contains("invalid thread count `two`"), "{err}");
         let err = run(&argv(&["query", "--corpus", "/{x:a+}/", &file, "-1"])).unwrap_err();
         assert!(err.contains("invalid thread count"), "{err}");
+    }
+
+    #[test]
+    fn dash_file_argument_dispatches_to_stdin() {
+        // `-` is stdin, so `corpus <pattern> - <threads>` works in a pipe;
+        // anything else (including a file literally named "–" or "./-")
+        // stays a path lookup.
+        let dash = "-".to_string();
+        let file = "access.log".to_string();
+        let dotdash = "./-".to_string();
+        assert_eq!(document_source(None), DocSource::Stdin);
+        assert_eq!(document_source(Some(&dash)), DocSource::Stdin);
+        assert_eq!(document_source(Some(&file)), DocSource::File("access.log"));
+        assert_eq!(document_source(Some(&dotdash)), DocSource::File("./-"));
+        // The thread-count operand still parses in the `-` position's wake:
+        // `corpus <pattern> - two` must diagnose the count, not the dash.
+        let err = run(&argv(&["corpus", "{x:a+}", "-", "two"])).unwrap_err();
+        assert!(err.contains("invalid thread count `two`"), "{err}");
+        let err = run(&argv(&["query", "--corpus", "/{x:a}/", "-", "nope"])).unwrap_err();
+        assert!(err.contains("invalid thread count `nope`"), "{err}");
     }
 
     #[test]

@@ -234,6 +234,106 @@ fn planner_does_not_push_projection_through_difference() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Physical operator executor edge cases.
+// ---------------------------------------------------------------------------
+
+/// Compiles both ways (optimizer on/off) and checks `evaluate` and `stream`
+/// against the materialized oracle on every document.
+fn check_executor(tree: &RaTree, inst: &Instantiation, texts: &[&str]) {
+    for options in [RaOptions::default(), RaOptions::unoptimized()] {
+        let plan = CompiledPlan::compile(tree, inst, options).unwrap();
+        for text in texts {
+            let doc = Document::new(*text);
+            let oracle = evaluate_ra_materialized(tree, inst, &doc).unwrap();
+            assert_eq!(
+                plan.evaluate(&doc).unwrap(),
+                oracle,
+                "evaluate (optimize={}) on {text:?}: {tree}",
+                options.optimize
+            );
+            let streamed: Vec<Mapping> = plan
+                .stream(&doc)
+                .unwrap()
+                .collect::<Result<_, _>>()
+                .unwrap();
+            let as_set: MappingSet = streamed.iter().cloned().collect();
+            assert_eq!(streamed.len(), as_set.len(), "duplicates on {text:?}");
+            assert_eq!(
+                as_set, oracle,
+                "stream (optimize={}) on {text:?}: {tree}",
+                options.optimize
+            );
+        }
+    }
+}
+
+#[test]
+fn executor_difference_with_schema_overlapping_operands() {
+    // Operand schemas {x, y} and {y, z} overlap only on y: compatibility is
+    // decided on the overlap, and survivors keep their private variables.
+    let tree = RaTree::difference(RaTree::leaf(0), RaTree::leaf(1));
+    let inst = Instantiation::new()
+        .with(0, parse("{x:a+}{y:b*}").unwrap())
+        .with(1, parse("a*{y:b+}{z:a?}").unwrap());
+    check_executor(&tree, &inst, &["ab", "abb", "a", "b", "aabba", ""]);
+}
+
+#[test]
+fn executor_difference_with_empty_probe_side() {
+    // The probe side matches nothing on these documents: the anti-join is
+    // the identity and must not drop (or reorder into) anything.
+    let tree = RaTree::difference(RaTree::leaf(0), RaTree::leaf(1));
+    let inst = Instantiation::new()
+        .with(0, parse("{x:a+}b*").unwrap())
+        .with(1, parse("{x:a}ccc").unwrap());
+    check_executor(&tree, &inst, &["ab", "aab", "a", ""]);
+    // An unsatisfiable probe automaton (empty language) behaves the same.
+    let inst_empty = Instantiation::new()
+        .with(0, parse("{x:a+}b*").unwrap())
+        .with(1, parse("{x:[]}").unwrap());
+    check_executor(&tree, &inst_empty, &["ab", "a", ""]);
+}
+
+#[test]
+fn executor_projection_directly_over_difference() {
+    // The projection cannot be pushed through the difference (unsound), so
+    // the executor runs a Project operator over the anti-join — including
+    // the dedup of mappings that collapse under the projection.
+    let tree = RaTree::project(
+        VarSet::from_iter(["x"]),
+        RaTree::difference(RaTree::leaf(0), RaTree::leaf(1)),
+    );
+    let inst = Instantiation::new()
+        .with(0, parse("{x:a}({y:b}b|b{y:b})").unwrap())
+        .with(1, parse("{x:a}{y:b}b").unwrap());
+    check_executor(&tree, &inst, &["abb", "ab", "abbb", ""]);
+}
+
+#[test]
+fn executor_stream_equals_evaluate_on_dynamic_plans() {
+    // A join above a difference: the deepest dynamic shape — the join
+    // streams its probe side, the difference is an anti-join below it.
+    let tree = RaTree::join(
+        RaTree::difference(RaTree::leaf(0), RaTree::leaf(1)),
+        RaTree::leaf(2),
+    );
+    let inst = Instantiation::new()
+        .with(0, parse("{x:a+}{y:b*}").unwrap())
+        .with(1, parse("{x:aa}b*").unwrap())
+        .with(2, parse("{x:a+}{z:b?}b*").unwrap());
+    check_executor(&tree, &inst, &["ab", "aab", "abb", "a", ""]);
+    // And a union of differences under a projection (dedup at every level).
+    let union_tree = RaTree::project(
+        VarSet::from_iter(["x"]),
+        RaTree::union(
+            RaTree::difference(RaTree::leaf(0), RaTree::leaf(1)),
+            RaTree::leaf(2),
+        ),
+    );
+    check_executor(&union_tree, &inst, &["ab", "aab", "abb", ""]);
+}
+
 #[test]
 fn enumerator_is_fused_after_exhaustion() {
     let vsa = compile(&parse("{x:a}").unwrap());
