@@ -196,7 +196,7 @@ pub mod collection {
     use super::strategy::Strategy;
     use super::*;
 
-    /// A length range for [`vec`].
+    /// A length range for [`vec()`](vec()).
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
@@ -231,7 +231,7 @@ pub mod collection {
         }
     }
 
-    /// The result of [`vec`].
+    /// The result of [`vec()`](vec()).
     #[derive(Clone)]
     pub struct VecStrategy<S> {
         element: S,

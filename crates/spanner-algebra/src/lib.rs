@@ -6,7 +6,7 @@
 //! *Complexity Bounds for Relational Algebra over Document Spanners*
 //! (PODS 2019):
 //!
-//! * [`spanner`] — the [`Spanner`](spanner::Spanner) trait and wrappers for
+//! * [`spanner`] — the [`Spanner`](trait@spanner::Spanner) trait and wrappers for
 //!   regex formulas, vset-automata, and materialized relations;
 //! * [`blackbox`] — tractable, degree-bounded black-box extractors
 //!   (tokenizer, dictionary, string equality, sentiment) usable inside RA
@@ -46,6 +46,8 @@
 //!     .iter()
 //!     .all(|m| !doc.slice(m.get(&"mail".into()).unwrap()).ends_with(".uk")));
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod adhoc;
 pub mod blackbox;

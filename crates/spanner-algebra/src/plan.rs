@@ -28,7 +28,8 @@
 //!
 //! The rewrite rules maintain three invariants (checked by the planner
 //! property tests): the declared variable set [`tree_vars`] of the tree is
-//! preserved, the [`shared_variable_bound`] never increases (join reorders
+//! preserved, the [`shared_variable_bound`](crate::shared_variable_bound)
+//! never increases (join reorders
 //! that would increase it are discarded), and the pass is idempotent —
 //! optimizing an optimized plan returns it unchanged.
 
@@ -64,6 +65,24 @@ pub struct PlanStats {
 /// The instantiation is only consulted for the declared variable sets of the
 /// leaves; the returned tree is valid for any instantiation with the same
 /// leaf schemas.
+///
+/// ```
+/// use spanner_algebra::{optimize_ra, shared_variable_bound, Instantiation, RaTree};
+///
+/// // (?0{x} ⋈ ?1{y}) ⋈ ?2{x,y}: bound 2 as written; joining ?2 second
+/// // keeps every step at 1 shared variable.
+/// let tree = RaTree::join(
+///     RaTree::join(RaTree::leaf(0), RaTree::leaf(1)),
+///     RaTree::leaf(2),
+/// );
+/// let inst = Instantiation::new()
+///     .with(0, spanner_rgx::parse("{x:a}b*").unwrap())
+///     .with(1, spanner_rgx::parse("a{y:b+}").unwrap())
+///     .with(2, spanner_rgx::parse("{x:a}{y:b+}").unwrap());
+/// assert_eq!(shared_variable_bound(&tree, &inst).unwrap(), 2);
+/// let optimized = optimize_ra(&tree, &inst).unwrap();
+/// assert_eq!(shared_variable_bound(&optimized, &inst).unwrap(), 1);
+/// ```
 pub fn optimize_ra(tree: &RaTree, inst: &Instantiation) -> SpannerResult<RaTree> {
     Ok(optimize_ra_with_stats(tree, inst)?.0)
 }

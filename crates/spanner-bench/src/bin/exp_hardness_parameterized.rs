@@ -1,4 +1,4 @@
-//! E11 — the parameterized reductions: Theorem 4.4 (W[1]) and Proposition 4.10.
+//! E11 — the parameterized reductions: Theorem 4.4 (W\[1\]) and Proposition 4.10.
 
 use spanner_algebra::{difference_product_eval, DifferenceOptions};
 use spanner_bench::{header, ms, row, timed};

@@ -1,0 +1,126 @@
+//! E13 — the serving layer: cached prepared queries vs cold compilation.
+//!
+//! Drives a live daemon over its real TCP protocol with the
+//! `spanner-workloads` request mix and measures requests per second in two
+//! configurations on the same workload:
+//!
+//! * **cold** — cache capacity 0: every request re-parses, re-plans, and
+//!   re-compiles its program (what the one-shot CLI paid per invocation);
+//! * **cached** — default capacity: a request for a resident program
+//!   evaluates against the shared compiled plan with zero compilation.
+//!
+//! The acceptance bar of the serving-layer work is cached ≥ 5× cold on
+//! the same request stream. Results are merged into `BENCH_serve.json`.
+
+use spanner_bench::{header, merge_bench_json, ms, row, BenchEntry};
+use spanner_serve::{Client, Json, ServeOptions, Server};
+use spanner_workloads::{request_mix, RequestKind, RequestMixConfig, ServeRequest};
+use std::time::{Duration, Instant};
+
+/// Replays the request stream against a fresh daemon with the given cache
+/// capacity; returns the wall-clock time and the number of responses with
+/// `"ok": true`.
+fn replay(requests: &[ServeRequest], cache_capacity: usize) -> (Duration, usize) {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeOptions {
+            cache_capacity,
+            threads: 2,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind an ephemeral port");
+    let (addr, handle) = server.spawn();
+    let mut client = Client::connect(addr).expect("connect");
+    let start = Instant::now();
+    let mut ok = 0;
+    for request in requests {
+        let response = match request.kind {
+            RequestKind::Query => client.query(&request.program, &request.doc),
+            RequestKind::QueryCorpus => client.query_corpus(&request.program, &request.doc),
+            RequestKind::Explain => client.explain(&request.program),
+            RequestKind::Stats => client.stats(),
+        }
+        .expect("request round trip");
+        if response.get("ok").and_then(Json::as_bool) == Some(true) {
+            ok += 1;
+        }
+    }
+    let elapsed = start.elapsed();
+    client.shutdown().expect("shutdown");
+    handle.join().expect("join").expect("clean exit");
+    (elapsed, ok)
+}
+
+/// [`replay`] three times, keeping the median wall-clock run (noise from
+/// co-tenants on the machine skews single runs by 2x and more).
+fn replay_median(requests: &[ServeRequest], cache_capacity: usize) -> (Duration, usize) {
+    let mut runs: Vec<(Duration, usize)> =
+        (0..3).map(|_| replay(requests, cache_capacity)).collect();
+    runs.sort();
+    runs[1]
+}
+
+fn qps(n: usize, elapsed: Duration) -> f64 {
+    n as f64 / elapsed.as_secs_f64()
+}
+
+fn main() {
+    println!("## E13 — serving layer: prepared-query cache\n");
+    let config = RequestMixConfig {
+        // Pure single-document queries for the headline number: corpus and
+        // introspection requests would dilute the compile-vs-evaluate
+        // contrast this experiment isolates.
+        corpus_percent: 0,
+        introspection_percent: 0,
+        ..RequestMixConfig::default()
+    };
+    let n = 400;
+    let requests = request_mix(n, config, 13);
+
+    println!("{n} single-document requests, 70% on the hot program, over TCP\n");
+    header(&["configuration", "total ms", "requests/s", "ok responses"]);
+
+    let (cold, cold_ok) = replay_median(&requests, 0);
+    row(&[
+        "cold (capacity 0)".to_string(),
+        ms(cold),
+        format!("{:.0}", qps(n, cold)),
+        cold_ok.to_string(),
+    ]);
+    let (cached, cached_ok) = replay_median(&requests, 64);
+    row(&[
+        "cached (capacity 64)".to_string(),
+        ms(cached),
+        format!("{:.0}", qps(n, cached)),
+        cached_ok.to_string(),
+    ]);
+    assert_eq!(cold_ok, cached_ok, "the cache must not change any result");
+
+    let speedup = qps(n, cached) / qps(n, cold);
+    println!("\ncached/cold speedup: {speedup:.1}x (acceptance bar: ≥ 5x)");
+
+    // A mixed stream (corpus + introspection included) for the realistic
+    // serving picture.
+    let mixed = request_mix(200, RequestMixConfig::default(), 17);
+    let (mixed_cold, _) = replay(&mixed, 0);
+    let (mixed_cached, _) = replay(&mixed, 64);
+    println!(
+        "mixed stream (200 requests, 10% corpus): cold {:.0} req/s, cached {:.0} req/s\n",
+        qps(200, mixed_cold),
+        qps(200, mixed_cached),
+    );
+
+    let entries = vec![
+        BenchEntry::new("serve/query/cold", cold / n as u32, cold_ok),
+        BenchEntry::new("serve/query/cached", cached / n as u32, cached_ok),
+        BenchEntry::new("serve/mixed/cold", mixed_cold / 200, 0),
+        BenchEntry::new("serve/mixed/cached", mixed_cached / 200, 0),
+    ];
+    merge_bench_json("BENCH_serve.json", &entries).expect("write BENCH_serve.json");
+    println!("wrote {} entries to BENCH_serve.json", entries.len());
+    assert!(
+        speedup >= 5.0,
+        "cached serving must be at least 5x cold parse-plan-compile, got {speedup:.1}x"
+    );
+}

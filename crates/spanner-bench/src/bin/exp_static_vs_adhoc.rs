@@ -1,5 +1,5 @@
 //! E10 — why the difference cannot be compiled statically: NFA complement
-//! blow-up vs the size of the ad-hoc construction (Section 4 intro, [17]).
+//! blow-up vs the size of the ad-hoc construction (Section 4 intro, \[17\]).
 
 use spanner_algebra::{difference_product, DifferenceOptions};
 use spanner_bench::{header, row};

@@ -38,7 +38,12 @@
 use spanner_algebra::{CompiledPlan, Instantiation, RaOptions, RaTree};
 use spanner_core::{Document, MappingSet, SpannerResult};
 use std::num::NonZeroUsize;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+pub mod pool;
+
+pub use pool::{resolve_pool_threads, WorkerPool};
 
 /// Aggregate statistics of one corpus evaluation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -161,6 +166,68 @@ impl CorpusEngine {
         };
         Ok(CorpusResult { results, stats })
     }
+
+    /// Evaluates the corpus by sharding it across a persistent
+    /// [`WorkerPool`] instead of spawning scoped threads per call — the
+    /// shape a long-running query service wants, where one pool serves
+    /// thousands of corpus requests and thread spawn cost is paid once at
+    /// startup.
+    ///
+    /// The engine and the documents are shared with the workers through
+    /// `Arc` (jobs on a persistent pool are `'static`). Results are in
+    /// corpus order and bit-identical to [`CorpusEngine::evaluate_with_threads`]
+    /// for every pool size.
+    pub fn evaluate_on_pool(
+        self: &Arc<CorpusEngine>,
+        docs: &Arc<Vec<Document>>,
+        pool: &WorkerPool,
+    ) -> SpannerResult<CorpusResult> {
+        let start = Instant::now();
+        let threads = effective_threads(pool.threads(), docs.len());
+        let chunk = docs.len().div_ceil(threads.max(1)).max(1);
+        let chunks: Vec<std::ops::Range<usize>> = (0..docs.len())
+            .step_by(chunk)
+            .map(|lo| lo..(lo + chunk).min(docs.len()))
+            .collect();
+        let (send, recv) = std::sync::mpsc::channel();
+        for (index, range) in chunks.iter().cloned().enumerate() {
+            let engine = Arc::clone(self);
+            let docs = Arc::clone(docs);
+            let send = send.clone();
+            pool.execute(move || {
+                let results: Vec<SpannerResult<MappingSet>> = docs[range.clone()]
+                    .iter()
+                    .map(|doc| engine.plan.evaluate(doc))
+                    .collect();
+                // The receiver may already be gone when an earlier chunk
+                // reported an error; dropping the result is fine then.
+                let _ = send.send((index, results));
+            });
+        }
+        drop(send);
+        let mut slots: Vec<Option<SpannerResult<MappingSet>>> = vec![None; docs.len()];
+        for _ in 0..chunks.len() {
+            let (index, chunk_results) = recv
+                .recv()
+                .expect("every chunk job reports exactly once before the senders close");
+            for (slot, result) in slots[chunks[index].clone()].iter_mut().zip(chunk_results) {
+                *slot = Some(result);
+            }
+        }
+        let mut results = Vec::with_capacity(docs.len());
+        for slot in slots {
+            results.push(slot.expect("every document was evaluated")?);
+        }
+        let stats = CorpusStats {
+            documents: docs.len(),
+            bytes: docs.iter().map(Document::len).sum(),
+            mappings: results.iter().map(MappingSet::len).sum(),
+            matched_documents: results.iter().filter(|r| !r.is_empty()).count(),
+            threads,
+            elapsed: start.elapsed(),
+        };
+        Ok(CorpusResult { results, stats })
+    }
 }
 
 impl std::fmt::Debug for CorpusEngine {
@@ -171,8 +238,9 @@ impl std::fmt::Debug for CorpusEngine {
 
 /// Hard ceiling on spawned workers: corpora can be arbitrarily large, and a
 /// requested count far past the CPU count would only pay thread-spawn cost
-/// (or abort the process when the OS refuses to spawn).
-const MAX_THREADS: usize = 256;
+/// (or abort the process when the OS refuses to spawn). Public so other
+/// thread-pool layers (the serve daemon) clamp to the same bound.
+pub const MAX_THREADS: usize = 256;
 
 /// Resolves the requested worker count: `0` means one per available CPU;
 /// there is never a point in more workers than documents, nor past
@@ -241,6 +309,41 @@ mod tests {
         let e = engine(&parts.concat());
         let docs = vec![Document::new("aaa")];
         assert!(e.evaluate_with_threads(&docs, 2).is_err());
+    }
+
+    #[test]
+    fn pool_evaluation_is_bit_identical_to_scoped() {
+        let e = Arc::new(engine("{x:a+}"));
+        let docs: Arc<Vec<Document>> = Arc::new(
+            ["aa", "b", "a", "", "aaa", "ba"]
+                .iter()
+                .map(|t| Document::new(*t))
+                .collect(),
+        );
+        let scoped = e.evaluate_with_threads(&docs, 2).unwrap();
+        for pool_size in [1, 2, 4] {
+            let pool = WorkerPool::new(pool_size);
+            let pooled = e.evaluate_on_pool(&docs, &pool).unwrap();
+            assert_eq!(pooled.results, scoped.results, "pool size {pool_size}");
+            assert_eq!(pooled.stats.mappings, scoped.stats.mappings);
+        }
+    }
+
+    #[test]
+    fn pool_evaluation_propagates_errors_and_handles_empty() {
+        let pool = WorkerPool::new(2);
+        let e = Arc::new(engine("{x:a}"));
+        let empty: Arc<Vec<Document>> = Arc::new(Vec::new());
+        let out = e.evaluate_on_pool(&empty, &pool).unwrap();
+        assert!(out.results.is_empty());
+
+        let mut parts = Vec::new();
+        for i in 0..=spanner_enum::MAX_VARS {
+            parts.push(format!("{{v{i:02}:a?}}"));
+        }
+        let failing = Arc::new(engine(&parts.concat()));
+        let docs = Arc::new(vec![Document::new("aaa"), Document::new("a")]);
+        assert!(failing.evaluate_on_pool(&docs, &pool).is_err());
     }
 
     #[test]

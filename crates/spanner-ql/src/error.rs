@@ -55,6 +55,10 @@ impl QlError {
     ///   project x (hots join user);
     ///              ^^^^
     /// ```
+    ///
+    /// Tabs in the source line are expanded to spaces (a fixed [`TAB_WIDTH`]
+    /// per tab) in both the echoed line and the caret padding, so the caret
+    /// stays aligned however the source was indented.
     pub fn pretty(&self, src: &str) -> String {
         let Some(span) = self.span else {
             return format!("error: {}", self.message);
@@ -69,19 +73,51 @@ impl QlError {
         let line_end = src[start..].find('\n').map_or(src.len(), |i| start + i);
         let line_no = src[..start].matches('\n').count() + 1;
         let column = src[line_start..start].chars().count() + 1;
-        let caret_pad = " ".repeat(column - 1);
+        // The echoed line and the caret padding must expand tabs the same
+        // way, or a tab-indented line would render the caret misaligned
+        // (a tab occupies one char but many columns).
+        let caret_pad = " ".repeat(display_width(&src[line_start..start]));
         let mut end = span.end.clamp(start, line_end);
         while !src.is_char_boundary(end) {
             end -= 1;
         }
-        let width = src[start..end.max(start)].chars().count();
+        let width = display_width(&src[start..end.max(start)]);
         let carets = "^".repeat(width.max(1));
         format!(
             "error at line {line_no}, column {column}: {}\n  {}\n  {caret_pad}{carets}",
             self.message,
-            &src[line_start..line_end],
+            expand_tabs(&src[line_start..line_end]),
         )
     }
+}
+
+/// Number of spaces a tab expands to in [`QlError::pretty`] output.
+pub const TAB_WIDTH: usize = 4;
+
+/// Expands every tab to [`TAB_WIDTH`] spaces (uniformly — not to tab
+/// stops — so the width of a prefix is the sum of its char widths and the
+/// caret padding can be computed independently of the echoed line).
+fn expand_tabs(text: &str) -> String {
+    if !text.contains('\t') {
+        return text.to_string();
+    }
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        if c == '\t' {
+            out.push_str(&" ".repeat(TAB_WIDTH));
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// The rendered width of a source fragment under [`expand_tabs`]: one
+/// column per char, [`TAB_WIDTH`] per tab.
+fn display_width(text: &str) -> usize {
+    text.chars()
+        .map(|c| if c == '\t' { TAB_WIDTH } else { 1 })
+        .sum()
 }
 
 impl fmt::Display for QlError {
@@ -130,5 +166,43 @@ mod tests {
         let e = QlError::new("truncated", SrcSpan::at(1_000));
         let rendered = e.pretty("ab");
         assert!(rendered.contains("truncated"), "{rendered}");
+    }
+
+    /// The caret must sit directly under the offending token in the
+    /// rendered output. Returns (echoed line, caret line) without the
+    /// two-space gutter.
+    fn rendered_lines(rendered: &str) -> (String, String) {
+        let mut lines = rendered.lines().skip(1);
+        let echoed = lines.next().unwrap().strip_prefix("  ").unwrap();
+        let caret = lines.next().unwrap().strip_prefix("  ").unwrap();
+        (echoed.to_string(), caret.to_string())
+    }
+
+    #[test]
+    fn caret_aligns_on_tab_indented_lines() {
+        // One tab, then spaces, then the offending name: the caret column
+        // must match the expanded position of `b`, not its char index.
+        let src = "let a = /x/;\n\tproject q (b);";
+        let pos = src.find('b').unwrap();
+        let e = QlError::new("unknown extractor `b`", SrcSpan::new(pos, pos + 1));
+        let (echoed, caret) = rendered_lines(&e.pretty(src));
+        assert!(!echoed.contains('\t'), "tabs must be expanded: {echoed:?}");
+        assert_eq!(
+            caret.len(),
+            echoed.find('b').unwrap() + 1,
+            "{echoed:?} / {caret:?}"
+        );
+        assert_eq!(&echoed[caret.len() - 1..caret.len()], "b");
+    }
+
+    #[test]
+    fn caret_width_covers_tabs_inside_the_span() {
+        // A span that contains a tab: the caret run must cover the
+        // expanded width, staying aligned with the expanded line.
+        let src = "x\t= 1";
+        let e = QlError::new("bad assignment", SrcSpan::new(0, 3));
+        let (echoed, caret) = rendered_lines(&e.pretty(src));
+        assert_eq!(echoed, "x    = 1");
+        assert_eq!(caret, "^".repeat(1 + TAB_WIDTH + 1));
     }
 }

@@ -38,6 +38,8 @@
 //! assert!(!out.is_empty());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod error;
 pub mod lexer;
 pub mod lower;

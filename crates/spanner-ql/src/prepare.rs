@@ -17,23 +17,57 @@ use spanner_algebra::{
     RaOptions, RaTree,
 };
 use spanner_core::{Document, MappingSet, SpannerResult, VarSet};
-use spanner_corpus::{CorpusEngine, CorpusResult};
+use spanner_corpus::{CorpusEngine, CorpusResult, WorkerPool};
+use std::sync::Arc;
 
 /// A compiled SpannerQL query, ready for repeated evaluation.
+///
+/// `PreparedQuery` is `Send + Sync` and immutable after
+/// [`PreparedQuery::prepare`]: wrap it in an [`Arc`] and any number of
+/// threads can evaluate against the one compiled plan concurrently — the
+/// sharing model of the `spanner-serve` prepared-query cache.
 pub struct PreparedQuery {
     program: Program,
     lowered: Lowered,
-    engine: CorpusEngine,
+    engine: Arc<CorpusEngine>,
     vars: VarSet,
     bound_before: usize,
     bound_after: usize,
 }
 
+/// Everything inside a prepared query is read-only after compilation; the
+/// serving layer shares one `Arc<PreparedQuery>` across worker threads.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PreparedQuery>();
+};
+
 impl PreparedQuery {
     /// Parses, lowers, optimizes, and compiles a program with the default
     /// [`RaOptions`].
+    ///
+    /// ```
+    /// use spanner_core::Document;
+    /// use spanner_ql::PreparedQuery;
+    ///
+    /// let q = PreparedQuery::prepare("let a = /{x:a+}b/; project x (a);").unwrap();
+    /// let out = q.evaluate(&Document::new("aab")).unwrap();
+    /// assert_eq!(out.len(), 1);
+    /// ```
     pub fn prepare(src: &str) -> Result<PreparedQuery, QlError> {
         PreparedQuery::prepare_with_options(src, RaOptions::default())
+    }
+
+    /// The canonical cache key for a program text: the source with leading
+    /// and trailing whitespace trimmed, otherwise byte-identical.
+    ///
+    /// The serving layer keys its prepared-query cache on this. No deeper
+    /// normalization is attempted — two programs that differ in interior
+    /// whitespace or comments are different keys even though they compile
+    /// to the same plan; a false *split* only costs a duplicate cache
+    /// entry, whereas any unsound merge would serve wrong results.
+    pub fn cache_key(src: &str) -> &str {
+        src.trim()
     }
 
     /// [`PreparedQuery::prepare`] with explicit evaluation options (the
@@ -43,7 +77,11 @@ impl PreparedQuery {
         let lowered = program.lower()?;
         let vars = tree_vars(&lowered.tree, &lowered.inst)?;
         let bound_before = shared_variable_bound(&lowered.tree, &lowered.inst)?;
-        let engine = CorpusEngine::compile(&lowered.tree, &lowered.inst, options)?;
+        let engine = Arc::new(CorpusEngine::compile(
+            &lowered.tree,
+            &lowered.inst,
+            options,
+        )?);
         let bound_after = shared_variable_bound(engine.plan().tree(), &lowered.inst)?;
         Ok(PreparedQuery {
             program,
@@ -77,9 +115,55 @@ impl PreparedQuery {
         self.engine.evaluate_with_threads(docs, threads)
     }
 
+    /// Evaluates the query over a corpus sharded across a persistent
+    /// [`WorkerPool`] (see
+    /// [`CorpusEngine::evaluate_on_pool`]) — the serving-layer shape, where
+    /// one pool outlives thousands of requests. Results are bit-identical
+    /// to [`PreparedQuery::evaluate_corpus`].
+    pub fn evaluate_corpus_on_pool(
+        &self,
+        docs: &Arc<Vec<Document>>,
+        pool: &WorkerPool,
+    ) -> SpannerResult<CorpusResult> {
+        self.engine.evaluate_on_pool(docs, pool)
+    }
+
     /// The corpus engine wrapping the compiled plan.
     pub fn engine(&self) -> &CorpusEngine {
         &self.engine
+    }
+
+    /// The corpus engine as a shareable handle (for `'static` jobs on
+    /// persistent worker pools).
+    pub fn shared_engine(&self) -> &Arc<CorpusEngine> {
+        &self.engine
+    }
+
+    /// A one-line outline of the compiled plan — static/dynamic shape,
+    /// operator count, output variables, and the planned shared-variable
+    /// bound. The serving layer reports this from `prepare` and `stats`
+    /// responses without paying for the full multi-line
+    /// [`PreparedQuery::explain`].
+    pub fn plan_outline(&self) -> String {
+        let plan = self.engine.plan();
+        let physical = PhysicalPlan::lower(plan);
+        let vars: Vec<String> = self.vars.iter().map(|v| v.to_string()).collect();
+        format!(
+            "{} plan, {} operator{}, vars {{{}}}, bound {}",
+            if plan.is_static() {
+                "static"
+            } else {
+                "dynamic"
+            },
+            physical.operator_count(),
+            if physical.operator_count() == 1 {
+                ""
+            } else {
+                "s"
+            },
+            vars.join(","),
+            self.bound_after,
+        )
     }
 
     /// The compiled physical plan.
@@ -226,6 +310,32 @@ mod tests {
         for (doc, got) in docs.iter().zip(&out.results) {
             assert_eq!(got, &q.evaluate(doc).unwrap());
         }
+        // The persistent-pool path produces the same relations.
+        let docs = Arc::new(docs);
+        let pool = WorkerPool::new(2);
+        let pooled = q.evaluate_corpus_on_pool(&docs, &pool).unwrap();
+        assert_eq!(pooled.results, out.results);
+    }
+
+    #[test]
+    fn cache_key_trims_only_outer_whitespace() {
+        assert_eq!(PreparedQuery::cache_key("  /a/ ;\n"), "/a/ ;");
+        // Interior differences stay distinct keys (never merge unsoundly).
+        assert_ne!(
+            PreparedQuery::cache_key("/a/  union /b/"),
+            PreparedQuery::cache_key("/a/ union /b/")
+        );
+    }
+
+    #[test]
+    fn plan_outline_is_one_line() {
+        let q = PreparedQuery::prepare("let a = /{x:a+}/; a minus /{x:aa}/;").unwrap();
+        let outline = q.plan_outline();
+        assert!(!outline.contains('\n'), "{outline}");
+        assert!(outline.contains("dynamic plan"), "{outline}");
+        assert!(outline.contains("vars {x}"), "{outline}");
+        let s = PreparedQuery::prepare("/{x:a}/").unwrap();
+        assert!(s.plan_outline().contains("static plan, 1 operator,"));
     }
 
     #[test]

@@ -227,7 +227,7 @@ pub fn is_satisfiable(cnf: &Cnf) -> bool {
 }
 
 /// Whether the formula has a satisfying assignment with exactly `weight`
-/// variables set to true (the W[1]-hard problem behind Theorem 4.4).
+/// variables set to true (the W\[1\]-hard problem behind Theorem 4.4).
 /// Exhaustive over subsets of the given weight — exponential, test-scale only.
 pub fn has_satisfying_assignment_of_weight(cnf: &Cnf, weight: usize) -> bool {
     fn rec(cnf: &Cnf, assignment: &mut Vec<bool>, next_var: usize, remaining: usize) -> bool {

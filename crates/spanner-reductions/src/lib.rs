@@ -9,7 +9,7 @@
 //! * [`generator`] — random / planted / bounded-occurrence CNF generators;
 //! * [`reductions`] — the constructions of Theorem 3.1 (join of sequential
 //!   regex formulas), Theorem 4.1 (difference of functional regex formulas),
-//!   Theorem 4.4 (W[1]-hardness in the number of shared variables) and
+//!   Theorem 4.4 (W\[1\]-hardness in the number of shared variables) and
 //!   Proposition 4.10 (bounded-occurrence disjunction-free difference).
 //!
 //! Every reduction is machine-checked in the test suite: on exhaustive small

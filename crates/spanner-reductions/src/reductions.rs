@@ -141,7 +141,7 @@ pub fn difference_hardness_instance(cnf: &Cnf) -> DifferenceInstance {
 
 /// The Theorem 4.4 reduction: weight-`k` 3SAT → nonemptiness of the
 /// difference of two functional regex formulas sharing only `k` variables
-/// (the W[1]-hardness parameter).
+/// (the W\[1\]-hardness parameter).
 ///
 /// The paper encodes document positions by unique `O(log n)`-length blocks
 /// over a binary alphabet; this implementation uses one unique byte per

@@ -1,0 +1,262 @@
+//! The shared prepared-query cache.
+//!
+//! Every entry point before the serve layer re-parsed, re-planned, and
+//! re-compiled its program per invocation. [`QueryCache`] is where the
+//! compile-once amortization becomes serving throughput: queries are keyed
+//! by their (trimmed) program text and held as `Arc<PreparedQuery>`, so
+//! every concurrent request for a hot program evaluates against the *same*
+//! compiled plan with zero per-request compilation. Eviction is
+//! least-recently-used at a fixed capacity; hit/miss/eviction counters are
+//! surfaced through [`CacheStats`] (the `stats` protocol request).
+
+use spanner_algebra::RaOptions;
+use spanner_ql::{PreparedQuery, QlError};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Counters describing a cache's lifetime behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Maximum number of resident prepared queries (0 = caching disabled).
+    pub capacity: usize,
+    /// Prepared queries currently resident.
+    pub entries: usize,
+    /// Requests answered from a resident entry.
+    pub hits: u64,
+    /// Requests that had to compile (including failed compilations).
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+/// An LRU cache of compiled queries, shared by every connection worker.
+///
+/// The map mutex is held only for bookkeeping (lookup, recency bump,
+/// eviction, slot insertion) — never across compilation. On a miss the
+/// entry is inserted as a pending *slot* ([`OnceLock`]) and compiled
+/// after the lock is released: concurrent requests for the same new
+/// program block on that one slot and share the single compilation,
+/// while requests for other programs — cache hits in particular — are
+/// never stalled behind someone else's slow compile.
+pub struct QueryCache {
+    capacity: usize,
+    state: Mutex<CacheState>,
+}
+
+#[derive(Default)]
+struct CacheState {
+    entries: HashMap<String, CacheEntry>,
+    /// Monotonic recency clock; bumped on every touch.
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// The per-program compilation slot: set exactly once, by whichever
+/// request got there first; everyone else blocks on it outside the map
+/// lock.
+type PrepareSlot = OnceLock<Result<Arc<PreparedQuery>, QlError>>;
+
+struct CacheEntry {
+    slot: Arc<PrepareSlot>,
+    last_used: u64,
+}
+
+impl QueryCache {
+    /// A cache holding at most `capacity` prepared queries. Capacity `0`
+    /// disables residency entirely — every request compiles (the cold
+    /// baseline of the serve benchmark).
+    pub fn new(capacity: usize) -> QueryCache {
+        QueryCache {
+            capacity,
+            state: Mutex::new(CacheState::default()),
+        }
+    }
+
+    /// Returns the prepared form of `program`, compiling and caching it on
+    /// a miss. The boolean is `true` when the request found an existing
+    /// entry (possibly still compiling — it shares that compilation rather
+    /// than starting its own). Compilation failures are reported and the
+    /// failed entry is dropped — a mistyped program never poisons a slot.
+    pub fn get_or_prepare(
+        &self,
+        program: &str,
+        options: RaOptions,
+    ) -> Result<(Arc<PreparedQuery>, bool), QlError> {
+        let key = PreparedQuery::cache_key(program);
+        let (slot, hit) = {
+            let mut state = self.state.lock().expect("cache mutex poisoned");
+            state.tick += 1;
+            let tick = state.tick;
+            if let Some(entry) = state.entries.get_mut(key) {
+                entry.last_used = tick;
+                let slot = Arc::clone(&entry.slot);
+                state.hits += 1;
+                (slot, true)
+            } else {
+                state.misses += 1;
+                let slot: Arc<PrepareSlot> = Arc::new(OnceLock::new());
+                if self.capacity > 0 {
+                    while state.entries.len() >= self.capacity {
+                        let oldest = state
+                            .entries
+                            .iter()
+                            .min_by_key(|(_, e)| e.last_used)
+                            .map(|(k, _)| k.clone())
+                            .expect("non-empty above capacity");
+                        state.entries.remove(&oldest);
+                        state.evictions += 1;
+                    }
+                    state.entries.insert(
+                        key.to_string(),
+                        CacheEntry {
+                            slot: Arc::clone(&slot),
+                            last_used: tick,
+                        },
+                    );
+                }
+                (slot, false)
+            }
+        };
+        // Compile (or wait for the compiling request) outside the lock.
+        let result = slot
+            .get_or_init(|| PreparedQuery::prepare_with_options(program, options).map(Arc::new));
+        match result {
+            Ok(query) => Ok((Arc::clone(query), hit)),
+            Err(e) => {
+                // Failed compilations are never served from the cache:
+                // drop the entry (only if it is still *this* slot — a
+                // concurrent retry may already have replaced it).
+                let mut state = self.state.lock().expect("cache mutex poisoned");
+                if let Some(entry) = state.entries.get(key) {
+                    if Arc::ptr_eq(&entry.slot, &slot) {
+                        state.entries.remove(key);
+                    }
+                }
+                Err(e.clone())
+            }
+        }
+    }
+
+    /// Whether the program is currently resident (does not touch recency).
+    pub fn contains(&self, program: &str) -> bool {
+        let key = PreparedQuery::cache_key(program);
+        self.state
+            .lock()
+            .expect("cache mutex poisoned")
+            .entries
+            .contains_key(key)
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        let state = self.state.lock().expect("cache mutex poisoned");
+        CacheStats {
+            capacity: self.capacity,
+            entries: state.entries.len(),
+            hits: state.hits,
+            misses: state.misses,
+            evictions: state.evictions,
+        }
+    }
+}
+
+impl std::fmt::Debug for QueryCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        write!(
+            f,
+            "QueryCache({}/{} entries, {} hits, {} misses, {} evictions)",
+            s.entries, s.capacity, s.hits, s.misses, s.evictions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache_with(capacity: usize) -> QueryCache {
+        QueryCache::new(capacity)
+    }
+
+    #[test]
+    fn hit_returns_the_same_compiled_plan() {
+        let cache = cache_with(4);
+        let (first, hit1) = cache
+            .get_or_prepare("/{x:a+}/", RaOptions::default())
+            .unwrap();
+        let (second, hit2) = cache
+            .get_or_prepare("  /{x:a+}/  ", RaOptions::default())
+            .unwrap();
+        assert!(!hit1);
+        assert!(hit2, "trimmed program must hit the same key");
+        assert!(Arc::ptr_eq(&first, &second), "one compiled plan, shared");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let cache = cache_with(2);
+        let opts = RaOptions::default();
+        cache.get_or_prepare("/{x:a}/", opts).unwrap(); // A
+        cache.get_or_prepare("/{x:b}/", opts).unwrap(); // B
+        cache.get_or_prepare("/{x:a}/", opts).unwrap(); // touch A: B is now LRU
+        cache.get_or_prepare("/{x:c}/", opts).unwrap(); // C evicts B
+        assert!(cache.contains("/{x:a}/"), "recently-touched entry survives");
+        assert!(!cache.contains("/{x:b}/"), "least-recently-used is evicted");
+        assert!(cache.contains("/{x:c}/"));
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = cache_with(2);
+        let opts = RaOptions::default();
+        assert!(cache.get_or_prepare("let a = ;", opts).is_err());
+        assert!(cache.get_or_prepare("let a = ;", opts).is_err());
+        let s = cache.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.misses, 2, "every failed compile is a miss");
+    }
+
+    #[test]
+    fn zero_capacity_disables_residency() {
+        let cache = cache_with(0);
+        let opts = RaOptions::default();
+        let (_, hit1) = cache.get_or_prepare("/{x:a}/", opts).unwrap();
+        let (_, hit2) = cache.get_or_prepare("/{x:a}/", opts).unwrap();
+        assert!(!hit1 && !hit2);
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn concurrent_requests_share_one_entry() {
+        let cache = Arc::new(cache_with(4));
+        let plans: Vec<Arc<PreparedQuery>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    scope.spawn(move || {
+                        cache
+                            .get_or_prepare("let a = /{x:a+}b*/; a;", RaOptions::default())
+                            .unwrap()
+                            .0
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for plan in &plans[1..] {
+            assert!(Arc::ptr_eq(&plans[0], plan), "all threads share one plan");
+        }
+        let s = cache.stats();
+        assert_eq!(s.misses, 1, "exactly one compilation");
+        assert_eq!(s.hits, 7);
+    }
+}

@@ -1,0 +1,106 @@
+//! A small synchronous client for the serve protocol.
+//!
+//! One [`Client`] wraps one TCP connection; every call writes one request
+//! line and reads one response line. The CLI `client` subcommand, the
+//! protocol tests, and the serve benchmark all drive the daemon through
+//! this type, so the protocol has exactly one encoder.
+
+use crate::json::Json;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected protocol client.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // One small line per round trip: disable Nagle, like the server.
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one raw line and returns the raw response line (without the
+    /// newline). The lowest-level escape hatch — the CLI uses it so users
+    /// can type any JSON they like.
+    pub fn request_line(&mut self, line: &str) -> io::Result<String> {
+        writeln!(self.writer, "{line}")?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end().to_string())
+    }
+
+    /// Sends one request value and parses the response.
+    pub fn request(&mut self, request: &Json) -> io::Result<Json> {
+        let line = self.request_line(&request.to_string())?;
+        Json::parse(&line)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}")))
+    }
+
+    /// `prepare`: compile `program` into the server's cache.
+    pub fn prepare(&mut self, program: &str) -> io::Result<Json> {
+        self.request(&Json::object([
+            ("op", Json::string("prepare")),
+            ("program", Json::string(program)),
+        ]))
+    }
+
+    /// `query`: evaluate `program` on one document.
+    pub fn query(&mut self, program: &str, doc: &str) -> io::Result<Json> {
+        self.request(&Json::object([
+            ("op", Json::string("query")),
+            ("program", Json::string(program)),
+            ("doc", Json::string(doc)),
+        ]))
+    }
+
+    /// `query_corpus`: evaluate `program` over every line of `text`.
+    pub fn query_corpus(&mut self, program: &str, text: &str) -> io::Result<Json> {
+        self.request(&Json::object([
+            ("op", Json::string("query_corpus")),
+            ("program", Json::string(program)),
+            ("text", Json::string(text)),
+        ]))
+    }
+
+    /// `explain`: the full explain rendering of `program`.
+    pub fn explain(&mut self, program: &str) -> io::Result<Json> {
+        self.request(&Json::object([
+            ("op", Json::string("explain")),
+            ("program", Json::string(program)),
+        ]))
+    }
+
+    /// `stats`: cache and server counters.
+    pub fn stats(&mut self) -> io::Result<Json> {
+        self.request(&Json::object([("op", Json::string("stats"))]))
+    }
+
+    /// `shutdown`: ask the server to drain and exit.
+    pub fn shutdown(&mut self) -> io::Result<Json> {
+        self.request(&Json::object([("op", Json::string("shutdown"))]))
+    }
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.writer.peer_addr() {
+            Ok(addr) => write!(f, "Client({addr})"),
+            Err(_) => write!(f, "Client(disconnected)"),
+        }
+    }
+}

@@ -1,0 +1,471 @@
+//! A minimal JSON value type with a parser and a serializer.
+//!
+//! The serve protocol is line-delimited JSON over TCP, and the workspace
+//! builds offline (no serde), so this module implements the small JSON
+//! subset the protocol needs: the full value grammar on input (objects,
+//! arrays, strings with escapes, numbers, booleans, null), compact
+//! single-line rendering on output. Object keys keep their insertion
+//! order, so responses render deterministically.
+//!
+//! ```
+//! use spanner_serve::json::Json;
+//!
+//! let v = Json::parse(r#"{"op":"query","threads":2}"#).unwrap();
+//! assert_eq!(v.get("op").and_then(Json::as_str), Some("query"));
+//! assert_eq!(v.get("threads").and_then(Json::as_usize), Some(2));
+//! assert_eq!(v.to_string(), r#"{"op":"query","threads":2}"#);
+//! ```
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as a double, like JavaScript).
+    Number(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; keys keep insertion order and are not deduplicated on
+    /// construction ([`Json::get`] returns the first match, like every
+    /// first-wins JSON reader).
+    Object(Vec<(String, Json)>),
+}
+
+/// A JSON parse error: what went wrong and the byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the input where the problem was detected.
+    pub position: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid JSON at byte {}: {}",
+            self.position, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Parses one JSON value from the whole input (trailing non-whitespace
+    /// is an error).
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(err("trailing characters after the value", pos));
+        }
+        Ok(value)
+    }
+
+    /// Builds an object from key/value pairs, in order.
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds a string value.
+    pub fn string(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Builds a number value from any unsigned count.
+    pub fn number(n: usize) -> Json {
+        Json::Number(n as f64)
+    }
+
+    /// Member lookup on objects (first match); `None` on other values.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, when this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, when this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer count, when this is a
+    /// whole number in range.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u32::MAX as f64 => {
+                Some(*n as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// The element list, when this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Json::Str(s) => write_escaped(f, s),
+            Json::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Object(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Writes a JSON string literal with the mandatory escapes (quote,
+/// backslash, control characters).
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+fn err(message: &str, position: usize) -> JsonError {
+    JsonError {
+        message: message.to_string(),
+        position,
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err("unexpected end of input", *pos)),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_keyword(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        Some(c) => Err(err(&format!("unexpected character `{}`", *c as char), *pos)),
+    }
+}
+
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    keyword: &str,
+    value: Json,
+) -> Result<Json, JsonError> {
+    if bytes[*pos..].starts_with(keyword.as_bytes()) {
+        *pos += keyword.len();
+        Ok(value)
+    } else {
+        Err(err(&format!("expected `{keyword}`"), *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && (bytes[*pos].is_ascii_digit() || matches!(bytes[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII slice");
+    text.parse::<f64>()
+        .ok()
+        // Overflowing literals like 1e999 parse to infinity, which has no
+        // JSON rendering — reject them so every accepted value round-trips.
+        .filter(|n| n.is_finite())
+        .map(Json::Number)
+        .ok_or_else(|| err(&format!("invalid number `{text}`"), start))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    let start = *pos;
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err("unterminated string", start)),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    None => return Err(err("dangling escape", *pos)),
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| err("truncated \\u escape", *pos))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| err("non-ASCII \\u escape", *pos))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| err("invalid \\u escape", *pos))?;
+                        // Surrogate pairs: a high surrogate must be followed
+                        // by an escaped low surrogate.
+                        let c = if (0xD800..0xDC00).contains(&code) {
+                            let rest = bytes.get(*pos + 5..*pos + 11);
+                            let low = rest
+                                .filter(|r| r.starts_with(b"\\u"))
+                                .and_then(|r| std::str::from_utf8(&r[2..6]).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .filter(|l| (0xDC00..0xE000).contains(l))
+                                .ok_or_else(|| err("unpaired surrogate", *pos))?;
+                            *pos += 6;
+                            let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                            char::from_u32(combined)
+                                .ok_or_else(|| err("invalid code point", *pos))?
+                        } else {
+                            char::from_u32(code).ok_or_else(|| err("unpaired surrogate", *pos))?
+                        };
+                        out.push(c);
+                        *pos += 4;
+                    }
+                    Some(c) => {
+                        return Err(err(&format!("invalid escape `\\{}`", *c as char), *pos))
+                    }
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 character (the input is a &str, so the
+                // bytes are valid UTF-8 by construction).
+                let rest = std::str::from_utf8(&bytes[*pos..]).expect("input is UTF-8");
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            _ => return Err(err("expected `,` or `]`", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    *pos += 1; // consume '{'
+    let mut pairs = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(pairs));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(err("expected a string key", *pos));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(err("expected `:` after the key", *pos));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        pairs.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(pairs));
+            }
+            _ => return Err(err("expected `,` or `}`", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_the_protocol_shapes() {
+        for text in [
+            r#"{"op":"query","program":"/{x:a+}/","doc":"aa"}"#,
+            r#"{"ok":true,"mappings":[{"x":{"span":[1,3],"text":"ab"}}]}"#,
+            r#"{"ok":false,"error":"boom"}"#,
+            r#"[1,2.5,-3,null,true,false,"s"]"#,
+            r#"{}"#,
+            r#"[]"#,
+        ] {
+            let v = Json::parse(text).unwrap();
+            assert_eq!(v.to_string(), text, "round trip of {text}");
+        }
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let original = "line\nbreak\ttab \"quote\" back\\slash π∪⋈";
+        let rendered = Json::Str(original.to_string()).to_string();
+        let parsed = Json::parse(&rendered).unwrap();
+        assert_eq!(parsed.as_str(), Some(original));
+        // Unicode escapes on input.
+        assert_eq!(
+            Json::parse(r#""\u03c0 \ud83d\ude00""#).unwrap().as_str(),
+            Some("π 😀")
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Json::parse(r#"{"a":1,"b":"x","c":[true],"d":null,"e":2.5}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Json::as_usize), Some(1));
+        assert_eq!(v.get("b").and_then(Json::as_str), Some("x"));
+        assert_eq!(
+            v.get("c").and_then(Json::as_array).map(<[Json]>::len),
+            Some(1)
+        );
+        assert_eq!(v.get("d"), Some(&Json::Null));
+        assert_eq!(v.get("e").and_then(Json::as_usize), None);
+        assert_eq!(v.get("e").and_then(Json::as_f64), Some(2.5));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let v = Json::parse(" { \"a\" : [ 1 , 2 ] } ").unwrap();
+        assert_eq!(
+            v.get("a").and_then(Json::as_array).map(<[Json]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_error_with_positions() {
+        for text in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "{a:1}",
+            "\"unterminated",
+            "nul",
+            "1 2",
+            "1e999",
+            "-1e999",
+            "{\"a\":1}extra",
+            "\"bad \\q escape\"",
+            "\"\\u12",
+            "\"\\ud800\"",
+        ] {
+            let e = Json::parse(text).unwrap_err();
+            assert!(e.position <= text.len(), "{text:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn numbers_render_compactly() {
+        assert_eq!(Json::number(42).to_string(), "42");
+        assert_eq!(Json::Number(-1.5).to_string(), "-1.5");
+        assert_eq!(Json::Number(0.0).to_string(), "0");
+    }
+}

@@ -1,0 +1,53 @@
+//! A long-running query service over document spanners.
+//!
+//! Every CLI entry point re-parses, re-plans, and re-compiles its program
+//! per invocation, discarding exactly the compile-once amortization the
+//! engine is built around (the paper's evaluation model compiles the
+//! spanner once and evaluates many documents). This crate keeps the
+//! compiled form *resident*: a std-only TCP daemon speaking a
+//! line-delimited JSON protocol, backed by
+//!
+//! * a shared LRU [`QueryCache`] holding `Arc<PreparedQuery>` — concurrent
+//!   requests for the same program evaluate against one compiled plan with
+//!   zero per-request compilation ([`cache`]);
+//! * a fixed pool of connection workers and a persistent
+//!   [`spanner_corpus::WorkerPool`] that corpus requests shard across
+//!   ([`server`]);
+//! * per-request resource limits (`RaOptions::max_states` /
+//!   `max_signatures`), so a hostile query fails fast with an error
+//!   response instead of taking the process down.
+//!
+//! The protocol ([`protocol`]) has six requests: `prepare`, `query`,
+//! `query_corpus`, `explain`, `stats`, and `shutdown` (graceful: in-flight
+//! work drains before the process exits). [`Client`] is the matching
+//! synchronous client; [`json`] is the self-contained JSON layer
+//! (the workspace builds offline — no serde).
+//!
+//! ```
+//! use spanner_serve::{Client, ServeOptions, Server};
+//!
+//! let server = Server::bind("127.0.0.1:0", ServeOptions::default()).unwrap();
+//! let (addr, handle) = server.spawn();
+//! let mut client = Client::connect(addr).unwrap();
+//!
+//! let response = client.query("/{x:a+}b/", "aab").unwrap();
+//! assert_eq!(response.get("ok").and_then(|v| v.as_bool()), Some(true));
+//! assert_eq!(response.get("count").and_then(|v| v.as_usize()), Some(1));
+//!
+//! client.shutdown().unwrap();
+//! handle.join().unwrap().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheStats, QueryCache};
+pub use client::Client;
+pub use json::Json;
+pub use protocol::Request;
+pub use server::{ServeOptions, Server};

@@ -1,0 +1,204 @@
+//! The line-delimited JSON request/response protocol.
+//!
+//! Each request is one JSON object on one line; each response is one JSON
+//! object on one line. A connection carries any number of requests in
+//! sequence (the protocol is strictly request/response, no pipelining
+//! required on the client side, though the server answers in order).
+//!
+//! Requests (`op` selects the operation):
+//!
+//! | `op` | fields | effect |
+//! |---|---|---|
+//! | `prepare` | `program` | compile into the cache, report the plan outline |
+//! | `query` | `program`, `doc` | evaluate on one document |
+//! | `query_corpus` | `program`, `text` | evaluate every line of `text` as its own document |
+//! | `explain` | `program` | the full multi-line explain, as a string |
+//! | `stats` | — | cache + server counters |
+//! | `shutdown` | — | stop accepting, drain, exit |
+//!
+//! Every response carries `"ok"`; failures are
+//! `{"ok":false,"error":"…"}` and never tear the connection down. Span
+//! positions use the paper's 1-based `[start, end⟩` convention, matching
+//! the rest of the workspace.
+
+use crate::json::Json;
+use spanner_core::{Document, MappingSet};
+
+/// A decoded protocol request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Compile `program` into the cache without evaluating it.
+    Prepare {
+        /// SpannerQL program text.
+        program: String,
+    },
+    /// Evaluate `program` on one document.
+    Query {
+        /// SpannerQL program text.
+        program: String,
+        /// The document text.
+        doc: String,
+    },
+    /// Evaluate `program` over every line of `text` as its own document.
+    QueryCorpus {
+        /// SpannerQL program text.
+        program: String,
+        /// The corpus: one document per line.
+        text: String,
+    },
+    /// Render the full explain output of `program`.
+    Explain {
+        /// SpannerQL program text.
+        program: String,
+    },
+    /// Report cache and server counters.
+    Stats,
+    /// Stop accepting connections, drain in-flight work, and exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Decodes one request line. Errors are human-readable strings, ready
+    /// for an error response.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let value = Json::parse(line).map_err(|e| e.to_string())?;
+        let op = value
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("request object needs a string `op` field")?;
+        let field = |name: &str| -> Result<String, String> {
+            value
+                .get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("`{op}` needs a string `{name}` field"))
+        };
+        match op {
+            "prepare" => Ok(Request::Prepare {
+                program: field("program")?,
+            }),
+            "query" => Ok(Request::Query {
+                program: field("program")?,
+                doc: field("doc")?,
+            }),
+            "query_corpus" => Ok(Request::QueryCorpus {
+                program: field("program")?,
+                text: field("text")?,
+            }),
+            "explain" => Ok(Request::Explain {
+                program: field("program")?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!(
+                "unknown op `{other}` (expected prepare, query, query_corpus, \
+                 explain, stats, or shutdown)"
+            )),
+        }
+    }
+}
+
+/// Builds the standard failure response.
+pub fn error_response(message: impl std::fmt::Display) -> Json {
+    Json::object([
+        ("ok", Json::Bool(false)),
+        ("error", Json::string(message.to_string())),
+    ])
+}
+
+/// Renders a relation as a JSON array of mapping objects; each mapping
+/// maps a variable name to `{"span":[start,end],"text":…}` with the
+/// 1-based span convention.
+pub fn mappings_to_json(doc: &Document, set: &MappingSet) -> Json {
+    Json::Array(
+        set.iter()
+            .map(|mapping| {
+                Json::Object(
+                    mapping
+                        .iter()
+                        .map(|(var, span)| {
+                            (
+                                var.to_string(),
+                                Json::object([
+                                    (
+                                        "span",
+                                        Json::Array(vec![
+                                            Json::number(span.start as usize),
+                                            Json::number(span.end as usize),
+                                        ]),
+                                    ),
+                                    ("text", Json::string(doc.slice(span))),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                )
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanner_ql::PreparedQuery;
+
+    #[test]
+    fn every_op_parses() {
+        let cases = [
+            (r#"{"op":"prepare","program":"/a/"}"#, "prepare"),
+            (r#"{"op":"query","program":"/a/","doc":"aa"}"#, "query"),
+            (
+                r#"{"op":"query_corpus","program":"/a/","text":"a\nb"}"#,
+                "query_corpus",
+            ),
+            (r#"{"op":"explain","program":"/a/"}"#, "explain"),
+            (r#"{"op":"stats"}"#, "stats"),
+            (r#"{"op":"shutdown"}"#, "shutdown"),
+        ];
+        for (line, op) in cases {
+            let request = Request::parse(line).unwrap();
+            match (op, &request) {
+                ("prepare", Request::Prepare { .. })
+                | ("query", Request::Query { .. })
+                | ("query_corpus", Request::QueryCorpus { .. })
+                | ("explain", Request::Explain { .. })
+                | ("stats", Request::Stats)
+                | ("shutdown", Request::Shutdown) => {}
+                _ => panic!("{line} parsed to {request:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_diagnosed() {
+        for (line, needle) in [
+            ("", "invalid JSON"),
+            ("not json", "invalid JSON"),
+            ("[1,2]", "`op` field"),
+            (r#"{"op":"frobnicate"}"#, "unknown op"),
+            (r#"{"op":"query","program":"/a/"}"#, "`doc`"),
+            (r#"{"op":"query","doc":"aa"}"#, "`program`"),
+            (r#"{"op":"query","program":7,"doc":"aa"}"#, "`program`"),
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert!(err.contains(needle), "{line:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn mappings_render_with_paper_spans() {
+        let q = PreparedQuery::prepare("/{x:a+}b/").unwrap();
+        let doc = Document::new("aab");
+        let set = q.evaluate(&doc).unwrap();
+        let rendered = mappings_to_json(&doc, &set).to_string();
+        // x = [1,3⟩ covering "aa" in the 1-based convention.
+        assert_eq!(rendered, r#"[{"x":{"span":[1,3],"text":"aa"}}]"#);
+    }
+
+    #[test]
+    fn error_response_shape() {
+        let e = error_response("boom");
+        assert_eq!(e.to_string(), r#"{"ok":false,"error":"boom"}"#);
+    }
+}

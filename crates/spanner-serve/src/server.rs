@@ -1,0 +1,448 @@
+//! The long-running query daemon.
+//!
+//! [`Server`] binds a TCP listener and serves the line-delimited JSON
+//! protocol of [`crate::protocol`] from a fixed pool of connection
+//! workers. All workers share one [`QueryCache`] (so a hot program is
+//! compiled once, ever, per process) and one persistent
+//! [`WorkerPool`] for corpus sharding — a corpus request fans its
+//! documents out across that pool exactly like the CLI `corpus` command,
+//! but without paying thread spawn per request.
+//!
+//! Robustness choices, all observable through the protocol tests:
+//!
+//! * request lines are read through a hard byte cap
+//!   ([`ServeOptions::max_line_bytes`]) — an oversized line is drained and
+//!   answered with an error without ever being buffered whole;
+//! * per-request evaluation limits come from the configured
+//!   [`RaOptions`] (`max_states`, `max_signatures`), so a hostile query
+//!   fails fast with an error response instead of exhausting the process;
+//! * `shutdown` stops the accept loop, then *drains*: every connection
+//!   worker finishes its in-flight request (and any input already
+//!   buffered on its connection) before the server exits.
+
+use crate::cache::QueryCache;
+use crate::json::Json;
+use crate::protocol::{error_response, mappings_to_json, Request};
+use spanner_algebra::RaOptions;
+use spanner_core::Document;
+use spanner_corpus::{split_lines, WorkerPool};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Connection worker threads (`0` = one per available CPU).
+    pub threads: usize,
+    /// Prepared-query cache capacity (`0` disables caching — every request
+    /// compiles; the cold baseline of the serve benchmark).
+    pub cache_capacity: usize,
+    /// Hard cap on one request line, in bytes; longer lines are rejected
+    /// without being buffered.
+    pub max_line_bytes: usize,
+    /// Per-request evaluation limits (automaton states, materialized
+    /// intermediate relations) — the fail-fast guard against hostile
+    /// queries.
+    pub ra_options: RaOptions,
+    /// Worker threads of the shared corpus pool (`0` = one per CPU).
+    pub corpus_threads: usize,
+    /// A connection that goes this long without completing a request line
+    /// is closed — silent or slow-drip clients cannot permanently occupy
+    /// one of the fixed connection workers. The clock restarts after each
+    /// complete line, so an active client can idle between requests up to
+    /// this long.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            threads: 0,
+            cache_capacity: 64,
+            max_line_bytes: 1 << 20,
+            ra_options: RaOptions::default(),
+            corpus_threads: 0,
+            idle_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// State shared by the accept loop and every connection worker.
+struct Shared {
+    cache: QueryCache,
+    pool: WorkerPool,
+    options: ServeOptions,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    connections: AtomicU64,
+}
+
+/// A bound, not-yet-running query daemon.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the daemon to `addr` (e.g. `"127.0.0.1:7171"`; port `0` picks
+    /// a free port, which [`Server::local_addr`] reports).
+    pub fn bind(addr: &str, options: ServeOptions) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                cache: QueryCache::new(options.cache_capacity),
+                pool: WorkerPool::new(options.corpus_threads),
+                options,
+                addr,
+                shutdown: AtomicBool::new(false),
+                requests: AtomicU64::new(0),
+                connections: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The bound address (useful after binding port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Runs the accept loop until a `shutdown` request arrives, then
+    /// drains: in-flight requests complete, queued connections are served,
+    /// and every worker is joined before this returns.
+    pub fn run(&self) -> io::Result<()> {
+        let threads = resolve_threads(self.shared.options.threads);
+        let (sender, receiver) = channel::<TcpStream>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                let receiver: Arc<Mutex<Receiver<TcpStream>>> = Arc::clone(&receiver);
+                let shared = Arc::clone(&self.shared);
+                std::thread::spawn(move || loop {
+                    let stream = match receiver.lock().expect("queue poisoned").recv() {
+                        Ok(stream) => stream,
+                        Err(_) => return, // accept loop closed the queue
+                    };
+                    shared.connections.fetch_add(1, Ordering::Relaxed);
+                    // Connection-level I/O errors (peer reset, timeout on a
+                    // dead socket) end that connection only.
+                    let _ = handle_connection(stream, &shared);
+                })
+            })
+            .collect();
+        for stream in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                // The last accepted stream is the shutdown wake-up (or a
+                // late client); it is dropped unserved.
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    let _ = sender.send(stream);
+                }
+                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        drop(sender);
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+
+    /// Runs the server on a background thread, returning its join handle —
+    /// the shape the tests and the CLI smoke test use.
+    pub fn spawn(self) -> (SocketAddr, std::thread::JoinHandle<io::Result<()>>) {
+        let addr = self.local_addr();
+        (addr, std::thread::spawn(move || self.run()))
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Server({})", self.shared.addr)
+    }
+}
+
+/// Resolves the connection-worker count: the corpus pool's resolver
+/// (`0` = one per CPU, clamped to `MAX_THREADS`) — a huge
+/// `serve [addr [threads]]` argument must degrade to the cap, not abort
+/// the daemon when the OS refuses to spawn.
+fn resolve_threads(requested: usize) -> usize {
+    spanner_corpus::resolve_pool_threads(requested)
+}
+
+/// How often an idle connection re-checks the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// One request line, read under the byte cap.
+enum LineRead {
+    /// A complete line within the cap.
+    Line(String),
+    /// The line exceeded the cap; its bytes were drained, not buffered.
+    TooLong,
+    /// End of stream (or shutdown while idle).
+    Closed,
+}
+
+/// Serves one connection until EOF or shutdown.
+fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    // Request/response lines are small; without NODELAY the Nagle /
+    // delayed-ACK interaction adds tens of milliseconds per round trip.
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let response = match read_request_line(&mut reader, shared)? {
+            LineRead::Closed => return Ok(()),
+            LineRead::TooLong => error_response(format!(
+                "request line exceeds the {}-byte limit",
+                shared.options.max_line_bytes
+            )),
+            LineRead::Line(line) if line.trim().is_empty() => continue,
+            LineRead::Line(line) => {
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                match Request::parse(&line) {
+                    Err(message) => error_response(message),
+                    Ok(request) => {
+                        let shutdown = request == Request::Shutdown;
+                        let response = handle_request(shared, request);
+                        if shutdown {
+                            writeln!(writer, "{response}")?;
+                            initiate_shutdown(shared);
+                            return Ok(());
+                        }
+                        response
+                    }
+                }
+            }
+        };
+        writeln!(writer, "{response}")?;
+    }
+}
+
+/// Flags the shutdown and unblocks the accept loop with a wake-up
+/// connection.
+fn initiate_shutdown(shared: &Shared) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    let _ = TcpStream::connect(shared.addr);
+}
+
+/// Reads one `\n`-terminated line, enforcing the byte cap without
+/// buffering past it, and polling the shutdown flag while idle.
+///
+/// Two liveness guards on the poll path: once the server is draining,
+/// the connection closes on the next poll tick even with a partial line
+/// buffered (a half-written line is not in-flight work — waiting for its
+/// terminator could stall shutdown forever); and a connection that goes
+/// longer than [`ServeOptions::idle_timeout`] without completing a line
+/// is closed, so silent or slow-drip clients cannot permanently occupy
+/// one of the fixed connection workers.
+fn read_request_line(reader: &mut BufReader<TcpStream>, shared: &Shared) -> io::Result<LineRead> {
+    let cap = shared.options.max_line_bytes;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut too_long = false;
+    let started = std::time::Instant::now();
+    loop {
+        // The deadline applies on every iteration, not only when the
+        // socket is silent — a slow-drip client feeding one byte per poll
+        // interval must not occupy the worker past the timeout either.
+        if started.elapsed() >= shared.options.idle_timeout {
+            return Ok(LineRead::Closed);
+        }
+        let chunk = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return Ok(LineRead::Closed);
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        if chunk.is_empty() {
+            // EOF: a final unterminated line still counts as a request.
+            if buf.is_empty() || too_long {
+                return Ok(if too_long {
+                    LineRead::TooLong
+                } else {
+                    LineRead::Closed
+                });
+            }
+            let line = String::from_utf8_lossy(&buf).into_owned();
+            return Ok(LineRead::Line(line));
+        }
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(chunk.len(), |i| i + 1);
+        if !too_long {
+            if buf.len() + take > cap + 1 {
+                too_long = true;
+                buf.clear();
+            } else {
+                buf.extend_from_slice(&chunk[..take]);
+            }
+        }
+        reader.consume(take);
+        if newline.is_some() {
+            if too_long {
+                return Ok(LineRead::TooLong);
+            }
+            buf.pop(); // the newline
+            if buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+            let line = String::from_utf8_lossy(&buf).into_owned();
+            return Ok(LineRead::Line(line));
+        }
+    }
+}
+
+/// Looks `program` up in the cache (compiling on a miss) and builds the
+/// success response from the shared prepared query; compile errors become
+/// the standard error response with the caret rendering.
+fn with_query(
+    shared: &Shared,
+    program: &str,
+    build: impl FnOnce(std::sync::Arc<spanner_ql::PreparedQuery>, bool) -> Json,
+) -> Json {
+    match shared
+        .cache
+        .get_or_prepare(program, shared.options.ra_options)
+    {
+        Err(e) => error_response(e.pretty(program)),
+        Ok((query, cached)) => build(query, cached),
+    }
+}
+
+/// Dispatches one decoded request to a response.
+fn handle_request(shared: &Shared, request: Request) -> Json {
+    match request {
+        Request::Prepare { program } => with_query(shared, &program, |query, cached| {
+            Json::object([
+                ("ok", Json::Bool(true)),
+                ("cached", Json::Bool(cached)),
+                (
+                    "vars",
+                    Json::Array(
+                        query
+                            .vars()
+                            .iter()
+                            .map(|v| Json::string(v.to_string()))
+                            .collect(),
+                    ),
+                ),
+                ("static", Json::Bool(query.plan().is_static())),
+                ("outline", Json::string(query.plan_outline())),
+            ])
+        }),
+        Request::Query { program, doc } => with_query(shared, &program, |query, cached| {
+            let doc = Document::new(doc);
+            match query.evaluate(&doc) {
+                Err(e) => error_response(e),
+                Ok(set) => Json::object([
+                    ("ok", Json::Bool(true)),
+                    ("cached", Json::Bool(cached)),
+                    ("count", Json::number(set.len())),
+                    ("mappings", mappings_to_json(&doc, &set)),
+                ]),
+            }
+        }),
+        Request::QueryCorpus { program, text } => with_query(shared, &program, |query, cached| {
+            let docs = Arc::new(split_lines(&text));
+            match query.evaluate_corpus_on_pool(&docs, &shared.pool) {
+                Err(e) => error_response(e),
+                Ok(out) => {
+                    let results: Vec<Json> = docs
+                        .iter()
+                        .zip(&out.results)
+                        .enumerate()
+                        .filter(|(_, (_, set))| !set.is_empty())
+                        .map(|(index, (doc, set))| {
+                            Json::object([
+                                ("line", Json::number(index)),
+                                ("count", Json::number(set.len())),
+                                ("mappings", mappings_to_json(doc, set)),
+                            ])
+                        })
+                        .collect();
+                    Json::object([
+                        ("ok", Json::Bool(true)),
+                        ("cached", Json::Bool(cached)),
+                        ("documents", Json::number(out.stats.documents)),
+                        ("matched", Json::number(out.stats.matched_documents)),
+                        ("mappings", Json::number(out.stats.mappings)),
+                        ("results", Json::Array(results)),
+                    ])
+                }
+            }
+        }),
+        Request::Explain { program } => with_query(shared, &program, |query, cached| {
+            Json::object([
+                ("ok", Json::Bool(true)),
+                ("cached", Json::Bool(cached)),
+                ("explain", Json::string(query.explain())),
+            ])
+        }),
+        Request::Stats => {
+            let cache = shared.cache.stats();
+            Json::object([
+                ("ok", Json::Bool(true)),
+                (
+                    "cache",
+                    Json::object([
+                        ("capacity", Json::number(cache.capacity)),
+                        ("entries", Json::number(cache.entries)),
+                        ("hits", Json::number(cache.hits as usize)),
+                        ("misses", Json::number(cache.misses as usize)),
+                        ("evictions", Json::number(cache.evictions as usize)),
+                    ]),
+                ),
+                (
+                    "server",
+                    Json::object([
+                        (
+                            "requests",
+                            Json::number(shared.requests.load(Ordering::Relaxed) as usize),
+                        ),
+                        (
+                            "connections",
+                            Json::number(shared.connections.load(Ordering::Relaxed) as usize),
+                        ),
+                        ("corpus_threads", Json::number(shared.pool.threads())),
+                    ]),
+                ),
+            ])
+        }
+        Request::Shutdown => Json::object([
+            ("ok", Json::Bool(true)),
+            ("shutting_down", Json::Bool(true)),
+        ]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_counts_resolve_and_clamp() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+        // A huge request degrades to the shared ceiling instead of
+        // attempting (and aborting on) a million thread spawns.
+        assert_eq!(resolve_threads(1_000_000), spanner_corpus::MAX_THREADS);
+    }
+}

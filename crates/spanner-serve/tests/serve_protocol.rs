@@ -1,0 +1,422 @@
+//! End-to-end protocol and cache tests against a live daemon: malformed
+//! and oversized request lines, concurrent clients sharing one cache
+//! entry, LRU eviction order observed through `stats`, counter accounting,
+//! and graceful shutdown draining in-flight work.
+
+use spanner_serve::{Client, Json, ServeOptions, Server};
+use std::net::SocketAddr;
+use std::thread::JoinHandle;
+
+/// Starts a daemon with the given options, returns its address and join
+/// handle.
+fn start(options: ServeOptions) -> (SocketAddr, JoinHandle<std::io::Result<()>>) {
+    Server::bind("127.0.0.1:0", options)
+        .expect("bind to an ephemeral port")
+        .spawn()
+}
+
+fn ok(v: &Json) -> bool {
+    v.get("ok").and_then(Json::as_bool) == Some(true)
+}
+
+fn field(v: &Json, path: [&str; 2]) -> usize {
+    v.get(path[0])
+        .and_then(|o| o.get(path[1]))
+        .and_then(Json::as_usize)
+        .unwrap_or_else(|| panic!("missing {path:?} in {v}"))
+}
+
+#[test]
+fn query_round_trip_and_cache_hit() {
+    let (addr, handle) = start(ServeOptions::default());
+    let mut client = Client::connect(addr).unwrap();
+
+    let cold = client.query("/{x:a+}b/", "aab").unwrap();
+    assert!(ok(&cold), "{cold}");
+    assert_eq!(cold.get("cached").and_then(Json::as_bool), Some(false));
+    assert_eq!(cold.get("count").and_then(Json::as_usize), Some(1));
+    let mappings = cold.get("mappings").and_then(Json::as_array).unwrap();
+    let x = mappings[0].get("x").unwrap();
+    assert_eq!(x.get("text").and_then(Json::as_str), Some("aa"));
+    assert_eq!(x.get("span").unwrap().to_string(), "[1,3]");
+
+    // Same program (modulo outer whitespace): served from the cache, same
+    // result.
+    let warm = client.query("  /{x:a+}b/ ", "aab").unwrap();
+    assert_eq!(warm.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(warm.get("mappings"), cold.get("mappings"));
+
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn prepare_explain_and_corpus() {
+    let (addr, handle) = start(ServeOptions::default());
+    let mut client = Client::connect(addr).unwrap();
+
+    let prepared = client
+        .prepare("let a = /{x:a+}/; a minus /{x:aa}/;")
+        .unwrap();
+    assert!(ok(&prepared), "{prepared}");
+    assert_eq!(prepared.get("static").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        prepared.get("vars").unwrap().to_string(),
+        r#"["x"]"#,
+        "{prepared}"
+    );
+    assert!(prepared
+        .get("outline")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("dynamic plan"));
+
+    let explained = client.explain("/{x:a}/").unwrap();
+    assert!(ok(&explained));
+    assert!(explained
+        .get("explain")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("CompiledScan"));
+
+    let corpus = client.query_corpus("/{x:a+}/", "aa\nb\na\n\naaa").unwrap();
+    assert!(ok(&corpus), "{corpus}");
+    assert_eq!(corpus.get("documents").and_then(Json::as_usize), Some(5));
+    assert_eq!(corpus.get("matched").and_then(Json::as_usize), Some(3));
+    let results = corpus.get("results").and_then(Json::as_array).unwrap();
+    assert_eq!(results.len(), 3, "only matching lines are reported");
+    assert_eq!(results[0].get("line").and_then(Json::as_usize), Some(0));
+    assert_eq!(results[2].get("line").and_then(Json::as_usize), Some(4));
+
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn malformed_requests_error_without_closing_the_connection() {
+    let (addr, handle) = start(ServeOptions::default());
+    let mut client = Client::connect(addr).unwrap();
+
+    for bad in [
+        "not json",
+        "[]",
+        r#"{"op":"frobnicate"}"#,
+        r#"{"op":"query"}"#,
+        r#"{"op":"query","program":17,"doc":"x"}"#,
+    ] {
+        let line = client.request_line(bad).unwrap();
+        let response = Json::parse(&line).unwrap();
+        assert_eq!(
+            response.get("ok").and_then(Json::as_bool),
+            Some(false),
+            "{bad}"
+        );
+        assert!(response.get("error").is_some(), "{bad}");
+    }
+    // A compile error in the program text is an error response with the
+    // pretty rendering, not a connection teardown.
+    let response = client.query("let a = /x/; b", "x").unwrap();
+    assert!(!ok(&response));
+    assert!(response
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("unknown extractor"));
+
+    // The connection still serves after all those errors.
+    let good = client.query("/{x:a}/", "a").unwrap();
+    assert!(ok(&good));
+
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn oversized_request_lines_are_rejected_and_drained() {
+    let (addr, handle) = start(ServeOptions {
+        max_line_bytes: 256,
+        ..ServeOptions::default()
+    });
+    let mut client = Client::connect(addr).unwrap();
+
+    // Far past the cap; the server must refuse without buffering it all.
+    let huge = format!(
+        r#"{{"op":"query","program":"/{{x:a}}/","doc":"{}"}}"#,
+        "a".repeat(4096)
+    );
+    let line = client.request_line(&huge).unwrap();
+    let response = Json::parse(&line).unwrap();
+    assert!(!ok(&response));
+    assert!(
+        response
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("256-byte limit"),
+        "{response}"
+    );
+
+    // The oversized line was fully drained: the next request parses clean.
+    let good = client.query("/{x:a}/", "a").unwrap();
+    assert!(ok(&good), "{good}");
+
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn hostile_query_fails_fast_with_the_request_limits() {
+    let (addr, handle) = start(ServeOptions {
+        ra_options: spanner_algebra::RaOptions {
+            max_signatures: 3,
+            ..spanner_algebra::RaOptions::default()
+        },
+        ..ServeOptions::default()
+    });
+    let mut client = Client::connect(addr).unwrap();
+    // The left scan yields all subspans of the document — far past the
+    // 3-mapping intermediate limit; the server answers with an error
+    // instead of materializing it.
+    let response = client
+        .query("/.*{x:.*}.*/ minus /{x:zz}/", "abcdefgh")
+        .unwrap();
+    assert!(!ok(&response), "{response}");
+    assert!(
+        response
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("limit"),
+        "{response}"
+    );
+    // The process survived; a benign query still works.
+    let good = client.query("/{x:a}/", "a").unwrap();
+    assert!(ok(&good));
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn concurrent_clients_share_one_cache_entry() {
+    const PROGRAM: &str = "let a = /{x:a+}b*/; project x (a);";
+    let (addr, handle) = start(ServeOptions {
+        threads: 4,
+        ..ServeOptions::default()
+    });
+
+    let clients: Vec<JoinHandle<()>> = (0..6)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for _ in 0..5 {
+                    let response = client.query(PROGRAM, "aab").unwrap();
+                    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+                    assert_eq!(response.get("count").and_then(Json::as_usize), Some(1));
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap();
+    }
+
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    // 6 clients × 5 queries = 30 requests on one program: exactly one
+    // compilation, 29 hits, one resident entry.
+    assert_eq!(field(&stats, ["cache", "misses"]), 1, "{stats}");
+    assert_eq!(field(&stats, ["cache", "hits"]), 29, "{stats}");
+    assert_eq!(field(&stats, ["cache", "entries"]), 1, "{stats}");
+    assert_eq!(field(&stats, ["cache", "evictions"]), 0, "{stats}");
+
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn lru_eviction_order_over_the_protocol() {
+    let (addr, handle) = start(ServeOptions {
+        cache_capacity: 2,
+        ..ServeOptions::default()
+    });
+    let mut client = Client::connect(addr).unwrap();
+
+    client.query("/{x:a}/", "a").unwrap(); // A: miss
+    client.query("/{x:b}/", "b").unwrap(); // B: miss
+    client.query("/{x:a}/", "a").unwrap(); // A: hit (B becomes LRU)
+    client.query("/{x:c}/", "c").unwrap(); // C: miss, evicts B
+    client.query("/{x:a}/", "a").unwrap(); // A: hit (survived eviction)
+    let after_b_evicted = client.query("/{x:b}/", "b").unwrap(); // B: miss again
+
+    assert_eq!(
+        after_b_evicted.get("cached").and_then(Json::as_bool),
+        Some(false),
+        "B was the least-recently-used entry and must have been evicted"
+    );
+    let stats = client.stats().unwrap();
+    assert_eq!(field(&stats, ["cache", "evictions"]), 2, "{stats}"); // B, then C or A
+    assert_eq!(field(&stats, ["cache", "entries"]), 2, "{stats}");
+    assert_eq!(field(&stats, ["cache", "misses"]), 4, "{stats}");
+    assert_eq!(field(&stats, ["cache", "hits"]), 2, "{stats}");
+
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn stats_count_requests_and_connections() {
+    let (addr, handle) = start(ServeOptions::default());
+    let mut client = Client::connect(addr).unwrap();
+    client.query("/{x:a}/", "a").unwrap();
+    client.prepare("/{x:a}/").unwrap();
+    let stats = client.stats().unwrap();
+    assert!(ok(&stats));
+    // query + prepare + this stats request.
+    assert_eq!(field(&stats, ["server", "requests"]), 3, "{stats}");
+    assert_eq!(field(&stats, ["server", "connections"]), 1, "{stats}");
+    assert!(field(&stats, ["server", "corpus_threads"]) >= 1);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn shutdown_drains_in_flight_work() {
+    let (addr, handle) = start(ServeOptions {
+        threads: 3,
+        ..ServeOptions::default()
+    });
+
+    // A client with a request in flight when the shutdown lands: the
+    // response must still arrive (the worker finishes its work before the
+    // server exits). The corpus request is big enough to still be running
+    // when the other connection fires the shutdown.
+    let (connected, on_connect) = std::sync::mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        let mut busy = Client::connect(addr).unwrap();
+        connected.send(()).unwrap();
+        let corpus = "aab\n".repeat(2_000);
+        busy.query_corpus("let a = /{x:a+}b/; project x (a);", &corpus)
+            .unwrap()
+    });
+    // Wait for the busy client to be connected, give its request a head
+    // start, then shut down.
+    on_connect.recv().unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    let mut killer = Client::connect(addr).unwrap();
+    let response = killer.shutdown().unwrap();
+    assert_eq!(
+        response.get("shutting_down").and_then(Json::as_bool),
+        Some(true)
+    );
+
+    let drained = worker.join().unwrap();
+    assert_eq!(drained.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        drained.get("documents").and_then(Json::as_usize),
+        Some(2_000)
+    );
+
+    // The server exits cleanly and stops accepting new connections.
+    handle.join().unwrap().unwrap();
+    assert!(
+        Client::connect(addr).is_err() || {
+            // The OS may accept briefly on some platforms; a request must fail.
+            let mut c = Client::connect(addr).unwrap();
+            c.query("/{x:a}/", "a").is_err()
+        }
+    );
+}
+
+#[test]
+fn shutdown_is_not_stalled_by_a_partial_request_line() {
+    use std::io::Write;
+    let (addr, handle) = start(ServeOptions {
+        threads: 2,
+        ..ServeOptions::default()
+    });
+
+    // A connection holding an unterminated line open: half a request is
+    // not in-flight work, so it must not block the drain.
+    let mut partial = std::net::TcpStream::connect(addr).unwrap();
+    partial.write_all(br#"{"op":"que"#).unwrap();
+    partial.flush().unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(20));
+
+    let mut killer = Client::connect(addr).unwrap();
+    killer.shutdown().unwrap();
+    // The join completes even though `partial` never sent its newline
+    // (the test harness timeout is the failure mode if it regresses).
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn idle_connections_are_closed_and_release_their_worker() {
+    use std::io::Read;
+    // One connection worker and a short idle timeout: a silent client
+    // must not starve the daemon.
+    let (addr, handle) = start(ServeOptions {
+        threads: 1,
+        idle_timeout: std::time::Duration::from_millis(150),
+        ..ServeOptions::default()
+    });
+
+    let mut silent = std::net::TcpStream::connect(addr).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(20));
+
+    // The silent connection occupies the only worker until the idle
+    // timeout closes it; then this client must get served.
+    let mut client = Client::connect(addr).unwrap();
+    let response = client.query("/{x:a}/", "a").unwrap();
+    assert!(ok(&response), "{response}");
+
+    // The silent connection was closed by the server (EOF).
+    silent
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .unwrap();
+    let mut buf = [0u8; 1];
+    assert_eq!(silent.read(&mut buf).unwrap(), 0, "expected EOF");
+
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn slow_drip_clients_cannot_hold_a_worker_past_the_idle_timeout() {
+    use std::io::{Read, Write};
+    let (addr, handle) = start(ServeOptions {
+        threads: 1,
+        idle_timeout: std::time::Duration::from_millis(200),
+        ..ServeOptions::default()
+    });
+
+    // Feed bytes steadily but never complete a line: the deadline must
+    // apply even though the socket is never idle long enough to time out
+    // a single read.
+    let mut drip = std::net::TcpStream::connect(addr).unwrap();
+    drip.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    let dripper = std::thread::spawn(move || {
+        for _ in 0..100 {
+            if drip.write_all(b"x").is_err() {
+                break; // server closed us: the guard worked
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        let mut buf = [0u8; 1];
+        drip.read(&mut buf)
+    });
+
+    // Well before the dripper would finish on its own, the only worker
+    // must be free again to serve a real client.
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    let mut client = Client::connect(addr).unwrap();
+    let response = client.query("/{x:a}/", "a").unwrap();
+    assert!(ok(&response), "{response}");
+
+    // The drip connection saw EOF (or a write error) from the server.
+    assert_eq!(dripper.join().unwrap().unwrap_or(0), 0, "expected EOF");
+
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}

@@ -12,7 +12,7 @@
 //!   the *zero closure* (ε and variable operations — everything that
 //!   consumes no input);
 //! * **letter transitions** are re-indexed through a dense 256-entry
-//!   byte-to-class table: the distinct [`ByteClass`] labels of the automaton
+//!   byte-to-class table: the distinct [`ByteClass`](spanner_core::ByteClass) labels of the automaton
 //!   partition the byte alphabet into equivalence classes, and each state
 //!   stores one flat target list per class;
 //! * **variable operations** are split into per-state lists with the

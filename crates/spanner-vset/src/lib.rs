@@ -11,7 +11,7 @@
 //!   synchronization, and the (extended) variable-configuration functions of
 //!   Section 3.1;
 //! * [`semifunctional`] — the semi-functional transformation of Lemma 3.6;
-//! * [`join`] — static compilation of the natural join, FPT in the number of
+//! * [`mod@join`] — static compilation of the natural join, FPT in the number of
 //!   shared variables (Lemma 3.2 / 3.8) and the pairwise
 //!   disjunctive-functional join (Proposition 3.12);
 //! * [`thompson`] — linear-time compilation of regex formulas into VAs
@@ -20,7 +20,7 @@
 //! * [`compiled`] — the compile-once evaluation engine: precomputed
 //!   ε-closures, byte-class dispatch tables, dense variable indices, and
 //!   bitset state sets ([`StateSet`]);
-//! * [`interpret`] — a brute-force evaluator used as a test oracle;
+//! * [`mod@interpret`] — a brute-force evaluator used as a test oracle;
 //! * [`boolean`] — NFA determinization/complementation used to demonstrate
 //!   why static compilation of the difference operator must blow up
 //!   (Section 4, experiment E10).

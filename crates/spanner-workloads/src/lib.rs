@@ -13,6 +13,7 @@ pub mod extractors;
 pub mod random_ql;
 pub mod random_ra;
 pub mod random_vsa;
+pub mod requests;
 
 pub use corpora::{
     access_log, random_text, student_records, student_records_with_recommendations,
@@ -26,3 +27,4 @@ pub use extractors::{
 pub use random_ql::{random_ql_program, RandomQlConfig, RandomQlProgram};
 pub use random_ra::{random_ra_tree, RandomRaConfig};
 pub use random_vsa::{random_sequential_rgx, random_sequential_vsa, RandomVsaConfig};
+pub use requests::{program_library, request_mix, RequestKind, RequestMixConfig, ServeRequest};

@@ -22,6 +22,7 @@
 //! | [`workloads`] | `spanner-workloads` | synthetic corpora, extractor library, random spanners |
 //! | [`corpus`] | `spanner-corpus` | parallel multi-document evaluation of compiled plans |
 //! | [`ql`] | `spanner-ql` | SpannerQL: the declarative query-language front end |
+//! | [`serve`] | `spanner-serve` | long-running TCP query daemon with a prepared-query cache |
 //!
 //! # Quickstart
 //!
@@ -50,6 +51,7 @@ pub use spanner_enum as enumeration;
 pub use spanner_ql as ql;
 pub use spanner_reductions as reductions;
 pub use spanner_rgx as rgx;
+pub use spanner_serve as serve;
 pub use spanner_vset as vset;
 pub use spanner_workloads as workloads;
 
@@ -62,9 +64,10 @@ pub mod prelude {
         TokenEqualitySpanner, TokenizerSpanner, VsaSpanner,
     };
     pub use spanner_core::{Document, Mapping, MappingSet, Span, SpannerError, VarSet, Variable};
-    pub use spanner_corpus::{split_lines, CorpusEngine, CorpusResult, CorpusStats};
+    pub use spanner_corpus::{split_lines, CorpusEngine, CorpusResult, CorpusStats, WorkerPool};
     pub use spanner_enum::{count_mappings, evaluate, evaluate_rgx, is_nonempty, Enumerator};
     pub use spanner_ql::{parse_program, PreparedQuery, QlError};
     pub use spanner_rgx::{parse, reference_eval, Rgx};
+    pub use spanner_serve::{Client, QueryCache, ServeOptions, Server};
     pub use spanner_vset::{compile, join, Vsa};
 }

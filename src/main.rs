@@ -16,6 +16,10 @@
 //!                                                    optimized plan, the physical
 //!                                                    operators, and the
 //!                                                    shared-variable bound
+//! document-spanners serve    [addr [threads]]        long-running query daemon
+//!                                                    with a prepared-query cache
+//! document-spanners client   <addr> [json-line]      send one request line to a
+//!                                                    daemon (stdin when omitted)
 //! ```
 //!
 //! The pattern syntax is the one of `spanner_rgx::parse`; SpannerQL programs
@@ -38,8 +42,13 @@ const USAGE: &str = "usage:
   document-spanners query    <program> [file]
   document-spanners query    --corpus <program> [file [threads]]
   document-spanners explain  <program>
+  document-spanners serve    [addr [threads]]
+  document-spanners client   <addr> [json-line]
 
 a file argument of `-` reads the document from standard input";
+
+/// The default listen address of `serve`.
+const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7171";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -186,6 +195,49 @@ fn run(args: &[String]) -> Result<(), String> {
             print!("{}", prepared.explain());
             Ok(())
         }
+        "serve" => {
+            arity(command, operands, 0, 2)?;
+            let threads = parse_threads(operands.get(1))?;
+            let addr = operands.first().map_or(DEFAULT_SERVE_ADDR, String::as_str);
+            let options = spanner_serve::ServeOptions {
+                threads,
+                ..spanner_serve::ServeOptions::default()
+            };
+            let server = spanner_serve::Server::bind(addr, options)
+                .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+            eprintln!(
+                "listening on {} (line-delimited JSON ops: \
+                 prepare, query, query_corpus, explain, stats, shutdown)",
+                server.local_addr(),
+            );
+            server.run().map_err(|e| e.to_string())
+        }
+        "client" => {
+            arity(command, operands, 1, 2)?;
+            let mut client = spanner_serve::Client::connect(&operands[0])
+                .map_err(|e| format!("cannot connect to {}: {e}", operands[0]))?;
+            match operands.get(1) {
+                Some(line) => {
+                    let response = client.request_line(line).map_err(|e| e.to_string())?;
+                    println!("{response}");
+                }
+                None => {
+                    // Pipe shape: one request per stdin line, one response
+                    // per stdout line — streamed, so interactive sessions
+                    // and long-lived producers get each answer immediately.
+                    use std::io::BufRead;
+                    for line in std::io::stdin().lock().lines() {
+                        let line = line.map_err(|e| e.to_string())?;
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        let response = client.request_line(&line).map_err(|e| e.to_string())?;
+                        println!("{response}");
+                    }
+                }
+            }
+            Ok(())
+        }
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -294,6 +346,8 @@ mod tests {
             &["query", "/a/", "file", "extra"],
             &["query", "--corpus", "/a/", "file", "2", "extra"],
             &["explain", "/a/", "extra"],
+            &["serve", "127.0.0.1:0", "2", "extra"],
+            &["client", "127.0.0.1:1", "{}", "extra"],
         ];
         for case in cases {
             let err = run(&argv(case)).unwrap_err();
@@ -371,6 +425,41 @@ mod tests {
             ])),
             Ok(())
         );
+    }
+
+    #[test]
+    fn serve_and_client_argument_validation() {
+        let err = run(&argv(&["serve", "127.0.0.1:0", "two"])).unwrap_err();
+        assert!(err.contains("invalid thread count `two`"), "{err}");
+        let err = run(&argv(&["serve", "not an address"])).unwrap_err();
+        assert!(err.contains("cannot bind"), "{err}");
+        let err = run(&argv(&["client"])).unwrap_err();
+        assert!(err.contains("needs at least"), "{err}");
+        // Port 1 is never listening in the test environment.
+        let err = run(&argv(&["client", "127.0.0.1:1", "{}"])).unwrap_err();
+        assert!(err.contains("cannot connect"), "{err}");
+    }
+
+    #[test]
+    fn client_subcommand_round_trips_against_a_daemon() {
+        let server =
+            spanner_serve::Server::bind("127.0.0.1:0", spanner_serve::ServeOptions::default())
+                .unwrap();
+        let (addr, handle) = server.spawn();
+        let addr = addr.to_string();
+        assert_eq!(
+            run(&argv(&[
+                "client",
+                &addr,
+                r#"{"op":"query","program":"/{x:a+}/","doc":"aa"}"#,
+            ])),
+            Ok(())
+        );
+        assert_eq!(
+            run(&argv(&["client", &addr, r#"{"op":"shutdown"}"#])),
+            Ok(())
+        );
+        handle.join().unwrap().unwrap();
     }
 
     #[test]
