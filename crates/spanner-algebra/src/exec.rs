@@ -43,7 +43,7 @@ use crate::plan::CompiledPlan;
 use crate::spanner::SpannerRef;
 use spanner_core::{Document, FxHashSet, Mapping, MappingSet, SpannerResult, VarSet};
 use spanner_enum::{enumerate_compiled, Enumerator};
-use spanner_vset::{CompiledVsa, Vsa};
+use spanner_vset::{CompiledVsa, PreScan, Vsa};
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
@@ -63,6 +63,10 @@ pub enum PhysOp {
         vsa: Arc<Vsa>,
         /// The compile-once evaluation form the enumerator runs on.
         compiled: Arc<CompiledVsa>,
+        /// Whether the scan fast path (prefilters + lazy-DFA boolean
+        /// pre-pass) is consulted before enumeration
+        /// ([`RaOptions::scan_fast_path`](crate::RaOptions)).
+        fast_path: bool,
     },
     /// A tractable, degree-bounded black-box spanner (Corollary 5.3),
     /// evaluated per document through its own `eval`.
@@ -112,8 +116,18 @@ impl PhysOp {
     /// pipeline's final enumeration, the caller asked for it.
     pub fn execute_bounded(&self, doc: &Document, limit: usize) -> SpannerResult<MappingSet> {
         match self {
-            PhysOp::CompiledScan { vsa, compiled } => {
+            PhysOp::CompiledScan {
+                vsa,
+                compiled,
+                fast_path,
+            } => {
                 if vsa.accepting_states().is_empty() {
+                    return Ok(MappingSet::new());
+                }
+                // The boolean pre-pass: documents with no accepting run are
+                // rejected without building enumeration machinery. Exact, so
+                // results are unchanged (see `spanner_vset::scan`).
+                if *fast_path && compiled.prescan(doc) != PreScan::Accept {
                     return Ok(MappingSet::new());
                 }
                 spanner_enum::evaluate_compiled(compiled, doc)
@@ -131,11 +145,21 @@ impl PhysOp {
             }
             PhysOp::HashJoin { left, right } => {
                 let left = checked(left.execute_bounded(doc, limit)?, limit)?;
+                if left.is_empty() {
+                    // ∅ ⋈ R = ∅ — skip the build side.
+                    return Ok(left);
+                }
                 let right = checked(right.execute_bounded(doc, limit)?, limit)?;
                 Ok(left.join(&right))
             }
             PhysOp::Difference { input, probe } => {
                 let input = checked(input.execute_bounded(doc, limit)?, limit)?;
+                if input.is_empty() {
+                    // ∅ \ R = ∅ — skip the probe side entirely (with the
+                    // scan pre-pass this makes misses on the input side
+                    // free).
+                    return Ok(input);
+                }
                 let probe = checked(probe.execute_bounded(doc, limit)?, limit)?;
                 Ok(input.anti_join(&probe))
             }
@@ -163,8 +187,14 @@ impl PhysOp {
         limit: usize,
     ) -> SpannerResult<OpStream<'a>> {
         let kind = match self {
-            PhysOp::CompiledScan { vsa, compiled } => {
-                if vsa.accepting_states().is_empty() {
+            PhysOp::CompiledScan {
+                vsa,
+                compiled,
+                fast_path,
+            } => {
+                if vsa.accepting_states().is_empty()
+                    || (*fast_path && compiled.prescan(doc) != PreScan::Accept)
+                {
                     StreamKind::Empty
                 } else {
                     StreamKind::Scan(Box::new(enumerate_compiled(compiled, doc)?))
@@ -184,16 +214,38 @@ impl PhysOp {
                 idx: 0,
                 seen: FxHashSet::default(),
             },
-            PhysOp::HashJoin { left, right } => StreamKind::Join {
-                probe: Box::new(left.stream_bounded(doc, limit)?),
-                build: RelationIndex::new(checked(right.execute_bounded(doc, limit)?, limit)?),
-                pending: VecDeque::new(),
-                seen: FxHashSet::default(),
-            },
-            PhysOp::Difference { input, probe } => StreamKind::AntiJoin {
-                input: Box::new(input.stream_bounded(doc, limit)?),
-                probe: RelationIndex::new(checked(probe.execute_bounded(doc, limit)?, limit)?),
-            },
+            PhysOp::HashJoin { left, right } => {
+                let probe = left.stream_bounded(doc, limit)?;
+                if matches!(probe.kind, StreamKind::Empty) {
+                    // ∅ ⋈ R = ∅ — skip materializing the build side.
+                    StreamKind::Empty
+                } else {
+                    StreamKind::Join {
+                        probe: Box::new(probe),
+                        build: RelationIndex::new(checked(
+                            right.execute_bounded(doc, limit)?,
+                            limit,
+                        )?),
+                        pending: VecDeque::new(),
+                        seen: FxHashSet::default(),
+                    }
+                }
+            }
+            PhysOp::Difference { input, probe } => {
+                let input = input.stream_bounded(doc, limit)?;
+                if matches!(input.kind, StreamKind::Empty) {
+                    // ∅ \ R = ∅ — skip materializing the probe side.
+                    StreamKind::Empty
+                } else {
+                    StreamKind::AntiJoin {
+                        input: Box::new(input),
+                        probe: RelationIndex::new(checked(
+                            probe.execute_bounded(doc, limit)?,
+                            limit,
+                        )?),
+                    }
+                }
+            }
         };
         Ok(OpStream { kind })
     }
@@ -242,6 +294,54 @@ impl PhysOp {
             .into_iter()
             .map(PhysOp::operator_count)
             .sum::<usize>()
+    }
+
+    /// Document-level boolean pre-pass for multi-document engines: returns
+    /// `Some(verdict)` when the pre-pass *proves* the operator yields no
+    /// mappings on `doc` ([`PreScan::Skip`] = a static prefilter fired
+    /// without scanning a state, [`PreScan::Reject`] = a boolean scan ran
+    /// and rejected), or `None` when the document must be evaluated. The
+    /// proof composes through the relational operators (`∅ \ R`, `∅ ⋈ R`
+    /// and `π(∅)` are empty; a union is empty iff all inputs are) and only
+    /// consults scans with the fast path enabled, so it returns `None`
+    /// everywhere when [`RaOptions::scan_fast_path`](crate::RaOptions) is
+    /// off.
+    pub fn prescan_reject(&self, doc: &Document) -> Option<PreScan> {
+        match self {
+            PhysOp::CompiledScan {
+                vsa,
+                compiled,
+                fast_path,
+            } => {
+                if !*fast_path {
+                    return None;
+                }
+                if vsa.accepting_states().is_empty() {
+                    return Some(PreScan::Skip);
+                }
+                match compiled.prescan(doc) {
+                    PreScan::Accept => None,
+                    verdict => Some(verdict),
+                }
+            }
+            PhysOp::BlackBoxScan(_) => None,
+            PhysOp::Project { input, .. } => input.prescan_reject(doc),
+            PhysOp::UnionAll(inputs) => {
+                // Empty iff every input is provably empty; report Reject if
+                // any input needed an actual scan to prove it.
+                let mut verdict = PreScan::Skip;
+                for op in inputs {
+                    if op.prescan_reject(doc)? == PreScan::Reject {
+                        verdict = PreScan::Reject;
+                    }
+                }
+                Some(verdict)
+            }
+            PhysOp::HashJoin { left, right } => left
+                .prescan_reject(doc)
+                .or_else(|| right.prescan_reject(doc)),
+            PhysOp::Difference { input, .. } => input.prescan_reject(doc),
+        }
     }
 }
 
@@ -306,6 +406,12 @@ impl PhysicalPlan {
     /// (materialized sides bounded by the plan's resource guard).
     pub fn stream<'a>(&'a self, doc: &'a Document) -> SpannerResult<OpStream<'a>> {
         self.root.stream_bounded(doc, self.max_intermediate)
+    }
+
+    /// The document-level pre-pass of the root operator
+    /// (see [`PhysOp::prescan_reject`]).
+    pub fn prescan_reject(&self, doc: &Document) -> Option<PreScan> {
+        self.root.prescan_reject(doc)
     }
 
     /// Renders the operator tree as an indented multi-line outline (the

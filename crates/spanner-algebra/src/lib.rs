@@ -70,3 +70,4 @@ pub use ratree::{
     tree_vars, Atom, Instantiation, LeafId, RaOptions, RaTree,
 };
 pub use spanner::{MaterializedSpanner, RgxSpanner, Spanner, SpannerRef, VsaSpanner};
+pub use spanner_vset::PreScan;

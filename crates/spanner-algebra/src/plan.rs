@@ -475,20 +475,21 @@ impl Built {
     /// Finalizes into a physical operator; a static subtree becomes a
     /// compiled scan here, which is the only place automata are compiled —
     /// every leaf of the operator tree is therefore compiled exactly once.
-    fn into_op(self) -> PhysOp {
+    fn into_op(self, options: RaOptions) -> PhysOp {
         match self {
-            Built::Static(vsa) => compiled_scan(vsa),
+            Built::Static(vsa) => compiled_scan(vsa, options),
             Built::Dynamic(op) => op,
         }
     }
 }
 
 /// Wraps a static automaton as a compiled-scan operator.
-fn compiled_scan(vsa: Vsa) -> PhysOp {
+fn compiled_scan(vsa: Vsa, options: RaOptions) -> PhysOp {
     let compiled = CompiledVsa::compile(&vsa);
     PhysOp::CompiledScan {
         vsa: Arc::new(vsa),
         compiled: Arc::new(compiled),
+        fast_path: options.scan_fast_path,
     }
 }
 
@@ -516,7 +517,7 @@ impl CompiledPlan {
             tree.clone()
         };
         let vars = tree_vars(&tree, inst)?;
-        let root = Self::build(&tree, inst, options)?.into_op();
+        let root = Self::build(&tree, inst, options)?.into_op(options);
         Ok(CompiledPlan {
             // `max_signatures` bounds the executor's materialized
             // intermediate relations, the successor of its old role as the
@@ -551,8 +552,8 @@ impl CompiledPlan {
                     (Built::Static(a), Built::Static(b)) => Built::Static(a.union(&b)),
                     (left, right) => {
                         let mut inputs = Vec::new();
-                        push_union_input(left.into_op(), &mut inputs);
-                        push_union_input(right.into_op(), &mut inputs);
+                        push_union_input(left.into_op(options), &mut inputs);
+                        push_union_input(right.into_op(options), &mut inputs);
                         Built::Dynamic(PhysOp::UnionAll(inputs))
                     }
                 }
@@ -572,8 +573,8 @@ impl CompiledPlan {
                         },
                     )?),
                     (left, right) => Built::Dynamic(PhysOp::HashJoin {
-                        left: Box::new(left.into_op()),
-                        right: Box::new(right.into_op()),
+                        left: Box::new(left.into_op(options)),
+                        right: Box::new(right.into_op(options)),
                     }),
                 }
             }
@@ -582,8 +583,8 @@ impl CompiledPlan {
                 // are lowered (compiling their static parts once) and the
                 // probe side is evaluated as a relation — the per-document
                 // `difference_product` recomposition is gone from plans.
-                let left = Self::build(l, inst, options)?.into_op();
-                let right = Self::build(r, inst, options)?.into_op();
+                let left = Self::build(l, inst, options)?.into_op(options);
+                let right = Self::build(r, inst, options)?.into_op(options);
                 Built::Dynamic(PhysOp::Difference {
                     input: Box::new(left),
                     probe: Box::new(right),
@@ -606,6 +607,14 @@ impl CompiledPlan {
     /// streams the input side lazily.
     pub fn stream<'a>(&'a self, doc: &'a Document) -> SpannerResult<PlanStream<'a>> {
         Ok(PlanStream(self.physical.stream(doc)?))
+    }
+
+    /// Cheap document-level pre-pass: returns `Some(verdict)` when the scan
+    /// fast path can prove the plan's result on `doc` is empty without
+    /// evaluating it (see [`PhysicalPlan::prescan_reject`]). `None` means
+    /// the document must be evaluated (or the fast path is disabled).
+    pub fn prescan_reject(&self, doc: &Document) -> Option<spanner_vset::PreScan> {
+        self.physical.prescan_reject(doc)
     }
 
     /// Whether the whole plan compiled into one static automaton (no

@@ -274,6 +274,12 @@ pub struct RaOptions {
     /// compiling. On by default; turn off to evaluate the tree exactly as
     /// written (the differential tests do).
     pub optimize: bool,
+    /// Enable the scan-core fast path (literal prefilters + lazy boolean
+    /// DFA pre-pass on every compiled scan; see `spanner_vset::scan`). On by
+    /// default; semantics-invariant either way — turning it off only
+    /// removes the boolean reject shortcut (the differential oracle in
+    /// `tests/scan_fastpath_oracle.rs` runs both ways).
+    pub scan_fast_path: bool,
 }
 
 impl Default for RaOptions {
@@ -282,6 +288,7 @@ impl Default for RaOptions {
             max_states: 4_000_000,
             max_signatures: 1_000_000,
             optimize: true,
+            scan_fast_path: true,
         }
     }
 }

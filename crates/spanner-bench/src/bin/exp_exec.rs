@@ -133,6 +133,60 @@ fn main() {
         ));
     }
 
+    // --- Miss-heavy corpus --------------------------------------------
+    // Real corpora are mostly misses: only one line in ten is a student
+    // record, the rest is noise without the extractors' required factors.
+    // The scan fast path should skip the noise without enumeration; the
+    // baseline (fast path off) runs the full scans on every line.
+    println!("\n### Miss-heavy corpus (10% student records, 90% noise lines)\n");
+    let no_fast = RaOptions {
+        scan_fast_path: false,
+        ..options
+    };
+    header(&["lines", "fast ms", "no-fast-path ms", "speedup", "mappings"]);
+    for lines in [200usize, 600] {
+        let records = split_lines(student_records(lines / 10, 23).text());
+        let docs: Vec<Document> = (0..lines)
+            .map(|i| {
+                if i % 10 == 0 {
+                    records[i / 10].clone()
+                } else {
+                    random_text(60, b"xy z", 23 + i as u64)
+                }
+            })
+            .collect();
+        let plan = CompiledPlan::compile(&tree, &inst, options).unwrap();
+        let base_plan = CompiledPlan::compile(&tree, &inst, no_fast).unwrap();
+        let (n_fast, t_fast) = median_of(5, || {
+            docs.iter()
+                .map(|d| plan.evaluate(d).unwrap().len())
+                .sum::<usize>()
+        });
+        let (n_base, t_base) = median_of(5, || {
+            docs.iter()
+                .map(|d| base_plan.evaluate(d).unwrap().len())
+                .sum::<usize>()
+        });
+        assert_eq!(n_fast, n_base, "the fast path must not change the answer");
+        row(&[
+            lines.to_string(),
+            ms(t_fast),
+            ms(t_base),
+            format!("{:.1}x", t_base.as_secs_f64() / t_fast.as_secs_f64()),
+            n_fast.to_string(),
+        ]);
+        entries.push(BenchEntry::new(
+            format!("exec/corpus/miss-heavy/fastpath/{lines}"),
+            t_fast,
+            n_fast,
+        ));
+        entries.push(BenchEntry::new(
+            format!("exec/corpus/miss-heavy/baseline/{lines}"),
+            t_base,
+            n_base,
+        ));
+    }
+
     merge_bench_json("BENCH_exec.json", &entries).expect("write BENCH_exec.json");
     println!("\nwrote {} entries to BENCH_exec.json", entries.len());
 }

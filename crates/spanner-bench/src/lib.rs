@@ -127,6 +127,101 @@ pub fn parse_bench_json(text: &str) -> Vec<BenchEntry> {
         .collect()
 }
 
+/// One violation found by [`gate_regressions`]: either a slowdown past
+/// the tolerance or a silent change in a workload's mapping count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// The workload that regressed.
+    pub workload: String,
+    /// Committed baseline median, nanoseconds.
+    pub baseline_ns: u128,
+    /// Freshly measured median, nanoseconds.
+    pub fresh_ns: u128,
+    /// What tripped the gate.
+    pub kind: RegressionKind,
+}
+
+/// Why [`gate_regressions`] flagged a workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RegressionKind {
+    /// `fresh > baseline * (1 + tolerance)`.
+    Slower {
+        /// `fresh / baseline` as a ratio (e.g. `1.4` = 40% slower).
+        ratio: f64,
+    },
+    /// The workload produced a different number of mappings — a perf
+    /// "win" that changes the answer is a correctness bug, not a win.
+    MappingsChanged {
+        /// Mapping count in the committed baseline.
+        baseline: usize,
+        /// Freshly measured mapping count.
+        fresh: usize,
+    },
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            RegressionKind::Slower { ratio } => write!(
+                f,
+                "{}: {} ns -> {} ns ({:.2}x slower)",
+                self.workload, self.baseline_ns, self.fresh_ns, ratio
+            ),
+            RegressionKind::MappingsChanged { baseline, fresh } => write!(
+                f,
+                "{}: mapping count changed {} -> {}",
+                self.workload, baseline, fresh
+            ),
+        }
+    }
+}
+
+/// Compares freshly measured entries against a committed baseline.
+///
+/// A workload regresses when its fresh median exceeds
+/// `baseline * (1 + tolerance)` — with `tolerance = 0.25` a >25%
+/// slowdown trips the gate while run-to-run noise (the experiment
+/// binaries already take medians of repeated runs) passes. A changed
+/// mapping count always trips it, whatever the timing. Workloads present
+/// on only one side are ignored: a new benchmark is not a regression,
+/// and a deleted one is a review concern, not a measurement.
+pub fn gate_regressions(
+    baseline: &[BenchEntry],
+    fresh: &[BenchEntry],
+    tolerance: f64,
+) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for base in baseline {
+        let Some(new) = fresh.iter().find(|e| e.workload == base.workload) else {
+            continue;
+        };
+        if new.mappings != base.mappings {
+            out.push(Regression {
+                workload: base.workload.clone(),
+                baseline_ns: base.median_ns,
+                fresh_ns: new.median_ns,
+                kind: RegressionKind::MappingsChanged {
+                    baseline: base.mappings,
+                    fresh: new.mappings,
+                },
+            });
+            continue;
+        }
+        let limit = base.median_ns as f64 * (1.0 + tolerance);
+        if new.median_ns as f64 > limit && base.median_ns > 0 {
+            out.push(Regression {
+                workload: base.workload.clone(),
+                baseline_ns: base.median_ns,
+                fresh_ns: new.median_ns,
+                kind: RegressionKind::Slower {
+                    ratio: new.median_ns as f64 / base.median_ns as f64,
+                },
+            });
+        }
+    }
+    out
+}
+
 /// Least-squares slope of `log(y)` against `log(x)` — the empirical
 /// polynomial degree of a scaling series. Points with non-positive values
 /// are skipped.
@@ -209,5 +304,54 @@ mod tests {
     fn parse_bench_json_ignores_garbage() {
         assert!(parse_bench_json("not json at all").is_empty());
         assert!(parse_bench_json("{\"workload\": \"x\"}").is_empty());
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_flags_past_it() {
+        let entry = |w: &str, ns: u64, m: usize| BenchEntry::new(w, Duration::from_nanos(ns), m);
+        let baseline = [
+            entry("a", 1_000, 5),
+            entry("b", 1_000, 5),
+            entry("c", 1_000, 5),
+            entry("gone", 1_000, 5),
+        ];
+        let fresh = [
+            entry("a", 1_240, 5),   // +24%: within the 25% tolerance
+            entry("b", 1_300, 5),   // +30%: regression
+            entry("c", 500, 5),     // faster: fine
+            entry("new", 9_999, 1), // no baseline: ignored
+        ];
+        let regressions = gate_regressions(&baseline, &fresh, 0.25);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].workload, "b");
+        assert_eq!(
+            regressions[0].kind,
+            RegressionKind::Slower { ratio: 1.3 },
+            "{}",
+            regressions[0]
+        );
+        assert!(regressions[0].to_string().contains("1.30x slower"));
+    }
+
+    #[test]
+    fn gate_flags_changed_mapping_counts_even_when_faster() {
+        let baseline = [BenchEntry::new("a", Duration::from_nanos(1_000), 5)];
+        let fresh = [BenchEntry::new("a", Duration::from_nanos(100), 4)];
+        let regressions = gate_regressions(&baseline, &fresh, 0.25);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(
+            regressions[0].kind,
+            RegressionKind::MappingsChanged {
+                baseline: 5,
+                fresh: 4
+            }
+        );
+        assert!(regressions[0].to_string().contains("5 -> 4"));
+    }
+
+    #[test]
+    fn gate_is_empty_on_identical_measurements() {
+        let entries = [BenchEntry::new("a", Duration::from_nanos(1_000), 5)];
+        assert!(gate_regressions(&entries, &entries, 0.25).is_empty());
     }
 }

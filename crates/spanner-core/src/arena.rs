@@ -1,0 +1,100 @@
+//! A tiny free-list arena for hot-loop scratch objects.
+//!
+//! The enumeration core allocates the same shapes over and over per
+//! document: state-set bitsets for frontiers, span vectors for join keys,
+//! candidate buffers for the match-graph DFS. Each is cheap to *reuse*
+//! (clear and refill) but expensive to round-trip through the global
+//! allocator thousands of times per document. [`Arena`] is the minimal
+//! structure that fixes this: a typed free list that hands out recycled
+//! objects and takes them back, reset per document by construction (the
+//! arena lives inside the per-document evaluator and drops with it).
+//!
+//! This is deliberately not a bump allocator with lifetimes: the pooled
+//! objects own their storage (`Vec`-backed bitsets and buffers), so
+//! recycling them keeps their capacity warm, which is the entire win.
+
+/// A typed free-list pool. `take_or` hands out a recycled object (or builds
+/// a fresh one), `put` returns it for reuse.
+#[derive(Debug)]
+pub struct Arena<T> {
+    free: Vec<T>,
+}
+
+impl<T> Arena<T> {
+    /// An empty arena.
+    pub fn new() -> Arena<T> {
+        Arena { free: Vec::new() }
+    }
+
+    /// Takes a recycled object, or builds one with `fresh` if the pool is
+    /// empty. The caller is responsible for clearing recycled state (pooled
+    /// objects come back exactly as they were put).
+    #[inline]
+    pub fn take_or(&mut self, fresh: impl FnOnce() -> T) -> T {
+        self.free.pop().unwrap_or_else(fresh)
+    }
+
+    /// Returns an object to the pool for reuse.
+    #[inline]
+    pub fn put(&mut self, value: T) {
+        self.free.push(value);
+    }
+
+    /// Number of pooled objects currently available.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// Drops every pooled object (releasing their storage).
+    pub fn reset(&mut self) {
+        self.free.clear();
+    }
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Arena::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_recycles_put_objects() {
+        let mut arena: Arena<Vec<u32>> = Arena::new();
+        let mut v = arena.take_or(Vec::new);
+        v.extend([1, 2, 3]);
+        let capacity = v.capacity();
+        v.clear();
+        arena.put(v);
+        assert_eq!(arena.len(), 1);
+        let recycled = arena.take_or(|| panic!("must recycle"));
+        assert!(recycled.is_empty());
+        assert_eq!(recycled.capacity(), capacity, "capacity stays warm");
+        assert!(arena.is_empty());
+    }
+
+    #[test]
+    fn take_builds_fresh_when_empty() {
+        let mut arena: Arena<String> = Arena::new();
+        assert_eq!(arena.take_or(|| "fresh".to_string()), "fresh");
+    }
+
+    #[test]
+    fn reset_releases_the_pool() {
+        let mut arena: Arena<Vec<u8>> = Arena::new();
+        arena.put(vec![1]);
+        arena.put(vec![2]);
+        assert_eq!(arena.len(), 2);
+        arena.reset();
+        assert!(arena.is_empty());
+        assert_eq!(arena.take_or(Vec::new), Vec::<u8>::new());
+    }
+}

@@ -25,6 +25,7 @@
 //!   default throughout the workspace.
 
 pub mod alphabet;
+pub mod arena;
 pub mod document;
 pub mod error;
 pub mod fxhash;
@@ -35,6 +36,7 @@ pub mod span;
 pub mod variable;
 
 pub use alphabet::ByteClass;
+pub use arena::Arena;
 pub use document::Document;
 pub use error::{SpannerError, SpannerResult};
 pub use fxhash::{FxHashMap, FxHashSet};

@@ -35,7 +35,7 @@
 //! assert!(out.results[1].is_empty());
 //! ```
 
-use spanner_algebra::{CompiledPlan, Instantiation, RaOptions, RaTree};
+use spanner_algebra::{CompiledPlan, Instantiation, PreScan, RaOptions, RaTree};
 use spanner_core::{Document, MappingSet, SpannerResult};
 use std::num::NonZeroUsize;
 use std::sync::Arc;
@@ -58,6 +58,15 @@ pub struct CorpusStats {
     pub matched_documents: usize,
     /// Number of worker threads actually used.
     pub threads: usize,
+    /// Documents skipped by the scan fast path's static prefilters
+    /// (length / prefix-class / required-factor checks) without touching
+    /// the match automaton. Always `0` when
+    /// [`RaOptions::scan_fast_path`] is disabled.
+    pub docs_skipped: usize,
+    /// Documents rejected by the boolean match pre-pass (lazy DFA or NFA
+    /// frontier stepping) after the static prefilters passed. Always `0`
+    /// when [`RaOptions::scan_fast_path`] is disabled.
+    pub docs_rejected: usize,
     /// Wall-clock time of the evaluation (excluding plan compilation).
     pub elapsed: Duration,
 }
@@ -87,6 +96,78 @@ pub struct CorpusResult {
 /// A compiled RA query ready to be evaluated over many documents.
 pub struct CorpusEngine {
     plan: CompiledPlan,
+}
+
+/// What happened to one document: evaluated through the operator pipeline,
+/// or proven empty by the scan fast path before evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DocOutcome {
+    Evaluated,
+    Skipped,
+    Rejected,
+}
+
+/// One per-document result slot, tagged with its fast-path outcome so the
+/// aggregate [`CorpusStats`] counters are exact.
+type DocSlot = Option<(SpannerResult<MappingSet>, DocOutcome)>;
+
+/// Evaluates one document, consulting the plan's document-level pre-pass
+/// first. A `Skip`/`Reject` verdict is a proof the result is empty, so the
+/// returned relation is bit-identical to a full evaluation.
+fn eval_doc(plan: &CompiledPlan, doc: &Document) -> (SpannerResult<MappingSet>, DocOutcome) {
+    match plan.prescan_reject(doc) {
+        Some(PreScan::Skip) => (Ok(MappingSet::new()), DocOutcome::Skipped),
+        Some(PreScan::Reject) => (Ok(MappingSet::new()), DocOutcome::Rejected),
+        _ => (plan.evaluate(doc), DocOutcome::Evaluated),
+    }
+}
+
+/// Contiguous per-worker shards of `0..len`: disjoint, in order, and
+/// covering every index exactly once — the per-shard document counts sum
+/// exactly to the corpus size (unit-tested below). Both evaluation paths
+/// shard through this one function so their partitions agree.
+fn shard_ranges(len: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunk = len.div_ceil(threads.max(1)).max(1);
+    (0..len)
+        .step_by(chunk)
+        .map(|lo| lo..(lo + chunk).min(len))
+        .collect()
+}
+
+/// Turns filled slots into a [`CorpusResult`], aggregating the fast-path
+/// counters and the relation statistics.
+fn collect_result(
+    docs: &[Document],
+    threads: usize,
+    slots: Vec<DocSlot>,
+    start: Instant,
+) -> SpannerResult<CorpusResult> {
+    let mut docs_skipped = 0;
+    let mut docs_rejected = 0;
+    let mut results = Vec::with_capacity(docs.len());
+    for slot in slots {
+        let (result, outcome) = slot.expect("every document was evaluated");
+        match outcome {
+            DocOutcome::Skipped => docs_skipped += 1,
+            DocOutcome::Rejected => docs_rejected += 1,
+            DocOutcome::Evaluated => {}
+        }
+        results.push(result?);
+    }
+    let stats = CorpusStats {
+        documents: docs.len(),
+        bytes: docs.iter().map(Document::len).sum(),
+        mappings: results.iter().map(MappingSet::len).sum(),
+        matched_documents: results.iter().filter(|r| !r.is_empty()).count(),
+        threads,
+        docs_skipped,
+        docs_rejected,
+        elapsed: start.elapsed(),
+    };
+    Ok(CorpusResult { results, stats })
 }
 
 /// `CompiledPlan` is read-only after compilation; the engine shares it with
@@ -133,38 +214,30 @@ impl CorpusEngine {
     ) -> SpannerResult<CorpusResult> {
         let start = Instant::now();
         let threads = effective_threads(threads, docs.len());
-        let mut slots: Vec<Option<SpannerResult<MappingSet>>> = vec![None; docs.len()];
+        let mut slots: Vec<DocSlot> = vec![None; docs.len()];
         if threads <= 1 {
             for (slot, doc) in slots.iter_mut().zip(docs) {
-                *slot = Some(self.plan.evaluate(doc));
+                *slot = Some(eval_doc(&self.plan, doc));
             }
         } else {
             // Contiguous shards, one per worker: results land directly in
             // their corpus position, so no reordering pass is needed.
-            let chunk = docs.len().div_ceil(threads);
+            let ranges = shard_ranges(docs.len(), threads);
             std::thread::scope(|scope| {
-                for (doc_chunk, slot_chunk) in docs.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                let mut rest: &mut [DocSlot] = &mut slots;
+                for range in &ranges {
+                    let (slot_chunk, tail) = rest.split_at_mut(range.len());
+                    rest = tail;
+                    let doc_chunk = &docs[range.clone()];
                     scope.spawn(move || {
                         for (slot, doc) in slot_chunk.iter_mut().zip(doc_chunk) {
-                            *slot = Some(self.plan.evaluate(doc));
+                            *slot = Some(eval_doc(&self.plan, doc));
                         }
                     });
                 }
             });
         }
-        let mut results = Vec::with_capacity(docs.len());
-        for slot in slots {
-            results.push(slot.expect("every document was evaluated")?);
-        }
-        let stats = CorpusStats {
-            documents: docs.len(),
-            bytes: docs.iter().map(Document::len).sum(),
-            mappings: results.iter().map(MappingSet::len).sum(),
-            matched_documents: results.iter().filter(|r| !r.is_empty()).count(),
-            threads,
-            elapsed: start.elapsed(),
-        };
-        Ok(CorpusResult { results, stats })
+        collect_result(docs, threads, slots, start)
     }
 
     /// Evaluates the corpus by sharding it across a persistent
@@ -184,20 +257,16 @@ impl CorpusEngine {
     ) -> SpannerResult<CorpusResult> {
         let start = Instant::now();
         let threads = effective_threads(pool.threads(), docs.len());
-        let chunk = docs.len().div_ceil(threads.max(1)).max(1);
-        let chunks: Vec<std::ops::Range<usize>> = (0..docs.len())
-            .step_by(chunk)
-            .map(|lo| lo..(lo + chunk).min(docs.len()))
-            .collect();
+        let chunks = shard_ranges(docs.len(), threads);
         let (send, recv) = std::sync::mpsc::channel();
         for (index, range) in chunks.iter().cloned().enumerate() {
             let engine = Arc::clone(self);
             let docs = Arc::clone(docs);
             let send = send.clone();
             pool.execute(move || {
-                let results: Vec<SpannerResult<MappingSet>> = docs[range.clone()]
+                let results: Vec<(SpannerResult<MappingSet>, DocOutcome)> = docs[range.clone()]
                     .iter()
-                    .map(|doc| engine.plan.evaluate(doc))
+                    .map(|doc| eval_doc(&engine.plan, doc))
                     .collect();
                 // The receiver may already be gone when an earlier chunk
                 // reported an error; dropping the result is fine then.
@@ -205,7 +274,7 @@ impl CorpusEngine {
             });
         }
         drop(send);
-        let mut slots: Vec<Option<SpannerResult<MappingSet>>> = vec![None; docs.len()];
+        let mut slots: Vec<DocSlot> = vec![None; docs.len()];
         for _ in 0..chunks.len() {
             let (index, chunk_results) = recv
                 .recv()
@@ -214,19 +283,7 @@ impl CorpusEngine {
                 *slot = Some(result);
             }
         }
-        let mut results = Vec::with_capacity(docs.len());
-        for slot in slots {
-            results.push(slot.expect("every document was evaluated")?);
-        }
-        let stats = CorpusStats {
-            documents: docs.len(),
-            bytes: docs.iter().map(Document::len).sum(),
-            mappings: results.iter().map(MappingSet::len).sum(),
-            matched_documents: results.iter().filter(|r| !r.is_empty()).count(),
-            threads,
-            elapsed: start.elapsed(),
-        };
-        Ok(CorpusResult { results, stats })
+        collect_result(docs, threads, slots, start)
     }
 }
 
@@ -344,6 +401,65 @@ mod tests {
         let failing = Arc::new(engine(&parts.concat()));
         let docs = Arc::new(vec![Document::new("aaa"), Document::new("a")]);
         assert!(failing.evaluate_on_pool(&docs, &pool).is_err());
+    }
+
+    #[test]
+    fn shard_document_counts_sum_to_corpus_size() {
+        for len in [0usize, 1, 2, 3, 5, 7, 16, 100, 101, 255, 256, 257] {
+            for threads in [1usize, 2, 3, 4, 7, 8, 16, 64, 256] {
+                let ranges = shard_ranges(len, threads);
+                let total: usize = ranges.iter().map(|r| r.len()).sum();
+                assert_eq!(total, len, "len={len} threads={threads}");
+                // Disjoint, in order, and gap-free.
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "len={len} threads={threads}");
+                    assert!(r.end > r.start, "empty shard len={len} threads={threads}");
+                    next = r.end;
+                }
+                assert_eq!(next, len);
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_counters_track_skipped_and_rejected_documents() {
+        // ".*{x:a+}@.*" has required factors {a} and {@}: a document missing
+        // either is skipped by the static prefilters; "@@@" carries the
+        // factors' bytes only partially... use a doc with both factor bytes
+        // present but no match to exercise the boolean reject tier.
+        let e = engine(".*{x:a+}@.*");
+        let docs = vec![
+            Document::new("xxa@yy"), // match: evaluated
+            Document::new("bbbb"),   // no '@', no 'a': skipped by factors
+            Document::new("@aaa"),   // factors present, '@' before 'a': rejected
+        ];
+        for threads in [1, 2, 3] {
+            let out = e.evaluate_with_threads(&docs, threads).unwrap();
+            assert_eq!(out.stats.docs_skipped, 1, "threads={threads}");
+            assert_eq!(out.stats.docs_rejected, 1, "threads={threads}");
+            assert_eq!(out.stats.matched_documents, 1);
+            assert!(out.results[1].is_empty() && out.results[2].is_empty());
+        }
+    }
+
+    #[test]
+    fn counters_are_zero_when_fast_path_is_disabled() {
+        let inst = Instantiation::new().with(0, spanner_rgx::parse(".*{x:a+}@.*").unwrap());
+        let options = RaOptions {
+            scan_fast_path: false,
+            ..RaOptions::default()
+        };
+        let e = CorpusEngine::compile(&RaTree::leaf(0), &inst, options).unwrap();
+        let docs = vec![
+            Document::new("xxa@yy"),
+            Document::new("bbbb"),
+            Document::new("@aaa"),
+        ];
+        let out = e.evaluate_with_threads(&docs, 2).unwrap();
+        assert_eq!(out.stats.docs_skipped, 0);
+        assert_eq!(out.stats.docs_rejected, 0);
+        assert_eq!(out.stats.matched_documents, 1);
     }
 
     #[test]

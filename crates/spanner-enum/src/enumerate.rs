@@ -11,10 +11,19 @@
 
 use crate::matchgraph::MatchGraph;
 use crate::opset::OpSet;
-use spanner_core::{Document, Mapping, MappingSet, SpannerError, SpannerResult};
+use spanner_core::{Arena, Document, FxHashMap, Mapping, MappingSet, SpannerError, SpannerResult};
 use spanner_vset::{CompiledVsa, StateSet, Vsa};
 
 /// A lazily evaluated stream of the mappings of `VAW(d)`.
+///
+/// The DFS re-visits the same `(position, frontier)` pairs over and over —
+/// every mapping sharing a prefix re-derives the identical candidate list.
+/// Candidate lists are therefore computed once per distinct pair and stored
+/// in an append-only store (`cand_store`); frames hold indices
+/// into it, so descending a step is a hash lookup instead of an op-closure
+/// exploration, and no candidate state set is ever cloned on the hot path.
+/// Frontier scratch sets recycle through a per-document
+/// [`spanner_core::Arena`].
 pub struct Enumerator<'a> {
     graph: MatchGraph<'a>,
     /// DFS stack; one frame per document position on the current path.
@@ -22,14 +31,36 @@ pub struct Enumerator<'a> {
     /// The operation sets chosen on the current path (parallel to `stack`).
     path: Vec<(u32, OpSet)>,
     finished: bool,
+    /// Memoized candidate lists, one per distinct `(position, frontier)`
+    /// pair (append-only; frames index into it).
+    cand_store: Vec<Vec<(OpSet, StateSet)>>,
+    /// `memo[pos]`: frontier after consuming the letter at `pos` → index of
+    /// the candidate list for position `pos + 1`.
+    memo: Vec<FxHashMap<StateSet, u32>>,
+    /// Per candidate list: whether the continuation from it is *forced* —
+    /// a unique, op-free chain all the way to acceptance (see
+    /// [`Enumerator::tail_forced`]). Parallel to `cand_store`.
+    tail: Vec<Tail>,
+    /// Position of each candidate list (parallel to `cand_store`; 1-based
+    /// like [`Frame::pos`]).
+    cand_pos: Vec<u32>,
+    /// Recycled frontier scratch sets.
+    arena: Arena<StateSet>,
+}
+
+/// Memoized forced-tail status of one candidate list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tail {
+    Unknown,
+    Forced,
+    Branching,
 }
 
 struct Frame {
     /// Position of this frame (1-based; `|d| + 1` is the final frame).
     pos: u32,
-    /// Candidate operation sets at this position, each with the automaton
-    /// states reached after performing it.
-    candidates: Vec<(OpSet, StateSet)>,
+    /// Index of this position's candidate list in the store.
+    cand: u32,
     /// Index of the next candidate to try.
     next: usize,
 }
@@ -53,19 +84,29 @@ impl<'a> Enumerator<'a> {
     }
 
     fn with_graph(graph: MatchGraph<'a>) -> SpannerResult<Self> {
+        let n = graph.doc.len();
         let mut e = Enumerator {
             graph,
             stack: Vec::new(),
             path: Vec::new(),
             finished: false,
+            cand_store: Vec::new(),
+            memo: Vec::new(),
+            tail: Vec::new(),
+            cand_pos: Vec::new(),
+            arena: Arena::new(),
         };
         if e.graph.is_nonempty() {
+            e.memo = vec![FxHashMap::default(); n + 1];
             let compiled = e.graph.compiled();
             let initial = StateSet::from_states(compiled.state_count(), [compiled.initial()]);
             let candidates = e.graph.op_closures(1, &initial);
+            e.cand_store.push(candidates);
+            e.tail.push(Tail::Unknown);
+            e.cand_pos.push(1);
             e.stack.push(Frame {
                 pos: 1,
-                candidates,
+                cand: 0,
                 next: 0,
             });
         } else {
@@ -85,19 +126,19 @@ impl<'a> Enumerator<'a> {
         }
         let n = self.graph.doc.len() as u32;
         loop {
-            let Some(frame) = self.stack.last_mut() else {
+            let Some(frame) = self.stack.last() else {
                 self.finished = true;
                 return None;
             };
-            if frame.next >= frame.candidates.len() {
+            let (pos, cand, i) = (frame.pos, frame.cand as usize, frame.next);
+            if i >= self.cand_store[cand].len() {
                 // Backtrack.
                 self.stack.pop();
                 self.path.pop();
                 continue;
             }
-            let pos = frame.pos;
-            let (set, states) = frame.candidates[frame.next].clone();
-            frame.next += 1;
+            self.stack.last_mut().expect("frame present").next += 1;
+            let set = self.cand_store[cand][i].0;
             // Record the choice (replacing any previous choice at this depth).
             self.path.truncate(self.stack.len() - 1);
             self.path.push((pos, set));
@@ -106,23 +147,97 @@ impl<'a> Enumerator<'a> {
                 // Complete mapping.
                 return Some(self.graph.ops.mapping_from_positions(&self.path));
             }
-            // Consume the letter at `pos` and descend.
-            let next_states = self.graph.advance(pos, &states);
-            debug_assert!(
-                !next_states.is_empty(),
-                "candidate op-sets are viability-checked"
-            );
-            let candidates = self.graph.op_closures(pos + 1, &next_states);
-            debug_assert!(
-                !candidates.is_empty(),
-                "viable prefixes always have a continuation"
-            );
+            // Consume the letter at `pos` and descend. The reached frontier
+            // determines the candidate list at `pos + 1`; compute it once
+            // per distinct frontier and reuse it ever after.
+            let next_cand = self.descend(pos, cand, i);
+            if self.tail_forced(next_cand, n) {
+                // The subtree below holds exactly one mapping and the
+                // forced chain adds no variable operations: the mapping is
+                // already determined by the path, so emit it without
+                // walking the suffix frame by frame.
+                return Some(self.graph.ops.mapping_from_positions(&self.path));
+            }
             self.stack.push(Frame {
                 pos: pos + 1,
-                candidates,
+                cand: next_cand,
                 next: 0,
             });
         }
+    }
+
+    /// Consumes the letter at `pos` from candidate `(cand, i)`'s state set
+    /// and returns the id of the candidate list at `pos + 1`, computing and
+    /// memoizing it on the first visit to that `(position, frontier)` pair.
+    fn descend(&mut self, pos: u32, cand: usize, i: usize) -> u32 {
+        let states = self.graph.compiled().state_count();
+        let mut next_states = self.arena.take_or(|| StateSet::new(states));
+        self.graph
+            .advance_into(pos, &self.cand_store[cand][i].1, &mut next_states);
+        debug_assert!(
+            !next_states.is_empty(),
+            "candidate op-sets are viability-checked"
+        );
+        match self.memo[pos as usize].get(&next_states) {
+            Some(&id) => {
+                self.arena.put(next_states);
+                id
+            }
+            None => {
+                let candidates = self.graph.op_closures(pos + 1, &next_states);
+                debug_assert!(
+                    !candidates.is_empty(),
+                    "viable prefixes always have a continuation"
+                );
+                let id = self.cand_store.len() as u32;
+                self.cand_store.push(candidates);
+                self.tail.push(Tail::Unknown);
+                self.cand_pos.push(pos + 1);
+                self.memo[pos as usize].insert(next_states, id);
+                id
+            }
+        }
+    }
+
+    /// Whether the continuation from candidate list `cand` is *forced*:
+    /// every list on the chain ahead is a single op-free candidate, ending
+    /// at position `n + 1` (acceptance is implied — candidate lists are
+    /// viability-checked against the co-accessible sets). A forced subtree
+    /// holds exactly one mapping and contributes no variable operations, so
+    /// the enumerator can emit at the head of the chain instead of pushing
+    /// one frame per remaining position. Memoized per candidate list: each
+    /// chain is walked once per document, which turns the per-mapping
+    /// suffix walk (the dominant cost on `.*…​.*`-shaped extractors) into
+    /// an O(1) lookup.
+    fn tail_forced(&mut self, cand: u32, n: u32) -> bool {
+        let mut chain = Vec::new();
+        let mut cur = cand;
+        let forced = loop {
+            match self.tail[cur as usize] {
+                Tail::Forced => break true,
+                Tail::Branching => break false,
+                Tail::Unknown => {}
+            }
+            chain.push(cur);
+            let list = &self.cand_store[cur as usize];
+            if list.len() != 1 || !list[0].0.is_empty() {
+                break false;
+            }
+            let pos = self.cand_pos[cur as usize];
+            if pos == n + 1 {
+                break true;
+            }
+            cur = self.descend(pos, cur as usize, 0);
+        };
+        let status = if forced {
+            Tail::Forced
+        } else {
+            Tail::Branching
+        };
+        for id in chain {
+            self.tail[id as usize] = status;
+        }
+        forced
     }
 }
 

@@ -236,11 +236,17 @@ impl<'a> MatchGraph<'a> {
     /// Advances a set of states over the letter at `pos` (1-based, `≤ |d|`),
     /// keeping only co-accessible successors.
     pub fn advance(&self, pos: u32, states: &StateSet) -> StateSet {
-        let symbol = self.doc.symbol_at(pos).expect("position in range");
         let mut out = StateSet::new(self.compiled.state_count());
-        self.compiled.step_frontier(states, symbol, &mut out);
-        out.intersect_with(&self.coaccessible[pos as usize]);
+        self.advance_into(pos, states, &mut out);
         out
+    }
+
+    /// [`MatchGraph::advance`] into a caller-provided set (cleared first) —
+    /// the allocation-free form the enumerator's hot loop uses.
+    pub fn advance_into(&self, pos: u32, states: &StateSet, out: &mut StateSet) {
+        let symbol = self.doc.symbol_at(pos).expect("position in range");
+        self.compiled.step_frontier(states, symbol, out);
+        out.intersect_with(&self.coaccessible[pos as usize]);
     }
 }
 

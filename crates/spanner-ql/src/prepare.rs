@@ -13,8 +13,8 @@ use crate::error::QlError;
 use crate::lower::Lowered;
 use crate::parser::{parse_program, Program};
 use spanner_algebra::{
-    shared_variable_bound, tree_vars, CompiledPlan, Instantiation, PhysicalPlan, PlanStream,
-    RaOptions, RaTree,
+    shared_variable_bound, tree_vars, CompiledPlan, Instantiation, PhysOp, PhysicalPlan,
+    PlanStream, RaOptions, RaTree,
 };
 use spanner_core::{Document, MappingSet, SpannerResult, VarSet};
 use spanner_corpus::{CorpusEngine, CorpusResult, WorkerPool};
@@ -255,7 +255,79 @@ impl PreparedQuery {
             },
             physical.describe()
         ));
+        let mut scans = Vec::new();
+        scan_plan_lines(physical.root(), &mut scans);
+        out.push_str(&format!(
+            "scan plan  : {} compiled scan{}\n",
+            scans.len(),
+            if scans.len() == 1 { "" } else { "s" },
+        ));
+        for line in &scans {
+            out.push_str(line);
+            out.push('\n');
+        }
         out
+    }
+}
+
+/// Appends one line per [`PhysOp::CompiledScan`] in the operator tree (in
+/// operator order): the static prefilters the scan fast path derived at
+/// compile time — minimum accepted length, anchored-prefix byte class,
+/// required byte factors — and whether the boolean pre-pass runs on a lazy
+/// DFA or fell back to NFA frontier stepping (state budget exceeded).
+fn scan_plan_lines(op: &PhysOp, out: &mut Vec<String>) {
+    match op {
+        PhysOp::CompiledScan {
+            compiled,
+            fast_path,
+            ..
+        } => {
+            let plan = compiled.scan_plan();
+            let mut parts = Vec::new();
+            match plan.min_len() {
+                None => parts.push("empty language (always skipped)".to_string()),
+                Some(n) => parts.push(format!("min_len={n}")),
+            }
+            if let Some(class) = plan.prefix_class() {
+                parts.push(format!("prefix={class:?}"));
+            }
+            if !plan.required_factors().is_empty() {
+                let factors: Vec<String> = plan
+                    .required_factors()
+                    .iter()
+                    .map(|f| format!("{f:?}"))
+                    .collect();
+                parts.push(format!("factors={}", factors.join("")));
+            }
+            match compiled.boolean_dfa_states() {
+                Some(n) => parts.push(format!(
+                    "lazy DFA: {n} state{}",
+                    if n == 1 { "" } else { "s" }
+                )),
+                None => parts.push("lazy DFA: over budget, NFA fallback".to_string()),
+            }
+            out.push(format!(
+                "  scan #{}: fast path {}, {}",
+                out.len(),
+                if *fast_path { "on" } else { "off" },
+                parts.join(", "),
+            ));
+        }
+        PhysOp::BlackBoxScan(_) => {}
+        PhysOp::Project { input, .. } => scan_plan_lines(input, out),
+        PhysOp::UnionAll(inputs) => {
+            for input in inputs {
+                scan_plan_lines(input, out);
+            }
+        }
+        PhysOp::HashJoin { left, right } => {
+            scan_plan_lines(left, out);
+            scan_plan_lines(right, out);
+        }
+        PhysOp::Difference { input, probe } => {
+            scan_plan_lines(input, out);
+            scan_plan_lines(probe, out);
+        }
     }
 }
 
@@ -367,6 +439,41 @@ mod tests {
         assert!(explain.contains("Project{x}"), "{explain}");
         assert!(explain.contains("Difference(anti-join)"), "{explain}");
         assert!(explain.contains("physical   : 4 operators"), "{explain}");
+    }
+
+    #[test]
+    fn explain_reports_the_scan_plan_per_compiled_scan() {
+        let q = PreparedQuery::prepare("let a = /.*{x:a+}@.*/; let b = /.*{x:aa+}@.*/; a minus b;")
+            .unwrap();
+        let explain = q.explain();
+        assert!(
+            explain.contains("scan plan  : 2 compiled scans"),
+            "{explain}"
+        );
+        assert!(explain.contains("scan #0: fast path on"), "{explain}");
+        assert!(explain.contains("scan #1: fast path on"), "{explain}");
+        // Both scans require an 'a' and an '@' somewhere in the document.
+        assert!(explain.contains("factors=[@][a]"), "{explain}");
+        assert!(explain.contains("min_len="), "{explain}");
+        assert!(explain.contains("lazy DFA:"), "{explain}");
+    }
+
+    #[test]
+    fn explain_reports_a_disabled_fast_path() {
+        let q = PreparedQuery::prepare_with_options(
+            "/{x:a+}b/;",
+            RaOptions {
+                scan_fast_path: false,
+                ..RaOptions::default()
+            },
+        )
+        .unwrap();
+        let explain = q.explain();
+        assert!(
+            explain.contains("scan plan  : 1 compiled scan\n"),
+            "{explain}"
+        );
+        assert!(explain.contains("scan #0: fast path off"), "{explain}");
     }
 
     #[test]

@@ -32,7 +32,12 @@ impl Client {
     /// newline). The lowest-level escape hatch — the CLI uses it so users
     /// can type any JSON they like.
     pub fn request_line(&mut self, line: &str) -> io::Result<String> {
-        writeln!(self.writer, "{line}")?;
+        // One write_all, not writeln!: a formatted write issues one
+        // syscall (one packet, under NODELAY) per fragment.
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line);
+        framed.push('\n');
+        self.writer.write_all(framed.as_bytes())?;
         let mut response = String::new();
         let n = self.reader.read_line(&mut response)?;
         if n == 0 {

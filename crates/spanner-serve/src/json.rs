@@ -178,20 +178,30 @@ impl fmt::Display for Json {
 }
 
 /// Writes a JSON string literal with the mandatory escapes (quote,
-/// backslash, control characters).
+/// backslash, control characters). Unescaped stretches are written as
+/// one fragment each — per-character fragments would dominate the cost
+/// of rendering large document payloads.
 fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
     f.write_str("\"")?;
-    for c in s.chars() {
-        match c {
-            '"' => f.write_str("\\\"")?,
-            '\\' => f.write_str("\\\\")?,
-            '\n' => f.write_str("\\n")?,
-            '\r' => f.write_str("\\r")?,
-            '\t' => f.write_str("\\t")?,
-            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
-            c => write!(f, "{c}")?,
+    let mut plain = 0; // start of the pending run of unescaped bytes
+    for (i, c) in s.char_indices() {
+        let escape: Option<&str> = match c {
+            '"' => Some("\\\""),
+            '\\' => Some("\\\\"),
+            '\n' => Some("\\n"),
+            '\r' => Some("\\r"),
+            '\t' => Some("\\t"),
+            c if (c as u32) < 0x20 => None, // \u escape, formatted below
+            _ => continue,
+        };
+        f.write_str(&s[plain..i])?;
+        match escape {
+            Some(text) => f.write_str(text)?,
+            None => write!(f, "\\u{:04x}", c as u32)?,
         }
+        plain = i + c.len_utf8();
     }
+    f.write_str(&s[plain..])?;
     f.write_str("\"")
 }
 

@@ -80,6 +80,12 @@ struct Shared {
     shutdown: AtomicBool,
     requests: AtomicU64,
     connections: AtomicU64,
+    /// Corpus documents proven empty by the scan fast path's static
+    /// prefilters, accumulated over every `query_corpus` request.
+    docs_skipped: AtomicU64,
+    /// Corpus documents rejected by the boolean match pre-pass,
+    /// accumulated over every `query_corpus` request.
+    docs_rejected: AtomicU64,
 }
 
 /// A bound, not-yet-running query daemon.
@@ -104,6 +110,8 @@ impl Server {
                 shutdown: AtomicBool::new(false),
                 requests: AtomicU64::new(0),
                 connections: AtomicU64::new(0),
+                docs_skipped: AtomicU64::new(0),
+                docs_rejected: AtomicU64::new(0),
             }),
         })
     }
@@ -216,7 +224,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
                         let shutdown = request == Request::Shutdown;
                         let response = handle_request(shared, request);
                         if shutdown {
-                            writeln!(writer, "{response}")?;
+                            write_response(&mut writer, &response)?;
                             initiate_shutdown(shared);
                             return Ok(());
                         }
@@ -225,8 +233,18 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
                 }
             }
         };
-        writeln!(writer, "{response}")?;
+        write_response(&mut writer, &response)?;
     }
+}
+
+/// Writes one response line with a single syscall. Rendering straight
+/// into the socket would issue one `write(2)` per formatting fragment —
+/// under `TCP_NODELAY` that is one packet per fragment, which dominates
+/// the round trip for any non-trivial response.
+fn write_response(writer: &mut TcpStream, response: &Json) -> io::Result<()> {
+    let mut line = response.to_string();
+    line.push('\n');
+    writer.write_all(line.as_bytes())
 }
 
 /// Flags the shutdown and unblocks the accept loop with a wake-up
@@ -365,6 +383,12 @@ fn handle_request(shared: &Shared, request: Request) -> Json {
             match query.evaluate_corpus_on_pool(&docs, &shared.pool) {
                 Err(e) => error_response(e),
                 Ok(out) => {
+                    shared
+                        .docs_skipped
+                        .fetch_add(out.stats.docs_skipped as u64, Ordering::Relaxed);
+                    shared
+                        .docs_rejected
+                        .fetch_add(out.stats.docs_rejected as u64, Ordering::Relaxed);
                     let results: Vec<Json> = docs
                         .iter()
                         .zip(&out.results)
@@ -384,6 +408,8 @@ fn handle_request(shared: &Shared, request: Request) -> Json {
                         ("documents", Json::number(out.stats.documents)),
                         ("matched", Json::number(out.stats.matched_documents)),
                         ("mappings", Json::number(out.stats.mappings)),
+                        ("skipped", Json::number(out.stats.docs_skipped)),
+                        ("rejected", Json::number(out.stats.docs_rejected)),
                         ("results", Json::Array(results)),
                     ])
                 }
@@ -422,6 +448,14 @@ fn handle_request(shared: &Shared, request: Request) -> Json {
                             Json::number(shared.connections.load(Ordering::Relaxed) as usize),
                         ),
                         ("corpus_threads", Json::number(shared.pool.threads())),
+                        (
+                            "docs_skipped",
+                            Json::number(shared.docs_skipped.load(Ordering::Relaxed) as usize),
+                        ),
+                        (
+                            "docs_rejected",
+                            Json::number(shared.docs_rejected.load(Ordering::Relaxed) as usize),
+                        ),
                     ]),
                 ),
             ])

@@ -87,6 +87,14 @@ fn prepare_explain_and_corpus() {
     assert_eq!(results.len(), 3, "only matching lines are reported");
     assert_eq!(results[0].get("line").and_then(Json::as_usize), Some(0));
     assert_eq!(results[2].get("line").and_then(Json::as_usize), Some(4));
+    // "b" fails the required-factor prefilter and "" the length filter.
+    assert_eq!(corpus.get("skipped").and_then(Json::as_usize), Some(2));
+    assert_eq!(corpus.get("rejected").and_then(Json::as_usize), Some(0));
+
+    // The daemon-wide stats accumulate the same fast-path counters.
+    let stats = client.stats().unwrap();
+    assert_eq!(field(&stats, ["server", "docs_skipped"]), 2, "{stats}");
+    assert_eq!(field(&stats, ["server", "docs_rejected"]), 0, "{stats}");
 
     client.shutdown().unwrap();
     handle.join().unwrap().unwrap();

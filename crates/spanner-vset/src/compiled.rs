@@ -181,6 +181,9 @@ pub struct CompiledVsa {
     /// Whether the source automaton is sequential (checked once at compile
     /// time; enumeration requires it).
     sequential: bool,
+    /// The scan fast-path analysis (prefilters + lazy boolean DFA); see
+    /// [`crate::scan`].
+    scan: crate::scan::ScanPlan,
 }
 
 impl CompiledVsa {
@@ -271,7 +274,7 @@ impl CompiledVsa {
         let states_with_var_ops =
             StateSet::from_states(n, (0..n).filter(|&q| !var_ops[q].is_empty()));
 
-        CompiledVsa {
+        let mut out = CompiledVsa {
             state_count: n,
             initial: vsa.initial(),
             accepting,
@@ -284,7 +287,17 @@ impl CompiledVsa {
             var_ops,
             states_with_var_ops,
             sequential: is_sequential(vsa),
-        }
+            scan: crate::scan::ScanPlan::placeholder(),
+        };
+        out.scan = crate::scan::ScanPlan::analyze(&out);
+        out
+    }
+
+    /// The scan fast-path analysis (internal accessor; the public surface is
+    /// [`CompiledVsa::scan_plan`] in [`crate::scan`]).
+    #[inline]
+    pub(crate) fn scan(&self) -> &crate::scan::ScanPlan {
+        &self.scan
     }
 
     /// Whether the source automaton is sequential (Theorem 2.5's

@@ -35,6 +35,7 @@ pub mod boolean;
 pub mod compiled;
 pub mod interpret;
 pub mod join;
+pub mod scan;
 pub mod semifunctional;
 pub mod thompson;
 
@@ -49,5 +50,6 @@ pub use interpret::interpret;
 pub use join::{
     assemble_disjunction, join, join_disjunctive_functional, join_with_options, JoinOptions,
 };
+pub use scan::{PreScan, ScanPlan};
 pub use semifunctional::{make_semi_functional, SemiFunctionalVsa};
 pub use thompson::compile;

@@ -1,0 +1,611 @@
+//! The scan-core fast path: literal prefilters and a lazy boolean DFA.
+//!
+//! Most documents in a corpus match a given query *nowhere*. Full
+//! enumeration machinery (match-graph backward pass, op-closure DFS) costs
+//! `O(|d| · states)` just to discover that, so [`CompiledVsa`] carries a
+//! [`ScanPlan`] — a boolean pre-pass with a ladder of successively stronger
+//! (and successively more expensive) tiers:
+//!
+//! 1. **Static prefilters**, computed once at compile time: the shortest
+//!    accepted document length, the class of possible first bytes (formulas
+//!    are anchored, so the first byte of an accepted document must start
+//!    some consuming transition out of the initial closure), and up to
+//!    [`MAX_FACTORS`] *required factors* — byte classes such that every
+//!    accepted document contains at least one byte of each (a class is
+//!    required iff forbidding its bytes empties the language). A document
+//!    failing any prefilter is skipped without scanning a single state.
+//! 2. **Lazy boolean DFA**: an on-demand subset construction over the
+//!    compiled byte classes, with variable operations treated as ε (which
+//!    is exact for boolean acceptance — they consume no input). The budget
+//!    [`DFA_CELL_BUDGET`] bounds `states × classes`; within it, scanning is
+//!    one table lookup per byte, with per-state acceleration: an accepting
+//!    state that loops on every class accepts the rest of the document
+//!    immediately, and a state that self-loops on most bytes skips ahead
+//!    with a memchr-style stop-byte loop.
+//! 3. **NFA fallback**: when the subset construction exceeds the budget,
+//!    the pre-pass steps a [`StateSet`] frontier byte-by-byte with an
+//!    empty-frontier early exit — never slower than the enumeration path it
+//!    guards.
+//!
+//! Results are unchanged by construction: the pre-pass answers exactly the
+//! boolean question "does the automaton have an accepting run on `d`?",
+//! which for the sequential automata the enumerator accepts coincides with
+//! "is there at least one mapping" ([`MatchGraph`]'s nonemptiness uses the
+//! same state-level reachability). The executor consults the pre-pass only
+//! to return an empty result early.
+//!
+//! [`MatchGraph`]: ../spanner_enum/matchgraph/struct.MatchGraph.html
+
+use crate::compiled::{CompiledVsa, StateSet};
+use spanner_core::{ByteClass, Document, FxHashMap};
+use std::sync::OnceLock;
+
+/// Maximum number of required factors kept by the analysis.
+pub const MAX_FACTORS: usize = 4;
+
+/// Budget on boolean-DFA table cells (`states × byte classes`); the subset
+/// construction aborts past it and the pre-pass falls back to NFA stepping.
+pub const DFA_CELL_BUDGET: usize = 1 << 17;
+
+/// Dead-state marker in the DFA transition table.
+const DEAD: u32 = u32::MAX;
+
+/// The verdict of [`CompiledVsa::prescan`] on one document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PreScan {
+    /// A static prefilter (length / first byte / required factor) proved the
+    /// document cannot match — no states were scanned.
+    Skip,
+    /// The boolean scan (DFA or NFA frontier) ran and rejected.
+    Reject,
+    /// The automaton has an accepting run on the document (for sequential
+    /// automata: at least one mapping exists).
+    Accept,
+}
+
+/// Per-state scan acceleration of the boolean DFA.
+#[derive(Debug, Clone)]
+enum Accel {
+    /// No acceleration: one table lookup per byte.
+    None,
+    /// Accepting state looping on every class: the rest of the document is
+    /// irrelevant, accept immediately.
+    AcceptSink,
+    /// The state self-loops on every byte except this single stop byte:
+    /// skip ahead with a vectorizable byte search.
+    SkipToByte(u8),
+    /// The state self-loops on every byte outside the stop class: skip
+    /// ahead with a bitmap test per byte.
+    SkipToClass(ByteClass),
+}
+
+/// The lazily built boolean DFA (tier 2 of the ladder).
+#[derive(Debug, Clone)]
+struct MatchDfa {
+    class_count: usize,
+    /// `table[q * class_count + class]` = successor, or [`DEAD`].
+    table: Vec<u32>,
+    accepting: Vec<bool>,
+    accel: Vec<Accel>,
+}
+
+/// The compile-time scan analysis attached to every [`CompiledVsa`].
+#[derive(Debug, Clone)]
+pub struct ScanPlan {
+    /// Length of the shortest accepted document; `None` iff the language is
+    /// empty (every document is skipped).
+    min_len: Option<usize>,
+    /// Possible first bytes of an accepted non-empty document; `None` when
+    /// unconstrained (all 256 bytes possible).
+    prefix_class: Option<ByteClass>,
+    /// Byte classes that every accepted document must contain at least one
+    /// byte of (rarest first).
+    required_factors: Vec<ByteClass>,
+    /// The boolean DFA, built on first use; `None` inside means the subset
+    /// construction exceeded [`DFA_CELL_BUDGET`] (NFA fallback).
+    dfa: OnceLock<Option<MatchDfa>>,
+}
+
+impl ScanPlan {
+    /// The inert placeholder used while the owning [`CompiledVsa`] is still
+    /// under construction (replaced by [`ScanPlan::analyze`] immediately).
+    pub(crate) fn placeholder() -> ScanPlan {
+        ScanPlan {
+            min_len: None,
+            prefix_class: None,
+            required_factors: Vec::new(),
+            dfa: OnceLock::new(),
+        }
+    }
+
+    /// Runs the static analysis over a freshly compiled automaton.
+    pub(crate) fn analyze(compiled: &CompiledVsa) -> ScanPlan {
+        let min_len = min_accepted_len(compiled);
+        if min_len.is_none() {
+            // Empty language: the filters are never consulted.
+            return ScanPlan {
+                min_len,
+                prefix_class: None,
+                required_factors: Vec::new(),
+                dfa: OnceLock::new(),
+            };
+        }
+        ScanPlan {
+            min_len,
+            prefix_class: prefix_class(compiled),
+            required_factors: required_factors(compiled),
+            dfa: OnceLock::new(),
+        }
+    }
+
+    /// Length of the shortest accepted document (`None`: empty language).
+    pub fn min_len(&self) -> Option<usize> {
+        self.min_len
+    }
+
+    /// The anchored-prefix class: possible first bytes of an accepted
+    /// non-empty document (`None` when unconstrained).
+    pub fn prefix_class(&self) -> Option<&ByteClass> {
+        self.prefix_class.as_ref()
+    }
+
+    /// The required factors: byte classes every accepted document contains.
+    pub fn required_factors(&self) -> &[ByteClass] {
+        &self.required_factors
+    }
+
+    /// Whether the boolean DFA has been built yet, and with how many states:
+    /// `None` = not built yet, `Some(None)` = budget exceeded (NFA
+    /// fallback), `Some(Some(n))` = built with `n` states.
+    pub fn dfa_states(&self) -> Option<Option<usize>> {
+        self.dfa
+            .get()
+            .map(|d| d.as_ref().map(|d| d.accepting.len()))
+    }
+
+    /// Whether the static prefilters alone reject the document (tier 1; no
+    /// state is scanned). Exact refusals only: `false` means "scan needed",
+    /// not "matches".
+    fn filters_reject(&self, bytes: &[u8]) -> bool {
+        let Some(min_len) = self.min_len else {
+            return true; // empty language
+        };
+        if bytes.len() < min_len {
+            return true;
+        }
+        if let (Some(class), Some(&first)) = (&self.prefix_class, bytes.first()) {
+            if !class.contains(first) {
+                return true;
+            }
+        }
+        self.required_factors
+            .iter()
+            .any(|f| !bytes.iter().any(|&b| f.contains(b)))
+    }
+}
+
+impl CompiledVsa {
+    /// The compile-time scan analysis (prefilters + lazy-DFA handle).
+    pub fn scan_plan(&self) -> &ScanPlan {
+        self.scan()
+    }
+
+    /// Runs the boolean pre-pass ladder on one document (see the module
+    /// docs): static prefilters, then the lazy DFA (NFA frontier fallback
+    /// past the state budget).
+    pub fn prescan(&self, doc: &Document) -> PreScan {
+        let plan = self.scan();
+        let bytes = doc.bytes();
+        if plan.filters_reject(bytes) {
+            return PreScan::Skip;
+        }
+        let accepted = match plan.dfa.get_or_init(|| build_dfa(self)) {
+            Some(dfa) => dfa_scan(self, dfa, bytes),
+            None => nfa_scan(self, bytes),
+        };
+        if accepted {
+            PreScan::Accept
+        } else {
+            PreScan::Reject
+        }
+    }
+
+    /// Whether the automaton has an accepting run on the document — the
+    /// boolean projection of evaluation, without touching the variable-op
+    /// machinery. For sequential automata this is exactly "the mapping set
+    /// is nonempty".
+    pub fn matches_anywhere(&self, doc: &Document) -> bool {
+        self.prescan(doc) == PreScan::Accept
+    }
+
+    /// Forces the boolean DFA to build and reports its state count; `None`
+    /// means the subset construction exceeded [`DFA_CELL_BUDGET`] and the
+    /// pre-pass runs on the NFA frontier fallback.
+    pub fn boolean_dfa_states(&self) -> Option<usize> {
+        self.scan()
+            .dfa
+            .get_or_init(|| build_dfa(self))
+            .as_ref()
+            .map(|d| d.accepting.len())
+    }
+}
+
+/// BFS over consuming transitions (with zero-closures between letters):
+/// the minimum number of bytes on any path from the initial closure to an
+/// accepting state. `None` iff no accepting state is reachable at all.
+fn min_accepted_len(compiled: &CompiledVsa) -> Option<usize> {
+    let states = compiled.state_count();
+    let mut dist: Vec<Option<usize>> = vec![None; states];
+    let mut queue = std::collections::VecDeque::new();
+    for q in compiled.zero_closure(compiled.initial()).iter() {
+        if dist[q].is_none() {
+            dist[q] = Some(0);
+            queue.push_back(q);
+        }
+    }
+    let mut best: Option<usize> = None;
+    while let Some(q) = queue.pop_front() {
+        let d = dist[q].expect("queued states have a distance");
+        if compiled.is_accepting(q) {
+            best = Some(best.map_or(d, |b| b.min(d)));
+            // BFS: the first accepting state found is at minimum distance.
+            break;
+        }
+        for class in 0..compiled.class_count() {
+            for &t in compiled.byte_targets(q, class) {
+                for r in compiled.zero_closure(t).iter() {
+                    if dist[r].is_none() {
+                        dist[r] = Some(d + 1);
+                        queue.push_back(r);
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+/// The union of the byte classes of consuming transitions leaving the
+/// initial zero-closure — an overapproximation of the first byte of any
+/// accepted non-empty document. `None` when every byte is possible.
+fn prefix_class(compiled: &CompiledVsa) -> Option<ByteClass> {
+    let start = compiled.zero_closure(compiled.initial());
+    let mut class = ByteClass::empty();
+    for b in 0..=255u8 {
+        let c = compiled.class_of(b);
+        if start
+            .iter()
+            .any(|q| !compiled.byte_targets(q, c).is_empty())
+        {
+            class.insert(b);
+        }
+    }
+    (class.len() < 256).then_some(class)
+}
+
+/// Finds byte classes that every accepted document must contain: a class is
+/// required iff the automaton restricted to the remaining bytes accepts
+/// nothing. Candidates are the compiled byte-class partition (skipping
+/// classes no transition consumes). Kept rarest-first, at most
+/// [`MAX_FACTORS`].
+fn required_factors(compiled: &CompiledVsa) -> Vec<ByteClass> {
+    let class_count = compiled.class_count();
+    if class_count > 64 {
+        return Vec::new();
+    }
+    // The byte set of each compiled class.
+    let mut class_bytes: Vec<ByteClass> = vec![ByteClass::empty(); class_count];
+    for b in 0..=255u8 {
+        class_bytes[compiled.class_of(b)].insert(b);
+    }
+    let mut factors: Vec<ByteClass> = Vec::new();
+    for (avoid, bytes) in class_bytes.iter().enumerate() {
+        // Is any accepting state reachable using only classes != `avoid`?
+        let mut reach = compiled.zero_closure(compiled.initial()).clone();
+        let mut stack: Vec<usize> = reach.iter().collect();
+        let mut alive = reach.intersects(compiled.accepting());
+        while let Some(q) = stack.pop() {
+            if alive {
+                break;
+            }
+            for class in 0..class_count {
+                if class == avoid {
+                    continue;
+                }
+                for &t in compiled.byte_targets(q, class) {
+                    for r in compiled.zero_closure(t).iter() {
+                        if reach.insert(r) {
+                            if compiled.is_accepting(r) {
+                                alive = true;
+                            }
+                            stack.push(r);
+                        }
+                    }
+                }
+            }
+        }
+        if !alive {
+            factors.push(*bytes);
+            if factors.len() == MAX_FACTORS {
+                break;
+            }
+        }
+    }
+    factors.sort_by_key(ByteClass::len);
+    factors
+}
+
+/// Bounded subset construction over the compiled byte classes, variable
+/// operations as ε (exact for boolean acceptance). `None` past the budget.
+fn build_dfa(compiled: &CompiledVsa) -> Option<MatchDfa> {
+    let class_count = compiled.class_count().max(1);
+    let states = compiled.state_count();
+    let start = compiled.zero_closure(compiled.initial()).clone();
+
+    let mut index: FxHashMap<StateSet, u32> = FxHashMap::default();
+    let mut subsets: Vec<StateSet> = vec![start.clone()];
+    let mut accepting: Vec<bool> = vec![start.intersects(compiled.accepting())];
+    let mut table: Vec<u32> = Vec::new();
+    index.insert(start, 0);
+
+    let mut next_subset = 0usize;
+    while next_subset < subsets.len() {
+        let from = next_subset;
+        next_subset += 1;
+        let mut row = vec![DEAD; class_count];
+        for (class, slot) in row.iter_mut().enumerate() {
+            let mut next = StateSet::new(states);
+            for q in subsets[from].iter() {
+                for &t in compiled.byte_targets(q, class) {
+                    next.insert(t);
+                }
+            }
+            if next.is_empty() {
+                continue;
+            }
+            let mut closed = StateSet::new(states);
+            for t in next.iter() {
+                closed.union_with(compiled.zero_closure(t));
+            }
+            let id = match index.get(&closed) {
+                Some(&id) => id,
+                None => {
+                    if (subsets.len() + 1) * class_count > DFA_CELL_BUDGET {
+                        return None;
+                    }
+                    let id = subsets.len() as u32;
+                    accepting.push(closed.intersects(compiled.accepting()));
+                    subsets.push(closed.clone());
+                    index.insert(closed, id);
+                    id
+                }
+            };
+            *slot = id;
+        }
+        table.extend_from_slice(&row);
+    }
+
+    // Rows are built lazily above, so pad any states discovered after the
+    // last processed row (cannot happen — the worklist drains fully — but
+    // keep the invariant explicit).
+    debug_assert_eq!(table.len(), subsets.len() * class_count);
+
+    let accel = (0..subsets.len())
+        .map(|q| {
+            let row = &table[q * class_count..(q + 1) * class_count];
+            let self_loops = row.iter().filter(|&&t| t == q as u32).count();
+            if self_loops == 0 {
+                return Accel::None;
+            }
+            if accepting[q] && self_loops == class_count {
+                return Accel::AcceptSink;
+            }
+            // Stop bytes: those that leave the state.
+            let mut stop = ByteClass::empty();
+            for b in 0..=255u8 {
+                if row[compiled.class_of(b)] != q as u32 {
+                    stop.insert(b);
+                }
+            }
+            match stop.len() {
+                0 => Accel::None, // non-accepting total self-loop: dead in
+                // practice (can never leave), plain stepping is fine.
+                1 => Accel::SkipToByte(stop.iter().next().expect("one stop byte")),
+                2..=64 => Accel::SkipToClass(stop),
+                _ => Accel::None,
+            }
+        })
+        .collect();
+
+    Some(MatchDfa {
+        class_count,
+        table,
+        accepting,
+        accel,
+    })
+}
+
+/// Runs the boolean DFA over the document bytes.
+fn dfa_scan(compiled: &CompiledVsa, dfa: &MatchDfa, bytes: &[u8]) -> bool {
+    let cc = dfa.class_count;
+    let mut q = 0usize;
+    let mut i = 0usize;
+    let n = bytes.len();
+    while i < n {
+        match &dfa.accel[q] {
+            Accel::AcceptSink => return true,
+            Accel::SkipToByte(stop) => match bytes[i..].iter().position(|&b| b == *stop) {
+                Some(off) => i += off,
+                None => return dfa.accepting[q],
+            },
+            Accel::SkipToClass(stop) => match bytes[i..].iter().position(|&b| stop.contains(b)) {
+                Some(off) => i += off,
+                None => return dfa.accepting[q],
+            },
+            Accel::None => {}
+        }
+        let t = dfa.table[q * cc + compiled.class_of(bytes[i])];
+        if t == DEAD {
+            return false;
+        }
+        q = t as usize;
+        i += 1;
+    }
+    dfa.accepting[q]
+}
+
+/// NFA frontier stepping with zero-closures (the budget-exhaustion
+/// fallback): exact boolean acceptance, early exit on an empty frontier.
+fn nfa_scan(compiled: &CompiledVsa, bytes: &[u8]) -> bool {
+    let states = compiled.state_count();
+    let mut current = compiled.zero_closure(compiled.initial()).clone();
+    let mut next = StateSet::new(states);
+    let mut closed = StateSet::new(states);
+    for &b in bytes {
+        compiled.step_frontier(&current, b, &mut next);
+        if next.is_empty() {
+            return false;
+        }
+        closed.clear();
+        for t in next.iter() {
+            closed.union_with(compiled.zero_closure(t));
+        }
+        std::mem::swap(&mut current, &mut closed);
+    }
+    current.intersects(compiled.accepting())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interpret::interpret_nonempty;
+    use crate::thompson::compile;
+    use spanner_rgx::parse;
+
+    fn compiled(pattern: &str) -> (crate::automaton::Vsa, CompiledVsa) {
+        let vsa = compile(&parse(pattern).unwrap());
+        let c = CompiledVsa::compile(&vsa);
+        (vsa, c)
+    }
+
+    #[test]
+    fn prescan_agrees_with_the_interpreter() {
+        let patterns = [
+            ".*{x:a+}.*",
+            "{x:[a-z]+}@{y:[a-z]+}",
+            "a{x:b*}c",
+            "{x:a}|{y:b}",
+            ".*abc.*",
+            "()",
+        ];
+        let docs = ["", "a", "abc", "xyz", "foo@bar", "aaabbb", "cab", "b"];
+        for pattern in patterns {
+            let (vsa, c) = compiled(pattern);
+            for text in docs {
+                let doc = Document::new(text);
+                assert_eq!(
+                    c.matches_anywhere(&doc),
+                    interpret_nonempty(&vsa, &doc),
+                    "{pattern:?} on {text:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn min_len_and_prefix_filters_fire() {
+        let (_, c) = compiled("abc{x:d+}");
+        let plan = c.scan_plan();
+        assert_eq!(plan.min_len(), Some(4));
+        let prefix = plan.prefix_class().expect("anchored prefix");
+        assert!(prefix.contains(b'a') && !prefix.contains(b'b'));
+        // Too short and wrong first byte are both skips, not scans.
+        assert_eq!(c.prescan(&Document::new("ab")), PreScan::Skip);
+        assert_eq!(c.prescan(&Document::new("xbcdddd")), PreScan::Skip);
+        assert_eq!(c.prescan(&Document::new("abcd")), PreScan::Accept);
+    }
+
+    #[test]
+    fn required_factors_are_found_and_filter_documents() {
+        let (_, c) = compiled(".*{x:a+}@.*");
+        let plan = c.scan_plan();
+        // '@' must occur in every accepted document; 'a' as well.
+        assert!(
+            plan.required_factors()
+                .iter()
+                .any(|f| f.contains(b'@') && f.len() == 1),
+            "{:?}",
+            plan.required_factors()
+        );
+        assert_eq!(c.prescan(&Document::new("aaaa")), PreScan::Skip);
+        assert_eq!(c.prescan(&Document::new("aa@x")), PreScan::Accept);
+        // Adversarial: factors present but no match — the DFA rejects.
+        assert_eq!(c.prescan(&Document::new("@aaa")), PreScan::Reject);
+    }
+
+    #[test]
+    fn empty_language_is_skipped() {
+        let (_, c) = compiled("[]");
+        assert_eq!(c.scan_plan().min_len(), None);
+        assert_eq!(c.prescan(&Document::new("")), PreScan::Skip);
+        assert_eq!(c.prescan(&Document::new("anything")), PreScan::Skip);
+    }
+
+    #[test]
+    fn dfa_is_built_lazily_and_within_budget() {
+        let (_, c) = compiled(".*{x:a+}.*");
+        assert_eq!(c.scan_plan().dfa_states(), None, "not built yet");
+        assert!(c.matches_anywhere(&Document::new("xxax")));
+        let states = c.scan_plan().dfa_states().expect("built now");
+        assert!(states.is_some(), "small automaton fits the budget");
+        assert_eq!(c.boolean_dfa_states(), states);
+    }
+
+    #[test]
+    fn budget_exhaustion_falls_back_to_nfa_stepping() {
+        // (a|b)* a (a|b)^{n-1} needs ≥ 2^{n-1} DFA states; n = 18 blows the
+        // cell budget so the pre-pass must run on the NFA frontier — and
+        // still answer exactly.
+        let n = 18;
+        let suffix = "(a|b)".repeat(n - 1);
+        let (vsa, c) = compiled(&format!("(a|b)*a{suffix}"));
+        assert_eq!(c.boolean_dfa_states(), None, "budget must be exceeded");
+        for text in [
+            "a".repeat(n),
+            "b".repeat(n),
+            format!("bba{}", "b".repeat(n - 1)),
+            "ab".repeat(4),
+        ] {
+            let doc = Document::new(&text);
+            assert_eq!(
+                c.matches_anywhere(&doc),
+                interpret_nonempty(&vsa, &doc),
+                "{text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn accept_sink_short_circuits_long_documents() {
+        let (_, c) = compiled(".*needle.*");
+        let mut text = "x".repeat(10_000);
+        text.push_str("needle");
+        text.push_str(&"y".repeat(10_000));
+        assert!(c.matches_anywhere(&Document::new(text)));
+        assert!(!c.matches_anywhere(&Document::new("x".repeat(10_000))));
+    }
+
+    #[test]
+    fn scan_plan_survives_clone() {
+        let (_, c) = compiled(".*{x:a+}.*");
+        assert!(c.matches_anywhere(&Document::new("a")));
+        let cloned = c.clone();
+        assert!(cloned
+            .scan_plan()
+            .dfa_states()
+            .expect("cloned built DFA")
+            .is_some());
+        assert!(cloned.matches_anywhere(&Document::new("a")));
+        assert!(!cloned.matches_anywhere(&Document::new("b")));
+    }
+}

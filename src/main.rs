@@ -428,6 +428,20 @@ mod tests {
     }
 
     #[test]
+    fn explain_dispatch_includes_the_scan_plan_section() {
+        // The `explain` command dispatches through `prepare_program`; the
+        // rendering it prints must carry the scan-plan section.
+        assert_eq!(run(&argv(&["explain", "/{x:a+}b/"])), Ok(()));
+        let explain = prepare_program("/{x:a+}b/").unwrap().explain();
+        assert!(
+            explain.contains("scan plan  : 1 compiled scan\n"),
+            "{explain}"
+        );
+        assert!(explain.contains("fast path on"), "{explain}");
+        assert!(explain.contains("lazy DFA:"), "{explain}");
+    }
+
+    #[test]
     fn serve_and_client_argument_validation() {
         let err = run(&argv(&["serve", "127.0.0.1:0", "two"])).unwrap_err();
         assert!(err.contains("invalid thread count `two`"), "{err}");

@@ -104,6 +104,8 @@ fn empty_corpus_and_empty_documents() {
             mappings: 0,
             matched_documents: 0,
             threads: out.stats.threads,
+            docs_skipped: 0,
+            docs_rejected: 0,
             elapsed: out.stats.elapsed,
         }
     );
