@@ -343,6 +343,67 @@ impl PhysOp {
             PhysOp::Difference { input, .. } => input.prescan_reject(doc),
         }
     }
+
+    /// Byte strings that every document with a *non-empty* result must
+    /// contain as a factor — the document-independent counterpart of
+    /// [`PhysOp::prescan_reject`], consumed by corpus-level indexes to
+    /// prune documents without visiting them. The proof composes the same
+    /// way: a join result needs both sides non-empty (union of the sides'
+    /// literals), a union result needs some input non-empty (a literal
+    /// survives only if *every* input requires it — witnessed by an
+    /// extracted literal containing it), difference and projection are
+    /// bounded by their input, and a black-box scan constrains nothing.
+    /// Unlike the pre-pass this is pure static analysis, sound for any
+    /// `scan_fast_path` setting. An empty set means "no constraint".
+    pub fn required_literals(&self) -> Vec<Vec<u8>> {
+        let mut literals = match self {
+            PhysOp::CompiledScan { compiled, .. } => {
+                compiled.scan_plan().required_literals().to_vec()
+            }
+            PhysOp::BlackBoxScan(_) => Vec::new(),
+            PhysOp::Project { input, .. } => input.required_literals(),
+            PhysOp::UnionAll(inputs) => {
+                let sets: Vec<Vec<Vec<u8>>> =
+                    inputs.iter().map(PhysOp::required_literals).collect();
+                if sets.iter().any(Vec::is_empty) {
+                    // One unconstrained branch makes the union unconstrained.
+                    return Vec::new();
+                }
+                // A literal is required by the union iff every branch
+                // requires it; a branch requiring a superstring requires
+                // every factor of it.
+                let mut candidates: Vec<Vec<u8>> = sets.concat();
+                candidates.retain(|l| sets.iter().all(|s| s.iter().any(|k| contains_factor(k, l))));
+                candidates
+            }
+            PhysOp::HashJoin { left, right } => {
+                let mut literals = left.required_literals();
+                literals.extend(right.required_literals());
+                literals
+            }
+            PhysOp::Difference { input, .. } => input.required_literals(),
+        };
+        dedup_subsumed(&mut literals);
+        literals
+    }
+}
+
+/// Whether `needle` occurs in `haystack` as a contiguous factor.
+fn contains_factor(haystack: &[u8], needle: &[u8]) -> bool {
+    haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+/// Keeps the longest literals, dropping duplicates and literals occurring
+/// inside a kept one (they constrain nothing extra).
+fn dedup_subsumed(literals: &mut Vec<Vec<u8>>) {
+    literals.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
+    let mut kept: Vec<Vec<u8>> = Vec::new();
+    for lit in literals.drain(..) {
+        if !kept.iter().any(|k| contains_factor(k, &lit)) {
+            kept.push(lit);
+        }
+    }
+    *literals = kept;
 }
 
 impl fmt::Debug for PhysOp {
@@ -412,6 +473,12 @@ impl PhysicalPlan {
     /// (see [`PhysOp::prescan_reject`]).
     pub fn prescan_reject(&self, doc: &Document) -> Option<PreScan> {
         self.root.prescan_reject(doc)
+    }
+
+    /// The root operator's required literals
+    /// (see [`PhysOp::required_literals`]).
+    pub fn required_literals(&self) -> Vec<Vec<u8>> {
+        self.root.required_literals()
     }
 
     /// Renders the operator tree as an indented multi-line outline (the

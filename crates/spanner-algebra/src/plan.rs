@@ -617,6 +617,13 @@ impl CompiledPlan {
         self.physical.prescan_reject(doc)
     }
 
+    /// Byte strings every document with a non-empty result must contain
+    /// (see [`PhysOp::required_literals`]); empty = no constraint. Corpus
+    /// indexes use these to prune documents without visiting them.
+    pub fn required_literals(&self) -> Vec<Vec<u8>> {
+        self.physical.required_literals()
+    }
+
     /// Whether the whole plan compiled into one static automaton (no
     /// per-document composition at all).
     pub fn is_static(&self) -> bool {
@@ -865,6 +872,52 @@ mod tests {
                 assert_eq!(streamed, plan.evaluate(&doc).unwrap(), "{tree} on {text:?}");
             }
         }
+    }
+
+    #[test]
+    fn required_literals_compose_through_the_operators() {
+        let lits = |tree: &RaTree, inst: &Instantiation| {
+            CompiledPlan::compile(tree, inst, RaOptions::default())
+                .unwrap()
+                .required_literals()
+        };
+        // A single scan surfaces its automaton's literals.
+        let inst = Instantiation::new()
+            .with(0, parse(".*foo{x:a+}.*").unwrap())
+            .with(1, parse(".*bar{x:a+}.*").unwrap());
+        let has = |set: &[Vec<u8>], needle: &[u8]| {
+            set.iter()
+                .any(|l| l.windows(needle.len()).any(|w| w == needle))
+        };
+        let leaf = lits(&RaTree::leaf(0), &inst);
+        assert!(has(&leaf, b"foo"), "{leaf:?}");
+
+        // Difference: bounded by the input side only.
+        let diff = lits(&RaTree::difference(RaTree::leaf(0), RaTree::leaf(1)), &inst);
+        assert!(has(&diff, b"foo"), "{diff:?}");
+        assert!(!has(&diff, b"bar"), "{diff:?}");
+
+        // Union: only literals every branch requires survive — "foo" and
+        // "bar" don't, though their common capture factor "a" does.
+        let union = lits(&RaTree::union(RaTree::leaf(0), RaTree::leaf(1)), &inst);
+        assert!(!has(&union, b"foo") && !has(&union, b"bar"), "{union:?}");
+        assert!(has(&union, b"a"), "{union:?}");
+        // ...but a common factor of both branches survives.
+        let inst2 = Instantiation::new()
+            .with(0, parse(".*foobar{x:a+}.*").unwrap())
+            .with(1, parse(".*oba{x:a+}.*").unwrap());
+        let union2 = lits(&RaTree::union(RaTree::leaf(0), RaTree::leaf(1)), &inst2);
+        assert!(has(&union2, b"oba"), "{union2:?}");
+
+        // A black-box operand constrains nothing, and poisons a union.
+        let inst3 = Instantiation::new()
+            .with(0, parse(".*foo{t:a+}.*").unwrap())
+            .with_black_box(1, TokenizerSpanner::new("t"));
+        assert!(lits(&RaTree::leaf(1), &inst3).is_empty());
+        assert!(lits(&RaTree::union(RaTree::leaf(0), RaTree::leaf(1)), &inst3).is_empty());
+        // A join needs both sides: the static side's literals remain.
+        let join = lits(&RaTree::join(RaTree::leaf(0), RaTree::leaf(1)), &inst3);
+        assert!(has(&join, b"foo"), "{join:?}");
     }
 
     #[test]

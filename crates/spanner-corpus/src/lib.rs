@@ -215,10 +215,11 @@ impl CorpusEngine {
         let start = Instant::now();
         let threads = effective_threads(threads, docs.len());
         let mut slots: Vec<DocSlot> = vec![None; docs.len()];
-        if threads <= 1 {
+        let workers = if threads <= 1 {
             for (slot, doc) in slots.iter_mut().zip(docs) {
                 *slot = Some(eval_doc(&self.plan, doc));
             }
+            1
         } else {
             // Contiguous shards, one per worker: results land directly in
             // their corpus position, so no reordering pass is needed.
@@ -236,8 +237,105 @@ impl CorpusEngine {
                     });
                 }
             });
+            // Rounding in `shard_ranges` can produce fewer shards than the
+            // clamped request (10 docs / 8 threads → chunks of 2 → 5
+            // shards); report the workers that actually ran.
+            ranges.len()
+        };
+        collect_result(docs, workers, slots, start)
+    }
+
+    /// Evaluates only the `candidates` subset of the corpus — the
+    /// index-aware path: a corpus-level index (e.g. the trigram index of
+    /// `spanner-store`) has already proven every other document's result
+    /// empty, so non-candidates are counted as `docs_skipped` **without
+    /// being visited** (no byte of theirs is read). Results are returned
+    /// for the whole corpus, in corpus order, and are bit-identical to
+    /// [`CorpusEngine::evaluate_with_threads`] whenever the candidate set
+    /// is sound (it contains every document with a non-empty result).
+    ///
+    /// `candidates` must be sorted, duplicate-free, in-bounds document
+    /// indexes — the shape a posting-list intersection produces (a
+    /// duplicate would be evaluated twice and double-counted in the
+    /// stats).
+    pub fn evaluate_candidates_with_threads(
+        &self,
+        docs: &[Document],
+        candidates: &[u32],
+        threads: usize,
+    ) -> SpannerResult<CorpusResult> {
+        let start = Instant::now();
+        // The result is assembled directly, not through the per-document
+        // slot machinery of the full scan: the whole point of the index is
+        // that per-query cost tracks the candidate count, so the
+        // non-candidate majority must cost one empty relation each and
+        // nothing more (an empty `MappingSet` does not allocate).
+        let mut results: Vec<MappingSet> = std::iter::repeat_with(MappingSet::new)
+            .take(docs.len())
+            .collect();
+        let threads = effective_threads(threads, candidates.len());
+        // One evaluated candidate: (document index, (result, outcome)).
+        type Evaluated = Vec<(u32, (SpannerResult<MappingSet>, DocOutcome))>;
+        let mut evaluated: Evaluated;
+        let workers = if threads <= 1 {
+            evaluated = candidates
+                .iter()
+                .map(|&i| (i, eval_doc(&self.plan, &docs[i as usize])))
+                .collect();
+            1
+        } else {
+            // Shard the candidate list (not the corpus): the work is
+            // proportional to candidates, so that is what balances.
+            let ranges = shard_ranges(candidates.len(), threads);
+            let outcomes: Vec<Evaluated> = std::thread::scope(|scope| {
+                let handles: Vec<_> = ranges
+                    .iter()
+                    .map(|range| {
+                        let chunk = &candidates[range.clone()];
+                        scope.spawn(move || {
+                            chunk
+                                .iter()
+                                .map(|&i| (i, eval_doc(&self.plan, &docs[i as usize])))
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("corpus worker panicked"))
+                    .collect()
+            });
+            let workers = outcomes.len();
+            evaluated = outcomes.into_iter().flatten().collect();
+            workers
+        };
+        // Non-candidates are skipped by construction — without being read.
+        let mut docs_skipped = docs.len() - candidates.len();
+        let mut docs_rejected = 0;
+        for (i, (result, outcome)) in evaluated.drain(..) {
+            match outcome {
+                DocOutcome::Skipped => docs_skipped += 1,
+                DocOutcome::Rejected => docs_rejected += 1,
+                DocOutcome::Evaluated => {}
+            }
+            results[i as usize] = result?;
         }
-        collect_result(docs, threads, slots, start)
+        let stats = CorpusStats {
+            documents: docs.len(),
+            bytes: docs.iter().map(Document::len).sum(),
+            // Only candidate slots can be non-empty, so the tallies walk
+            // the candidate list, not the corpus.
+            mappings: candidates.iter().map(|&i| results[i as usize].len()).sum(),
+            matched_documents: candidates
+                .iter()
+                .filter(|&&i| !results[i as usize].is_empty())
+                .count(),
+            threads: workers,
+            docs_skipped,
+            docs_rejected,
+            elapsed: start.elapsed(),
+        };
+        Ok(CorpusResult { results, stats })
     }
 
     /// Evaluates the corpus by sharding it across a persistent
@@ -283,7 +381,10 @@ impl CorpusEngine {
                 *slot = Some(result);
             }
         }
-        collect_result(docs, threads, slots, start)
+        // As on the scoped path: the shard count, not the clamped request,
+        // is the number of workers that ran (the calling thread for an
+        // empty corpus).
+        collect_result(docs, chunks.len().max(1), slots, start)
     }
 }
 
@@ -418,8 +519,27 @@ mod tests {
                     next = r.end;
                 }
                 assert_eq!(next, len);
+                // Never more shards than requested workers.
+                assert!(ranges.len() <= threads, "len={len} threads={threads}");
             }
         }
+
+        // `stats.threads` reports the shards actually run, not the clamped
+        // request: 10 docs / 8 threads rounds to chunks of 2 → 5 shards.
+        assert_eq!(shard_ranges(10, 8).len(), 5);
+        let e = engine("{x:a+}");
+        let docs: Vec<Document> = (0..10).map(|i| Document::new("a".repeat(i % 3))).collect();
+        let out = e.evaluate_with_threads(&docs, 8).unwrap();
+        assert_eq!(out.stats.threads, 5);
+        let e = Arc::new(e);
+        let docs = Arc::new(docs);
+        let pool = WorkerPool::new(8);
+        let pooled = e.evaluate_on_pool(&docs, &pool).unwrap();
+        assert_eq!(pooled.stats.threads, 5);
+        // Single-worker and empty-corpus paths report the calling thread.
+        assert_eq!(e.evaluate_with_threads(&docs, 1).unwrap().stats.threads, 1);
+        let empty: Arc<Vec<Document>> = Arc::new(Vec::new());
+        assert_eq!(e.evaluate_on_pool(&empty, &pool).unwrap().stats.threads, 1);
     }
 
     #[test]
@@ -460,6 +580,41 @@ mod tests {
         assert_eq!(out.stats.docs_skipped, 0);
         assert_eq!(out.stats.docs_rejected, 0);
         assert_eq!(out.stats.matched_documents, 1);
+    }
+
+    #[test]
+    fn candidate_evaluation_skips_non_candidates_and_keeps_order() {
+        let e = engine("{x:a+}");
+        let docs: Vec<Document> = ["aa", "b", "a", "", "aaa", "ba", "aa"]
+            .iter()
+            .map(|t| Document::new(*t))
+            .collect();
+        let full = e.evaluate_with_threads(&docs, 2).unwrap();
+        // A sound candidate set: every doc with a non-empty result.
+        let candidates: Vec<u32> = docs
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.text().chars().all(|c| c == 'a') && !d.is_empty())
+            .map(|(i, _)| i as u32)
+            .collect();
+        for threads in [1, 2, 4] {
+            let out = e
+                .evaluate_candidates_with_threads(&docs, &candidates, threads)
+                .unwrap();
+            assert_eq!(out.results, full.results, "threads={threads}");
+            assert_eq!(out.stats.documents, docs.len());
+            // Non-candidates count as skipped without being visited.
+            assert!(
+                out.stats.docs_skipped >= docs.len() - candidates.len(),
+                "{:?}",
+                out.stats
+            );
+        }
+        // An empty candidate set touches nothing.
+        let out = e.evaluate_candidates_with_threads(&docs, &[], 4).unwrap();
+        assert!(out.results.iter().all(MappingSet::is_empty));
+        assert_eq!(out.stats.docs_skipped, docs.len());
+        assert_eq!(out.stats.threads, 1);
     }
 
     #[test]

@@ -266,6 +266,17 @@ impl PreparedQuery {
             out.push_str(line);
             out.push('\n');
         }
+        // Plan-level required literals: what a corpus index can prune on.
+        let literals = physical.required_literals();
+        if literals.is_empty() {
+            out.push_str("literals   : none (an indexed store falls back to a full scan)\n");
+        } else {
+            let rendered: Vec<String> = literals
+                .iter()
+                .map(|l| format!("{:?}", String::from_utf8_lossy(l)))
+                .collect();
+            out.push_str(&format!("literals   : {}\n", rendered.join(" ")));
+        }
         out
     }
 }
@@ -298,6 +309,14 @@ fn scan_plan_lines(op: &PhysOp, out: &mut Vec<String>) {
                     .map(|f| format!("{f:?}"))
                     .collect();
                 parts.push(format!("factors={}", factors.join("")));
+            }
+            if !plan.required_literals().is_empty() {
+                let literals: Vec<String> = plan
+                    .required_literals()
+                    .iter()
+                    .map(|l| format!("{:?}", String::from_utf8_lossy(l)))
+                    .collect();
+                parts.push(format!("literals={}", literals.join(" ")));
             }
             match compiled.boolean_dfa_states() {
                 Some(n) => parts.push(format!(
@@ -456,6 +475,17 @@ mod tests {
         assert!(explain.contains("factors=[@][a]"), "{explain}");
         assert!(explain.contains("min_len="), "{explain}");
         assert!(explain.contains("lazy DFA:"), "{explain}");
+    }
+
+    #[test]
+    fn explain_reports_required_literals() {
+        let q = PreparedQuery::prepare("/.*needle{x:a+}.*/;").unwrap();
+        let explain = q.explain();
+        assert!(explain.contains("literals   : "), "{explain}");
+        assert!(explain.contains("needle"), "{explain}");
+        // Unconstrained plans say so (an indexed store must full-scan).
+        let q = PreparedQuery::prepare("/{x:[ab]+}/;").unwrap();
+        assert!(q.explain().contains("literals   : none"), "{}", q.explain());
     }
 
     #[test]

@@ -63,6 +63,22 @@ struct CacheEntry {
     last_used: u64,
 }
 
+/// The cache key: the trimmed program text *and* the compilation options.
+/// A plan compiled under one `RaOptions` (optimizer off, different state
+/// budgets, fast path off) is not interchangeable with one compiled under
+/// another — keying on the pair keeps the cache correct if per-request
+/// options ever reach the daemon.
+fn cache_key(program: &str, options: RaOptions) -> String {
+    format!(
+        "{}:{}:{}:{}\n{}",
+        options.max_states,
+        options.max_signatures,
+        options.optimize,
+        options.scan_fast_path,
+        PreparedQuery::cache_key(program)
+    )
+}
+
 impl QueryCache {
     /// A cache holding at most `capacity` prepared queries. Capacity `0`
     /// disables residency entirely — every request compiles (the cold
@@ -84,12 +100,12 @@ impl QueryCache {
         program: &str,
         options: RaOptions,
     ) -> Result<(Arc<PreparedQuery>, bool), QlError> {
-        let key = PreparedQuery::cache_key(program);
+        let key = cache_key(program, options);
         let (slot, hit) = {
             let mut state = self.state.lock().expect("cache mutex poisoned");
             state.tick += 1;
             let tick = state.tick;
-            if let Some(entry) = state.entries.get_mut(key) {
+            if let Some(entry) = state.entries.get_mut(&key) {
                 entry.last_used = tick;
                 let slot = Arc::clone(&entry.slot);
                 state.hits += 1;
@@ -109,7 +125,7 @@ impl QueryCache {
                         state.evictions += 1;
                     }
                     state.entries.insert(
-                        key.to_string(),
+                        key.clone(),
                         CacheEntry {
                             slot: Arc::clone(&slot),
                             last_used: tick,
@@ -129,9 +145,9 @@ impl QueryCache {
                 // drop the entry (only if it is still *this* slot — a
                 // concurrent retry may already have replaced it).
                 let mut state = self.state.lock().expect("cache mutex poisoned");
-                if let Some(entry) = state.entries.get(key) {
+                if let Some(entry) = state.entries.get(&key) {
                     if Arc::ptr_eq(&entry.slot, &slot) {
-                        state.entries.remove(key);
+                        state.entries.remove(&key);
                     }
                 }
                 Err(e.clone())
@@ -139,14 +155,14 @@ impl QueryCache {
         }
     }
 
-    /// Whether the program is currently resident (does not touch recency).
-    pub fn contains(&self, program: &str) -> bool {
-        let key = PreparedQuery::cache_key(program);
+    /// Whether the program is resident under these options (does not touch
+    /// recency).
+    pub fn contains(&self, program: &str, options: RaOptions) -> bool {
         self.state
             .lock()
             .expect("cache mutex poisoned")
             .entries
-            .contains_key(key)
+            .contains_key(&cache_key(program, options))
     }
 
     /// A snapshot of the counters.
@@ -205,12 +221,38 @@ mod tests {
         cache.get_or_prepare("/{x:b}/", opts).unwrap(); // B
         cache.get_or_prepare("/{x:a}/", opts).unwrap(); // touch A: B is now LRU
         cache.get_or_prepare("/{x:c}/", opts).unwrap(); // C evicts B
-        assert!(cache.contains("/{x:a}/"), "recently-touched entry survives");
-        assert!(!cache.contains("/{x:b}/"), "least-recently-used is evicted");
-        assert!(cache.contains("/{x:c}/"));
+        assert!(
+            cache.contains("/{x:a}/", opts),
+            "recently-touched entry survives"
+        );
+        assert!(
+            !cache.contains("/{x:b}/", opts),
+            "least-recently-used is evicted"
+        );
+        assert!(cache.contains("/{x:c}/", opts));
         let s = cache.stats();
         assert_eq!(s.evictions, 1);
         assert_eq!(s.entries, 2);
+    }
+
+    #[test]
+    fn differing_options_do_not_share_an_entry() {
+        let cache = cache_with(4);
+        let on = RaOptions::default();
+        let off = RaOptions {
+            scan_fast_path: false,
+            ..RaOptions::default()
+        };
+        let (a, hit_a) = cache.get_or_prepare("/{x:a+}/", on).unwrap();
+        let (b, hit_b) = cache.get_or_prepare("/{x:a+}/", off).unwrap();
+        assert!(!hit_a && !hit_b, "distinct options compile separately");
+        assert!(!Arc::ptr_eq(&a, &b), "each option set gets its own plan");
+        assert_eq!(cache.stats().entries, 2);
+        assert!(cache.contains("/{x:a+}/", on));
+        assert!(cache.contains("/{x:a+}/", off));
+        // And the same options still hit.
+        let (_, hit) = cache.get_or_prepare("/{x:a+}/", off).unwrap();
+        assert!(hit);
     }
 
     #[test]

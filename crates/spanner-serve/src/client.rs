@@ -82,6 +82,25 @@ impl Client {
         ]))
     }
 
+    /// `load_corpus`: ingest every line of `text` into the server's
+    /// resident trigram-indexed store.
+    pub fn load_corpus(&mut self, text: &str) -> io::Result<Json> {
+        self.request(&Json::object([
+            ("op", Json::string("load_corpus")),
+            ("text", Json::string(text)),
+        ]))
+    }
+
+    /// `query_corpus` without `text`: evaluate `program` against the
+    /// resident store loaded by [`Client::load_corpus`], pruned through
+    /// its trigram index.
+    pub fn query_store(&mut self, program: &str) -> io::Result<Json> {
+        self.request(&Json::object([
+            ("op", Json::string("query_corpus")),
+            ("program", Json::string(program)),
+        ]))
+    }
+
     /// `explain`: the full explain rendering of `program`.
     pub fn explain(&mut self, program: &str) -> io::Result<Json> {
         self.request(&Json::object([

@@ -11,7 +11,8 @@
 //! |---|---|---|
 //! | `prepare` | `program` | compile into the cache, report the plan outline |
 //! | `query` | `program`, `doc` | evaluate on one document |
-//! | `query_corpus` | `program`, `text` | evaluate every line of `text` as its own document |
+//! | `load_corpus` | `text` | ingest every line of `text` into the resident trigram-indexed store |
+//! | `query_corpus` | `program`, `text`? | evaluate every line of `text` as its own document; with `text` omitted, run against the resident store through its trigram index |
 //! | `explain` | `program` | the full multi-line explain, as a string |
 //! | `stats` | — | cache + server counters |
 //! | `shutdown` | — | stop accepting, drain, exit |
@@ -39,12 +40,22 @@ pub enum Request {
         /// The document text.
         doc: String,
     },
-    /// Evaluate `program` over every line of `text` as its own document.
+    /// Ingest a corpus into the resident trigram-indexed store, one line
+    /// per document. Later `query_corpus` requests without `text` run
+    /// against it without shipping documents per request.
+    LoadCorpus {
+        /// The corpus: one document per line.
+        text: String,
+    },
+    /// Evaluate `program` over a corpus: every line of `text` as its own
+    /// document, or — with `text` omitted — the resident store loaded by
+    /// [`Request::LoadCorpus`], pruned through its trigram index.
     QueryCorpus {
         /// SpannerQL program text.
         program: String,
-        /// The corpus: one document per line.
-        text: String,
+        /// The corpus, one document per line; `None` targets the resident
+        /// store.
+        text: Option<String>,
     },
     /// Render the full explain output of `program`.
     Explain {
@@ -81,9 +92,17 @@ impl Request {
                 program: field("program")?,
                 doc: field("doc")?,
             }),
+            "load_corpus" => Ok(Request::LoadCorpus {
+                text: field("text")?,
+            }),
             "query_corpus" => Ok(Request::QueryCorpus {
                 program: field("program")?,
-                text: field("text")?,
+                // `text` is optional (absent targets the resident store),
+                // but when present it must be a string.
+                text: match value.get("text") {
+                    None => None,
+                    Some(_) => Some(field("text")?),
+                },
             }),
             "explain" => Ok(Request::Explain {
                 program: field("program")?,
@@ -91,8 +110,8 @@ impl Request {
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
-                "unknown op `{other}` (expected prepare, query, query_corpus, \
-                 explain, stats, or shutdown)"
+                "unknown op `{other}` (expected prepare, query, load_corpus, \
+                 query_corpus, explain, stats, or shutdown)"
             )),
         }
     }
@@ -148,10 +167,12 @@ mod tests {
         let cases = [
             (r#"{"op":"prepare","program":"/a/"}"#, "prepare"),
             (r#"{"op":"query","program":"/a/","doc":"aa"}"#, "query"),
+            (r#"{"op":"load_corpus","text":"a\nb"}"#, "load_corpus"),
             (
                 r#"{"op":"query_corpus","program":"/a/","text":"a\nb"}"#,
                 "query_corpus",
             ),
+            (r#"{"op":"query_corpus","program":"/a/"}"#, "query_corpus"),
             (r#"{"op":"explain","program":"/a/"}"#, "explain"),
             (r#"{"op":"stats"}"#, "stats"),
             (r#"{"op":"shutdown"}"#, "shutdown"),
@@ -161,6 +182,7 @@ mod tests {
             match (op, &request) {
                 ("prepare", Request::Prepare { .. })
                 | ("query", Request::Query { .. })
+                | ("load_corpus", Request::LoadCorpus { .. })
                 | ("query_corpus", Request::QueryCorpus { .. })
                 | ("explain", Request::Explain { .. })
                 | ("stats", Request::Stats)
@@ -168,6 +190,14 @@ mod tests {
                 _ => panic!("{line} parsed to {request:?}"),
             }
         }
+        // An omitted `text` targets the resident store, not an error.
+        assert_eq!(
+            Request::parse(r#"{"op":"query_corpus","program":"/a/"}"#).unwrap(),
+            Request::QueryCorpus {
+                program: "/a/".into(),
+                text: None,
+            }
+        );
     }
 
     #[test]
@@ -180,6 +210,11 @@ mod tests {
             (r#"{"op":"query","program":"/a/"}"#, "`doc`"),
             (r#"{"op":"query","doc":"aa"}"#, "`program`"),
             (r#"{"op":"query","program":7,"doc":"aa"}"#, "`program`"),
+            (r#"{"op":"load_corpus"}"#, "`text`"),
+            (
+                r#"{"op":"query_corpus","program":"/a/","text":7}"#,
+                "`text`",
+            ),
         ] {
             let err = Request::parse(line).unwrap_err();
             assert!(err.contains(needle), "{line:?}: {err}");

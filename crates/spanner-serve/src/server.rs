@@ -25,7 +25,8 @@ use crate::json::Json;
 use crate::protocol::{error_response, mappings_to_json, Request};
 use spanner_algebra::RaOptions;
 use spanner_core::Document;
-use spanner_corpus::{split_lines, WorkerPool};
+use spanner_corpus::{split_lines, CorpusResult, WorkerPool};
+use spanner_store::Store;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -86,6 +87,11 @@ struct Shared {
     /// Corpus documents rejected by the boolean match pre-pass,
     /// accumulated over every `query_corpus` request.
     docs_rejected: AtomicU64,
+    /// The resident corpus store: loaded once by `load_corpus`, then
+    /// queried by `query_corpus` requests that omit `text` — documents
+    /// stay on the server and selective queries prune through the trigram
+    /// index instead of shipping the corpus per request.
+    store: Mutex<Option<Arc<Store>>>,
 }
 
 /// A bound, not-yet-running query daemon.
@@ -112,6 +118,7 @@ impl Server {
                 connections: AtomicU64::new(0),
                 docs_skipped: AtomicU64::new(0),
                 docs_rejected: AtomicU64::new(0),
+                store: Mutex::new(None),
             }),
         })
     }
@@ -345,6 +352,50 @@ fn with_query(
     }
 }
 
+/// Builds the shared `query_corpus` success response from a full-corpus
+/// result: per-line mappings for matched documents, aggregate stats, plus
+/// any path-specific fields (the store path appends candidate count and
+/// selectivity). Also accumulates the daemon-wide fast-path counters.
+fn corpus_response(
+    shared: &Shared,
+    cached: bool,
+    docs: &[Document],
+    out: &CorpusResult,
+    extra: impl IntoIterator<Item = (&'static str, Json)>,
+) -> Json {
+    shared
+        .docs_skipped
+        .fetch_add(out.stats.docs_skipped as u64, Ordering::Relaxed);
+    shared
+        .docs_rejected
+        .fetch_add(out.stats.docs_rejected as u64, Ordering::Relaxed);
+    let results: Vec<Json> = docs
+        .iter()
+        .zip(&out.results)
+        .enumerate()
+        .filter(|(_, (_, set))| !set.is_empty())
+        .map(|(index, (doc, set))| {
+            Json::object([
+                ("line", Json::number(index)),
+                ("count", Json::number(set.len())),
+                ("mappings", mappings_to_json(doc, set)),
+            ])
+        })
+        .collect();
+    let mut fields = vec![
+        ("ok", Json::Bool(true)),
+        ("cached", Json::Bool(cached)),
+        ("documents", Json::number(out.stats.documents)),
+        ("matched", Json::number(out.stats.matched_documents)),
+        ("mappings", Json::number(out.stats.mappings)),
+        ("skipped", Json::number(out.stats.docs_skipped)),
+        ("rejected", Json::number(out.stats.docs_rejected)),
+    ];
+    fields.extend(extra);
+    fields.push(("results", Json::Array(results)));
+    Json::object(fields)
+}
+
 /// Dispatches one decoded request to a response.
 fn handle_request(shared: &Shared, request: Request) -> Json {
     match request {
@@ -378,43 +429,61 @@ fn handle_request(shared: &Shared, request: Request) -> Json {
                 ]),
             }
         }),
-        Request::QueryCorpus { program, text } => with_query(shared, &program, |query, cached| {
+        Request::LoadCorpus { text } => match Store::build(split_lines(&text)) {
+            Err(e) => error_response(e),
+            Ok(store) => {
+                let store = Arc::new(store);
+                let response = Json::object([
+                    ("ok", Json::Bool(true)),
+                    ("documents", Json::number(store.len())),
+                    ("bytes", Json::number(store.bytes())),
+                    ("trigrams", Json::number(store.trigram_count())),
+                ]);
+                *shared.store.lock().expect("store poisoned") = Some(store);
+                response
+            }
+        },
+        Request::QueryCorpus {
+            program,
+            text: Some(text),
+        } => with_query(shared, &program, |query, cached| {
             let docs = Arc::new(split_lines(&text));
             match query.evaluate_corpus_on_pool(&docs, &shared.pool) {
                 Err(e) => error_response(e),
-                Ok(out) => {
-                    shared
-                        .docs_skipped
-                        .fetch_add(out.stats.docs_skipped as u64, Ordering::Relaxed);
-                    shared
-                        .docs_rejected
-                        .fetch_add(out.stats.docs_rejected as u64, Ordering::Relaxed);
-                    let results: Vec<Json> = docs
-                        .iter()
-                        .zip(&out.results)
-                        .enumerate()
-                        .filter(|(_, (_, set))| !set.is_empty())
-                        .map(|(index, (doc, set))| {
-                            Json::object([
-                                ("line", Json::number(index)),
-                                ("count", Json::number(set.len())),
-                                ("mappings", mappings_to_json(doc, set)),
-                            ])
-                        })
-                        .collect();
-                    Json::object([
-                        ("ok", Json::Bool(true)),
-                        ("cached", Json::Bool(cached)),
-                        ("documents", Json::number(out.stats.documents)),
-                        ("matched", Json::number(out.stats.matched_documents)),
-                        ("mappings", Json::number(out.stats.mappings)),
-                        ("skipped", Json::number(out.stats.docs_skipped)),
-                        ("rejected", Json::number(out.stats.docs_rejected)),
-                        ("results", Json::Array(results)),
-                    ])
-                }
+                Ok(out) => corpus_response(shared, cached, &docs, &out, []),
             }
         }),
+        Request::QueryCorpus {
+            program,
+            text: None,
+        } => {
+            let store = shared.store.lock().expect("store poisoned").clone();
+            match store {
+                None => error_response("no resident corpus (send `load_corpus` first)"),
+                Some(store) => with_query(shared, &program, |query, cached| {
+                    match store.query(query.engine(), shared.pool.threads()) {
+                        Err(e) => error_response(e),
+                        Ok(outcome) => {
+                            let candidates = match outcome.candidates {
+                                Some(count) => Json::number(count),
+                                // Full-scan fallback: no usable literal.
+                                None => Json::Null,
+                            };
+                            corpus_response(
+                                shared,
+                                cached,
+                                store.documents(),
+                                &outcome.output,
+                                [
+                                    ("candidates", candidates),
+                                    ("selectivity", Json::Number(outcome.selectivity())),
+                                ],
+                            )
+                        }
+                    }
+                }),
+            }
+        }
         Request::Explain { program } => with_query(shared, &program, |query, cached| {
             Json::object([
                 ("ok", Json::Bool(true)),
@@ -424,6 +493,14 @@ fn handle_request(shared: &Shared, request: Request) -> Json {
         }),
         Request::Stats => {
             let cache = shared.cache.stats();
+            let store = match shared.store.lock().expect("store poisoned").as_deref() {
+                None => Json::Null,
+                Some(store) => Json::object([
+                    ("documents", Json::number(store.len())),
+                    ("bytes", Json::number(store.bytes())),
+                    ("trigrams", Json::number(store.trigram_count())),
+                ]),
+            };
             Json::object([
                 ("ok", Json::Bool(true)),
                 (
@@ -458,6 +535,7 @@ fn handle_request(shared: &Shared, request: Request) -> Json {
                         ),
                     ]),
                 ),
+                ("store", store),
             ])
         }
         Request::Shutdown => Json::object([

@@ -101,6 +101,71 @@ fn prepare_explain_and_corpus() {
 }
 
 #[test]
+fn resident_store_round_trip() {
+    let (addr, handle) = start(ServeOptions::default());
+    let mut client = Client::connect(addr).unwrap();
+
+    // Querying the store before loading one is a protocol error, not a
+    // connection teardown.
+    let early = client.query_store("/{x:a}/").unwrap();
+    assert!(!ok(&early));
+    assert!(early
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("load_corpus"));
+
+    let corpus: String = (0..100)
+        .map(|i| {
+            if i % 20 == 0 {
+                format!("line {i}: needle here\n")
+            } else {
+                format!("line {i}: nothing\n")
+            }
+        })
+        .collect();
+    let corpus = corpus.trim_end();
+    let loaded = client.load_corpus(corpus).unwrap();
+    assert!(ok(&loaded), "{loaded}");
+    assert_eq!(loaded.get("documents").and_then(Json::as_usize), Some(100));
+    assert!(loaded.get("trigrams").and_then(Json::as_usize).unwrap() > 0);
+
+    // A selective query prunes through the trigram index: candidates far
+    // below the corpus size, non-candidates skipped without being read.
+    let program = "/.*needle{x: .*}/";
+    let indexed = client.query_store(program).unwrap();
+    assert!(ok(&indexed), "{indexed}");
+    assert_eq!(indexed.get("documents").and_then(Json::as_usize), Some(100));
+    assert_eq!(indexed.get("matched").and_then(Json::as_usize), Some(5));
+    assert_eq!(indexed.get("candidates").and_then(Json::as_usize), Some(5));
+    let selectivity = indexed.get("selectivity").and_then(Json::as_f64).unwrap();
+    assert!(selectivity <= 0.05 + f64::EPSILON, "{indexed}");
+    assert!(indexed.get("skipped").and_then(Json::as_usize).unwrap() >= 95);
+
+    // Bit-identical to shipping the same corpus inline.
+    let inline = client.query_corpus(program, corpus).unwrap();
+    assert_eq!(indexed.get("results"), inline.get("results"));
+
+    // No usable literal: the store falls back to a full scan and reports
+    // `candidates: null`, still with the full result set.
+    let fallback = client.query_store("/{x:[nh]+}/").unwrap();
+    assert!(ok(&fallback), "{fallback}");
+    assert_eq!(fallback.get("candidates"), Some(&Json::Null));
+    assert_eq!(
+        fallback.get("selectivity").and_then(Json::as_f64),
+        Some(1.0)
+    );
+
+    // The resident store shows up in the daemon stats.
+    let stats = client.stats().unwrap();
+    assert_eq!(field(&stats, ["store", "documents"]), 100, "{stats}");
+    assert!(field(&stats, ["store", "trigrams"]) > 0, "{stats}");
+
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
 fn malformed_requests_error_without_closing_the_connection() {
     let (addr, handle) = start(ServeOptions::default());
     let mut client = Client::connect(addr).unwrap();

@@ -1,0 +1,526 @@
+//! A persistent, trigram-indexed corpus store.
+//!
+//! The paper's spanners map one document to a relation; the serving layers
+//! built on top apply one query to a whole corpus. Until this crate, every
+//! query *touched* every document — the scan fast path made misses cheap,
+//! but still linear in corpus size. [`Store`] makes document touch
+//! sub-linear for selective queries:
+//!
+//! * **Segment file**: the corpus is persisted once as a compact
+//!   length-prefixed segment file and loaded back into an in-memory
+//!   document table (documents are immutable after ingest — the shape of
+//!   log-scanning workloads).
+//! * **Trigram posting index**: at ingest time every document's byte
+//!   trigrams are inverted into sorted posting lists (delta-varint encoded
+//!   on disk).
+//! * **Literal pruning**: at query time, the *required literals* a
+//!   compiled plan extracts from its automata (see
+//!   `spanner_vset::scan::ScanPlan::required_literals` — byte strings every
+//!   accepted document must contain) are broken into trigrams and their
+//!   posting lists intersected into a candidate document set. Every
+//!   document outside it is provably result-free and is skipped without
+//!   reading a byte ([`CorpusEngine::evaluate_candidates_with_threads`]).
+//!
+//! Pruning is *sound, never required*: a query whose plan yields no
+//! literal of at least [`TRIGRAM_LEN`] bytes falls back to a full scan
+//! ([`Store::candidates`] returns `None`), and results are bit-identical
+//! to the unindexed path in corpus order either way (pinned by the
+//! `store_oracle` differential suite).
+//!
+//! ```
+//! use spanner_core::Document;
+//! use spanner_store::Store;
+//!
+//! let docs = vec![Document::new("error: disk full"), Document::new("ok")];
+//! let store = Store::build(docs).unwrap();
+//! // "error" → trigrams {err, rro, ror, or:} → only document 0.
+//! assert_eq!(store.candidates(&[b"error".to_vec()]), Some(vec![0]));
+//! ```
+
+use spanner_core::{Document, FxHashMap, SpannerResult};
+use spanner_corpus::{CorpusEngine, CorpusResult};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic bytes opening every segment file.
+pub const MAGIC: &[u8; 8] = b"SPANSTOR";
+
+/// Segment file format version.
+pub const VERSION: u32 = 1;
+
+/// Length of the indexed n-grams. Literals shorter than this cannot be
+/// pruned on and force a full scan.
+pub const TRIGRAM_LEN: usize = 3;
+
+/// Errors opening or parsing a segment file.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The underlying file operation failed.
+    Io(io::Error),
+    /// The file is not a segment file, or is corrupt / truncated.
+    Format(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::Format(msg) => write!(f, "invalid store file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+/// An immutable corpus with its trigram posting index: built in memory
+/// with [`Store::build`], persisted with [`Store::save`], and mapped back
+/// with [`Store::load`]. The document table is loaded once and shared by
+/// every query against the store.
+pub struct Store {
+    docs: Vec<Document>,
+    /// Sorted, duplicate-free posting lists per byte trigram.
+    postings: FxHashMap<[u8; 3], Vec<u32>>,
+}
+
+/// What one indexed query did: the full-corpus result plus how the
+/// candidate set was obtained.
+#[derive(Debug)]
+pub struct StoreQueryOutcome {
+    /// Per-document relations for the *whole* corpus, in corpus order
+    /// (non-candidates are empty), plus aggregate stats — non-candidates
+    /// count as `docs_skipped`.
+    pub output: CorpusResult,
+    /// Number of candidate documents the index produced; `None` when the
+    /// plan had no usable literal and the store fell back to a full scan.
+    pub candidates: Option<usize>,
+    /// The literals the candidate set was intersected from.
+    pub literals: Vec<Vec<u8>>,
+}
+
+impl StoreQueryOutcome {
+    /// Candidate-set selectivity: candidates / corpus size (`1.0` on the
+    /// full-scan fallback or an empty corpus).
+    pub fn selectivity(&self) -> f64 {
+        match (self.candidates, self.output.results.len()) {
+            (Some(c), n) if n > 0 => c as f64 / n as f64,
+            _ => 1.0,
+        }
+    }
+}
+
+impl Store {
+    /// Builds a store over `docs`, inverting every document's trigrams.
+    /// Fails only when the corpus exceeds `u32` document ids.
+    pub fn build(docs: Vec<Document>) -> Result<Store, StoreError> {
+        if docs.len() > u32::MAX as usize {
+            return Err(StoreError::Format(format!(
+                "corpus of {} documents exceeds u32 document ids",
+                docs.len()
+            )));
+        }
+        let mut postings: FxHashMap<[u8; 3], Vec<u32>> = FxHashMap::default();
+        for (id, doc) in docs.iter().enumerate() {
+            for w in doc.bytes().windows(TRIGRAM_LEN) {
+                let key: [u8; 3] = w.try_into().expect("window of TRIGRAM_LEN");
+                let list = postings.entry(key).or_default();
+                // Windows arrive in order, so a repeated trigram within one
+                // document is the tail entry.
+                if list.last() != Some(&(id as u32)) {
+                    list.push(id as u32);
+                }
+            }
+        }
+        Ok(Store { docs, postings })
+    }
+
+    /// The resident document table, in ingest order.
+    pub fn documents(&self) -> &[Document] {
+        &self.docs
+    }
+
+    /// Number of documents in the store.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the store holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Number of distinct trigrams in the index.
+    pub fn trigram_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Total corpus size in bytes.
+    pub fn bytes(&self) -> usize {
+        self.docs.iter().map(Document::len).sum()
+    }
+
+    /// The candidate document set for a query requiring `literals`:
+    /// the intersection of the posting lists of every trigram of every
+    /// literal of at least [`TRIGRAM_LEN`] bytes — sorted, duplicate-free
+    /// document ids. `None` means no literal is usable and the caller must
+    /// scan the full corpus (pruning on nothing proves nothing).
+    pub fn candidates(&self, literals: &[Vec<u8>]) -> Option<Vec<u32>> {
+        let mut result: Option<Vec<u32>> = None;
+        for literal in literals {
+            for w in literal.windows(TRIGRAM_LEN) {
+                let key: [u8; 3] = w.try_into().expect("window of TRIGRAM_LEN");
+                // A trigram absent from the index matches no document.
+                let list = self.postings.get(&key).map_or(&[][..], Vec::as_slice);
+                result = Some(match result {
+                    None => list.to_vec(),
+                    Some(acc) => intersect_sorted(&acc, list),
+                });
+                if matches!(result.as_deref(), Some([])) {
+                    return Some(Vec::new());
+                }
+            }
+        }
+        result
+    }
+
+    /// Runs a compiled query against the store: extracts the plan's
+    /// required literals, intersects their trigram postings into a
+    /// candidate set, and evaluates only the candidates
+    /// ([`CorpusEngine::evaluate_candidates_with_threads`]); documents the
+    /// index prunes are counted as skipped without being read. Falls back
+    /// to the full corpus scan when no literal is usable. Results cover
+    /// the whole corpus in order and are bit-identical to the unindexed
+    /// path.
+    pub fn query(&self, engine: &CorpusEngine, threads: usize) -> SpannerResult<StoreQueryOutcome> {
+        let literals = engine.plan().required_literals();
+        match self.candidates(&literals) {
+            Some(candidates) => {
+                let count = candidates.len();
+                let output =
+                    engine.evaluate_candidates_with_threads(&self.docs, &candidates, threads)?;
+                Ok(StoreQueryOutcome {
+                    output,
+                    candidates: Some(count),
+                    literals,
+                })
+            }
+            None => Ok(StoreQueryOutcome {
+                output: engine.evaluate_with_threads(&self.docs, threads)?,
+                candidates: None,
+                literals,
+            }),
+        }
+    }
+
+    /// Persists the store as one segment file (documents + index):
+    ///
+    /// ```text
+    /// magic "SPANSTOR" · version u32 · doc_count u32 · trigram_count u32
+    /// doc_count × ( byte_len u32 · utf-8 bytes )
+    /// trigram_count × ( 3 trigram bytes · posting_count u32
+    ///                   · posting_count × varint doc-id delta )
+    /// ```
+    ///
+    /// All integers little-endian; posting lists are sorted and stored as
+    /// varint-encoded gaps (first entry is the id itself).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), StoreError> {
+        let mut w = BufWriter::new(std::fs::File::create(path)?);
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&(self.docs.len() as u32).to_le_bytes())?;
+        w.write_all(&(self.postings.len() as u32).to_le_bytes())?;
+        for doc in &self.docs {
+            w.write_all(&(doc.len() as u32).to_le_bytes())?;
+            w.write_all(doc.bytes())?;
+        }
+        // Deterministic on-disk order: sorted by trigram.
+        let mut keys: Vec<&[u8; 3]> = self.postings.keys().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let list = &self.postings[key];
+            w.write_all(key.as_slice())?;
+            w.write_all(&(list.len() as u32).to_le_bytes())?;
+            let mut prev = 0u32;
+            for (i, &id) in list.iter().enumerate() {
+                let delta = if i == 0 { id } else { id - prev };
+                write_varint(&mut w, delta)?;
+                prev = id;
+            }
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Loads a segment file written by [`Store::save`] back into a resident
+    /// store: the document table is read once, whole; the posting lists are
+    /// decoded and validated (sortedness, bounds).
+    pub fn load(path: impl AsRef<Path>) -> Result<Store, StoreError> {
+        let mut r = BufReader::new(std::fs::File::open(path)?);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)
+            .map_err(|_| StoreError::Format("file shorter than the magic header".into()))?;
+        if &magic != MAGIC {
+            return Err(StoreError::Format("bad magic (not a segment file)".into()));
+        }
+        let version = read_u32(&mut r)?;
+        if version != VERSION {
+            return Err(StoreError::Format(format!(
+                "unsupported version {version} (expected {VERSION})"
+            )));
+        }
+        let doc_count = read_u32(&mut r)? as usize;
+        let trigram_count = read_u32(&mut r)? as usize;
+        let mut docs = Vec::with_capacity(doc_count.min(1 << 20));
+        for i in 0..doc_count {
+            let len = read_u32(&mut r)? as usize;
+            let mut bytes = vec![0u8; len];
+            r.read_exact(&mut bytes)
+                .map_err(|_| StoreError::Format(format!("document {i} truncated")))?;
+            let text = String::from_utf8(bytes)
+                .map_err(|_| StoreError::Format(format!("document {i} is not valid UTF-8")))?;
+            docs.push(Document::new(text));
+        }
+        let mut postings: FxHashMap<[u8; 3], Vec<u32>> = FxHashMap::default();
+        for _ in 0..trigram_count {
+            let mut key = [0u8; 3];
+            r.read_exact(&mut key)
+                .map_err(|_| StoreError::Format("trigram table truncated".into()))?;
+            let count = read_u32(&mut r)? as usize;
+            let mut list = Vec::with_capacity(count.min(1 << 20));
+            let mut prev = 0u32;
+            for i in 0..count {
+                let delta = read_varint(&mut r)?;
+                let id = if i == 0 {
+                    delta
+                } else {
+                    prev.checked_add(delta)
+                        .ok_or_else(|| StoreError::Format("posting id overflow".into()))?
+                };
+                if i > 0 && delta == 0 {
+                    return Err(StoreError::Format("unsorted posting list".into()));
+                }
+                if id as usize >= doc_count {
+                    return Err(StoreError::Format(format!(
+                        "posting id {id} out of bounds (doc count {doc_count})"
+                    )));
+                }
+                list.push(id);
+                prev = id;
+            }
+            if postings.insert(key, list).is_some() {
+                return Err(StoreError::Format("duplicate trigram entry".into()));
+            }
+        }
+        // Trailing garbage means the file is not what `save` wrote.
+        let mut rest = [0u8; 1];
+        if r.read(&mut rest)? != 0 {
+            return Err(StoreError::Format("trailing bytes after the index".into()));
+        }
+        Ok(Store { docs, postings })
+    }
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Store({} docs, {} bytes, {} trigrams)",
+            self.docs.len(),
+            self.bytes(),
+            self.postings.len()
+        )
+    }
+}
+
+/// Intersection of two sorted, duplicate-free id lists.
+fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// LEB128-style unsigned varint.
+fn write_varint(w: &mut impl Write, mut v: u32) -> io::Result<()> {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_varint(r: &mut impl Read) -> Result<u32, StoreError> {
+    let mut v: u32 = 0;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)
+            .map_err(|_| StoreError::Format("varint truncated".into()))?;
+        let low = (byte[0] & 0x7f) as u32;
+        if shift > 28 || (shift == 28 && low > 0xf) {
+            return Err(StoreError::Format("varint overflows u32".into()));
+        }
+        v |= low << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32, StoreError> {
+    let mut bytes = [0u8; 4];
+    r.read_exact(&mut bytes)
+        .map_err(|_| StoreError::Format("u32 field truncated".into()))?;
+    Ok(u32::from_le_bytes(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanner_algebra::{Instantiation, RaOptions, RaTree};
+
+    fn docs(texts: &[&str]) -> Vec<Document> {
+        texts.iter().map(|t| Document::new(*t)).collect()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("spanner-store-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn candidates_intersect_trigram_postings() {
+        let store = Store::build(docs(&[
+            "the error log",
+            "all fine here",
+            "error: disk",
+            "err",
+        ]))
+        .unwrap();
+        assert_eq!(store.candidates(&[b"error".to_vec()]), Some(vec![0, 2]));
+        // Two literals intersect.
+        assert_eq!(
+            store.candidates(&[b"error".to_vec(), b"disk".to_vec()]),
+            Some(vec![2])
+        );
+        // An unknown trigram empties the set immediately.
+        assert_eq!(store.candidates(&[b"zzz".to_vec()]), Some(Vec::new()));
+        // Too-short literals prove nothing: full-scan fallback.
+        assert_eq!(store.candidates(&[b"er".to_vec()]), None);
+        assert_eq!(store.candidates(&[]), None);
+        // A short literal alongside a usable one is simply ignored.
+        assert_eq!(
+            store.candidates(&[b"er".to_vec(), b"error".to_vec()]),
+            Some(vec![0, 2])
+        );
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let store = Store::build(docs(&[
+            "alpha beta",
+            "",
+            "β-reduction β",
+            "alpha",
+            &"x".repeat(1000),
+        ]))
+        .unwrap();
+        let path = tmp("roundtrip");
+        store.save(&path).unwrap();
+        let loaded = Store::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.documents(), store.documents());
+        assert_eq!(loaded.trigram_count(), store.trigram_count());
+        assert_eq!(
+            loaded.candidates(&[b"alpha".to_vec()]),
+            store.candidates(&[b"alpha".to_vec()])
+        );
+    }
+
+    #[test]
+    fn load_rejects_corrupt_files() {
+        let path = tmp("corrupt");
+        std::fs::write(&path, b"not a store").unwrap();
+        assert!(matches!(Store::load(&path), Err(StoreError::Format(_))));
+        std::fs::write(&path, b"SPANSTOR\x02\x00\x00\x00").unwrap();
+        let err = Store::load(&path).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+        // Truncated document table.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&2u32.to_le_bytes()); // 2 docs
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // 0 trigrams
+        bytes.extend_from_slice(&100u32.to_le_bytes()); // 100-byte doc, missing
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(Store::load(&path), Err(StoreError::Format(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn query_prunes_with_literals_and_falls_back_without() {
+        let texts: Vec<String> = (0..50)
+            .map(|i| {
+                if i % 10 == 0 {
+                    format!("record {i}: needle found")
+                } else {
+                    format!("record {i}: nothing")
+                }
+            })
+            .collect();
+        let store =
+            Store::build(texts.iter().map(|t| Document::new(t.as_str())).collect()).unwrap();
+        let inst = Instantiation::new().with(0, spanner_rgx::parse(".*needle{x: .*}").unwrap());
+        let engine = CorpusEngine::compile(&RaTree::leaf(0), &inst, RaOptions::default()).unwrap();
+        let outcome = store.query(&engine, 2).unwrap();
+        assert_eq!(outcome.candidates, Some(5));
+        assert!(outcome.selectivity() <= 0.1 + f64::EPSILON);
+        assert_eq!(outcome.output.stats.matched_documents, 5);
+        assert!(outcome.output.stats.docs_skipped >= 45);
+        // Bit-identical to the unindexed path.
+        let full = engine.evaluate_with_threads(store.documents(), 2).unwrap();
+        assert_eq!(outcome.output.results, full.results);
+
+        // No usable literal → full scan, same results.
+        let inst = Instantiation::new().with(0, spanner_rgx::parse("{x:[nr]+}").unwrap());
+        let engine = CorpusEngine::compile(&RaTree::leaf(0), &inst, RaOptions::default()).unwrap();
+        let outcome = store.query(&engine, 2).unwrap();
+        assert_eq!(outcome.candidates, None);
+        assert_eq!(outcome.selectivity(), 1.0);
+        let full = engine.evaluate_with_threads(store.documents(), 2).unwrap();
+        assert_eq!(outcome.output.results, full.results);
+    }
+
+    #[test]
+    fn empty_store_works() {
+        let store = Store::build(Vec::new()).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(store.candidates(&[b"abc".to_vec()]), Some(Vec::new()));
+        let path = tmp("empty");
+        store.save(&path).unwrap();
+        let loaded = Store::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(loaded.is_empty());
+        assert_eq!(loaded.trigram_count(), 0);
+    }
+}

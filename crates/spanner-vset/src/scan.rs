@@ -43,6 +43,20 @@ use std::sync::OnceLock;
 /// Maximum number of required factors kept by the analysis.
 pub const MAX_FACTORS: usize = 4;
 
+/// Maximum byte length of an extracted required literal.
+pub const MAX_LITERAL_LEN: usize = 16;
+
+/// Maximum number of required literals kept by the analysis.
+pub const MAX_LITERALS: usize = 4;
+
+/// State-count ceiling for literal extraction; the analysis is skipped on
+/// automata past it — literals are an optimization, never a requirement.
+const LITERAL_STATE_BUDGET: usize = 512;
+
+/// Budget on requiredness-verification calls per automaton, bounding the
+/// greedy literal extension.
+const LITERAL_VERIFY_BUDGET: usize = 256;
+
 /// Budget on boolean-DFA table cells (`states × byte classes`); the subset
 /// construction aborts past it and the pre-pass falls back to NFA stepping.
 pub const DFA_CELL_BUDGET: usize = 1 << 17;
@@ -101,6 +115,11 @@ pub struct ScanPlan {
     /// Byte classes that every accepted document must contain at least one
     /// byte of (rarest first).
     required_factors: Vec<ByteClass>,
+    /// Byte strings that every accepted document must contain as a factor
+    /// (longest first): single-byte required factors and anchored-prefix
+    /// bytes, greedily extended with singleton-class bytes and verified
+    /// exactly against the automaton. Consumed by corpus-level indexes.
+    required_literals: Vec<Vec<u8>>,
     /// The boolean DFA, built on first use; `None` inside means the subset
     /// construction exceeded [`DFA_CELL_BUDGET`] (NFA fallback).
     dfa: OnceLock<Option<MatchDfa>>,
@@ -114,6 +133,7 @@ impl ScanPlan {
             min_len: None,
             prefix_class: None,
             required_factors: Vec::new(),
+            required_literals: Vec::new(),
             dfa: OnceLock::new(),
         }
     }
@@ -127,13 +147,23 @@ impl ScanPlan {
                 min_len,
                 prefix_class: None,
                 required_factors: Vec::new(),
+                required_literals: Vec::new(),
                 dfa: OnceLock::new(),
             };
         }
+        let prefix_class = prefix_class(compiled);
+        let required_factors = required_factors(compiled);
+        let required_literals = required_literals(
+            compiled,
+            min_len.expect("nonempty language"),
+            prefix_class.as_ref(),
+            &required_factors,
+        );
         ScanPlan {
             min_len,
-            prefix_class: prefix_class(compiled),
-            required_factors: required_factors(compiled),
+            prefix_class,
+            required_factors,
+            required_literals,
             dfa: OnceLock::new(),
         }
     }
@@ -152,6 +182,13 @@ impl ScanPlan {
     /// The required factors: byte classes every accepted document contains.
     pub fn required_factors(&self) -> &[ByteClass] {
         &self.required_factors
+    }
+
+    /// The required literals: byte strings every accepted document contains
+    /// as a factor (longest first). Empty when the analysis could not pin
+    /// any down — callers must fall back to scanning every document.
+    pub fn required_literals(&self) -> &[Vec<u8>] {
+        &self.required_literals
     }
 
     /// Whether the boolean DFA has been built yet, and with how many states:
@@ -326,13 +363,207 @@ fn required_factors(compiled: &CompiledVsa) -> Vec<ByteClass> {
         }
         if !alive {
             factors.push(*bytes);
-            if factors.len() == MAX_FACTORS {
+        }
+    }
+    // Collect *all* required classes before ranking: truncating in
+    // partition order would keep arbitrary classes, not the rarest, and a
+    // rare literal class found late would be dropped.
+    factors.sort_by_key(ByteClass::len);
+    factors.truncate(MAX_FACTORS);
+    factors
+}
+
+/// Extracts required *byte strings*: literals every accepted document must
+/// contain as a contiguous factor. Seeds are the single-byte required
+/// factors plus a singleton anchored-prefix byte; each seed is grown
+/// greedily to the left and right with singleton-class bytes, and every
+/// candidate is verified exactly by [`is_required_literal`]. Kept longest
+/// first (more trigrams — more selective), at most [`MAX_LITERALS`], with
+/// substrings of longer literals dropped as redundant.
+fn required_literals(
+    compiled: &CompiledVsa,
+    min_len: usize,
+    prefix_class: Option<&ByteClass>,
+    factors: &[ByteClass],
+) -> Vec<Vec<u8>> {
+    if min_len == 0 {
+        // The empty document is accepted, so no literal can be required.
+        return Vec::new();
+    }
+    let class_count = compiled.class_count();
+    if class_count > 64 || compiled.state_count() > LITERAL_STATE_BUDGET {
+        return Vec::new();
+    }
+    // Bytes alone in their compiled class: the only bytes the class
+    // partition can pin to an exact literal position.
+    let mut class_size = vec![0u16; class_count];
+    for b in 0..=255u8 {
+        class_size[compiled.class_of(b)] += 1;
+    }
+    let singleton_bytes: Vec<u8> = (0..=255u8)
+        .filter(|&b| class_size[compiled.class_of(b)] == 1)
+        .collect();
+
+    // Seeds: single-byte required factors (required by construction) and a
+    // singleton anchored-prefix byte (every accepted document is non-empty
+    // here, so its verified first byte is a factor).
+    let mut seeds: Vec<u8> = factors
+        .iter()
+        .filter(|f| f.len() == 1)
+        .filter_map(|f| f.iter().next())
+        .collect();
+    if let Some(prefix) = prefix_class {
+        if prefix.len() == 1 {
+            seeds.extend(prefix.iter().next());
+        }
+    }
+    seeds.sort_unstable();
+    seeds.dedup();
+
+    let mut budget = LITERAL_VERIFY_BUDGET;
+    let mut literals: Vec<Vec<u8>> = Vec::new();
+    for seed in seeds {
+        let mut verify = |lit: &[u8]| {
+            if budget == 0 {
+                return false;
+            }
+            budget -= 1;
+            is_required_literal(compiled, lit)
+        };
+        if !verify(&[seed]) {
+            continue;
+        }
+        let mut lit = vec![seed];
+        // Grow right, then left; each step keeps the literal verified.
+        loop {
+            if lit.len() >= MAX_LITERAL_LEN {
+                break;
+            }
+            let mut grown = false;
+            for &b in &singleton_bytes {
+                lit.push(b);
+                if verify(&lit) {
+                    grown = true;
+                    break;
+                }
+                lit.pop();
+            }
+            if !grown {
                 break;
             }
         }
+        loop {
+            if lit.len() >= MAX_LITERAL_LEN {
+                break;
+            }
+            let mut grown = false;
+            for &b in &singleton_bytes {
+                lit.insert(0, b);
+                if verify(&lit) {
+                    grown = true;
+                    break;
+                }
+                lit.remove(0);
+            }
+            if !grown {
+                break;
+            }
+        }
+        literals.push(lit);
     }
-    factors.sort_by_key(ByteClass::len);
-    factors
+
+    // Longest first; drop duplicates and substrings of longer literals.
+    literals.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
+    let mut kept: Vec<Vec<u8>> = Vec::new();
+    for lit in literals {
+        let subsumed = kept
+            .iter()
+            .any(|k| k.windows(lit.len()).any(|w| w == lit.as_slice()));
+        if !subsumed {
+            kept.push(lit);
+        }
+    }
+    kept.truncate(MAX_LITERALS);
+    kept
+}
+
+/// Whether every accepted document contains `needle` as a factor: explores
+/// the product of the NFA (zero-closures as ε — variable operations read no
+/// input) with the KMP prefix automaton of `needle`, pruning any path on
+/// which the needle completes. The literal is required iff no accepting
+/// state is reachable on a needle-avoiding path.
+fn is_required_literal(compiled: &CompiledVsa, needle: &[u8]) -> bool {
+    let m = needle.len();
+    debug_assert!(m > 0);
+    let fail = kmp_failure(needle);
+    let kmp_next = |mut k: usize, b: u8| -> usize {
+        while k > 0 && needle[k] != b {
+            k = fail[k - 1];
+        }
+        if needle[k] == b {
+            k + 1
+        } else {
+            0
+        }
+    };
+
+    let states = compiled.state_count();
+    let mut visited = vec![false; states * m];
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    for q in compiled.zero_closure(compiled.initial()).iter() {
+        if compiled.is_accepting(q) {
+            // A document can end here with the needle unmatched.
+            return false;
+        }
+        if !visited[q * m] {
+            visited[q * m] = true;
+            stack.push((q, 0));
+        }
+    }
+    while let Some((q, k)) = stack.pop() {
+        // Bytes sharing a class can move the KMP automaton differently, so
+        // each byte is stepped individually (the visited set dedups the
+        // resulting product states).
+        for b in 0..=255u8 {
+            let targets = compiled.byte_targets(q, compiled.class_of(b));
+            if targets.is_empty() {
+                continue;
+            }
+            let k2 = kmp_next(k, b);
+            if k2 == m {
+                continue; // needle matched: not an avoiding path
+            }
+            for &t in targets {
+                for r in compiled.zero_closure(t).iter() {
+                    if compiled.is_accepting(r) {
+                        return false;
+                    }
+                    if !visited[r * m + k2] {
+                        visited[r * m + k2] = true;
+                        stack.push((r, k2));
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// The KMP failure function of `needle`: `fail[i]` is the length of the
+/// longest proper border of `needle[..=i]`.
+fn kmp_failure(needle: &[u8]) -> Vec<usize> {
+    let mut fail = vec![0usize; needle.len()];
+    let mut k = 0;
+    for i in 1..needle.len() {
+        while k > 0 && needle[i] != needle[k] {
+            k = fail[k - 1];
+        }
+        if needle[i] == needle[k] {
+            k += 1;
+        }
+        fail[i] = k;
+    }
+    fail
 }
 
 /// Bounded subset construction over the compiled byte classes, variable
@@ -541,6 +772,98 @@ mod tests {
         assert_eq!(c.prescan(&Document::new("aa@x")), PreScan::Accept);
         // Adversarial: factors present but no match — the DFA rejects.
         assert_eq!(c.prescan(&Document::new("@aaa")), PreScan::Reject);
+    }
+
+    #[test]
+    fn rarest_required_factor_survives_truncation() {
+        // Five required classes — four 4-byte ranges and the singleton 'z'.
+        // Class ids follow the smallest byte of each class, so 'z' is
+        // discovered after all four ranges: truncating to MAX_FACTORS in
+        // partition order would drop it; the rarest class must survive.
+        let (_, c) = compiled("[a-d][e-h][i-l][m-p]z");
+        let factors = c.scan_plan().required_factors();
+        assert_eq!(factors.len(), MAX_FACTORS);
+        assert!(
+            factors.iter().any(|f| f.len() == 1 && f.contains(b'z')),
+            "the singleton 'z' class must be kept: {factors:?}"
+        );
+        // Rarest first: the singleton sorts ahead of the ranges.
+        assert_eq!(factors[0].len(), 1);
+    }
+
+    #[test]
+    fn required_literals_recover_a_needle() {
+        let (_, c) = compiled(".*needle.*");
+        let literals = c.scan_plan().required_literals();
+        assert!(
+            literals.iter().any(|l| l == b"needle"),
+            "full needle must be extracted: {literals:?}"
+        );
+        // Subsumption: no literal is a substring of another.
+        for (i, a) in literals.iter().enumerate() {
+            for (j, b) in literals.iter().enumerate() {
+                if i != j {
+                    assert!(!b.windows(a.len()).any(|w| w == a.as_slice()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn anchored_prefix_extends_to_a_literal() {
+        let (_, c) = compiled("abc{x:d*}");
+        let literals = c.scan_plan().required_literals();
+        assert!(
+            literals.iter().any(|l| l == b"abc"),
+            "anchored prefix chain: {literals:?}"
+        );
+        // 'd' is optional, so no literal may contain it.
+        assert!(literals.iter().all(|l| !l.contains(&b'd')), "{literals:?}");
+    }
+
+    #[test]
+    fn no_literals_without_singleton_classes_or_with_empty_doc() {
+        // Multi-byte classes only: nothing can be pinned to exact bytes.
+        let (_, c) = compiled("{x:[ab]+}");
+        assert!(c.scan_plan().required_literals().is_empty());
+        // The empty document is accepted: nothing is required.
+        let (_, c) = compiled("{x:a*}");
+        assert_eq!(c.scan_plan().min_len(), Some(0));
+        assert!(c.scan_plan().required_literals().is_empty());
+    }
+
+    #[test]
+    fn required_literals_are_sound_on_random_matches() {
+        // Every document the automaton accepts must contain every extracted
+        // literal — spot-checked against the interpreter.
+        let patterns = [".*{x:a+}@.*", "foo{x:.*}bar", ".*key={v:[0-9]}.*"];
+        let docs = [
+            "a@",
+            "foobar",
+            "fooxbar",
+            "key=7",
+            "xxkey=3yy",
+            "bar",
+            "@a",
+            "",
+            "foo",
+        ];
+        for pattern in patterns {
+            let (vsa, c) = compiled(pattern);
+            let literals = c.scan_plan().required_literals().to_vec();
+            for text in docs {
+                let doc = Document::new(text);
+                if interpret_nonempty(&vsa, &doc) {
+                    for lit in &literals {
+                        assert!(
+                            doc.bytes().windows(lit.len()).any(|w| w == lit.as_slice()),
+                            "{pattern:?} on {text:?} must contain {:?}",
+                            String::from_utf8_lossy(lit)
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

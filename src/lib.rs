@@ -22,6 +22,7 @@
 //! | [`workloads`] | `spanner-workloads` | synthetic corpora, extractor library, random spanners |
 //! | [`corpus`] | `spanner-corpus` | parallel multi-document evaluation of compiled plans |
 //! | [`ql`] | `spanner-ql` | SpannerQL: the declarative query-language front end |
+//! | [`store`] | `spanner-store` | persistent trigram-indexed corpus store |
 //! | [`serve`] | `spanner-serve` | long-running TCP query daemon with a prepared-query cache |
 //!
 //! # Quickstart
@@ -52,6 +53,7 @@ pub use spanner_ql as ql;
 pub use spanner_reductions as reductions;
 pub use spanner_rgx as rgx;
 pub use spanner_serve as serve;
+pub use spanner_store as store;
 pub use spanner_vset as vset;
 pub use spanner_workloads as workloads;
 
@@ -69,5 +71,6 @@ pub mod prelude {
     pub use spanner_ql::{parse_program, PreparedQuery, QlError};
     pub use spanner_rgx::{parse, reference_eval, Rgx};
     pub use spanner_serve::{Client, QueryCache, ServeOptions, Server};
+    pub use spanner_store::{Store, StoreError, StoreQueryOutcome};
     pub use spanner_vset::{compile, join, Vsa};
 }

@@ -9,9 +9,16 @@
 //! document-spanners corpus   <pattern> [file [threads]]
 //!                                                    evaluate every line as its
 //!                                                    own document, in parallel
+//! document-spanners index    <file> <store>          ingest every line of <file>
+//!                                                    into a trigram-indexed
+//!                                                    segment file
 //! document-spanners query    <program> [file]        run a SpannerQL program
 //! document-spanners query --corpus <program> [file [threads]]
 //!                                                    … over every line, in parallel
+//! document-spanners query --store <program> <store> [threads]
+//!                                                    … over an indexed store,
+//!                                                    pruning through its trigram
+//!                                                    posting lists
 //! document-spanners explain  <program>               show the parsed tree, the
 //!                                                    optimized plan, the physical
 //!                                                    operators, and the
@@ -39,8 +46,10 @@ const USAGE: &str = "usage:
   document-spanners classify <pattern>
   document-spanners diff     <pattern1> <pattern2> [file]
   document-spanners corpus   <pattern> [file [threads]]
+  document-spanners index    <file> <store>
   document-spanners query    <program> [file]
   document-spanners query    --corpus <program> [file [threads]]
+  document-spanners query    --store <program> <store> [threads]
   document-spanners explain  <program>
   document-spanners serve    [addr [threads]]
   document-spanners client   <addr> [json-line]
@@ -156,13 +165,60 @@ fn run(args: &[String]) -> Result<(), String> {
             print_corpus_result(&docs, &out);
             Ok(())
         }
+        "index" => {
+            arity(command, operands, 2, 2)?;
+            let doc = read_document(Some(&operands[0]))?;
+            let docs = split_lines(doc.text());
+            let store = Store::build(docs).map_err(|e| e.to_string())?;
+            store
+                .save(&operands[1])
+                .map_err(|e| format!("{}: {e}", operands[1]))?;
+            eprintln!(
+                "indexed {} documents ({} bytes) into {}: {} distinct trigrams",
+                store.len(),
+                store.bytes(),
+                operands[1],
+                store.trigram_count(),
+            );
+            Ok(())
+        }
         "query" => {
-            let corpus_mode = operands.first().is_some_and(|a| a == "--corpus");
-            let operands = if corpus_mode {
+            let mode = operands
+                .first()
+                .filter(|a| *a == "--corpus" || *a == "--store")
+                .map(String::as_str);
+            let operands = if mode.is_some() {
                 &operands[1..]
             } else {
                 operands
             };
+            if let Some("--store") = mode {
+                arity("query --store", operands, 2, 3)?;
+                let prepared = prepare_program(&operands[0])?;
+                let threads = parse_threads(operands.get(2))?;
+                let store =
+                    Store::load(&operands[1]).map_err(|e| format!("{}: {e}", operands[1]))?;
+                let outcome = store
+                    .query(prepared.engine(), threads)
+                    .map_err(|e| e.to_string())?;
+                print_corpus_result(store.documents(), &outcome.output);
+                match outcome.candidates {
+                    Some(count) => eprintln!(
+                        "index: {count} of {} documents are candidates \
+                         ({:.2}% selectivity; literals: {})",
+                        store.len(),
+                        outcome.selectivity() * 100.0,
+                        render_literals(&outcome.literals),
+                    ),
+                    None => eprintln!(
+                        "index: full scan (the plan yields no literal of at least \
+                         {} bytes)",
+                        document_spanners::store::TRIGRAM_LEN
+                    ),
+                }
+                return Ok(());
+            }
+            let corpus_mode = mode.is_some();
             if corpus_mode {
                 arity("query --corpus", operands, 1, 3)?;
             } else {
@@ -207,7 +263,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 .map_err(|e| format!("cannot bind {addr}: {e}"))?;
             eprintln!(
                 "listening on {} (line-delimited JSON ops: \
-                 prepare, query, query_corpus, explain, stats, shutdown)",
+                 prepare, query, load_corpus, query_corpus, explain, stats, shutdown)",
                 server.local_addr(),
             );
             server.run().map_err(|e| e.to_string())
@@ -246,6 +302,19 @@ fn run(args: &[String]) -> Result<(), String> {
 /// and a caret marker.
 fn prepare_program(src: &str) -> Result<PreparedQuery, String> {
     PreparedQuery::prepare(src).map_err(|e| format!("in SpannerQL program:\n{}", e.pretty(src)))
+}
+
+/// Renders extracted required literals for the selectivity report, lossy
+/// on non-UTF-8 byte strings.
+fn render_literals(literals: &[Vec<u8>]) -> String {
+    if literals.is_empty() {
+        return "none".to_string();
+    }
+    literals
+        .iter()
+        .map(|l| format!("{:?}", String::from_utf8_lossy(l)))
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 fn print_corpus_result(docs: &[Document], out: &CorpusResult) {
@@ -343,8 +412,10 @@ mod tests {
             &["count", "{x:a}", "file", "extra"],
             &["diff", "a", "b", "file", "extra"],
             &["corpus", "a", "file", "2", "extra"],
+            &["index", "file", "store", "extra"],
             &["query", "/a/", "file", "extra"],
             &["query", "--corpus", "/a/", "file", "2", "extra"],
+            &["query", "--store", "/a/", "store", "2", "extra"],
             &["explain", "/a/", "extra"],
             &["serve", "127.0.0.1:0", "2", "extra"],
             &["client", "127.0.0.1:1", "{}", "extra"],
@@ -357,10 +428,59 @@ mod tests {
 
     #[test]
     fn missing_arguments_are_rejected() {
-        for case in [&["extract"][..], &["diff", "a"], &["query"], &["explain"]] {
+        for case in [
+            &["extract"][..],
+            &["diff", "a"],
+            &["query"],
+            &["explain"],
+            &["index", "file"],
+            &["query", "--store", "/a/"],
+        ] {
             let err = run(&argv(case)).unwrap_err();
             assert!(err.contains("needs at least"), "{case:?}: {err}");
         }
+    }
+
+    #[test]
+    fn index_and_store_query_round_trip() {
+        let corpus: String = (0..40)
+            .map(|i| {
+                if i % 8 == 0 {
+                    format!("line {i}: needle\n")
+                } else {
+                    format!("line {i}: hay\n")
+                }
+            })
+            .collect();
+        let file = scratch("store-corpus", &corpus);
+        let store_path = scratch("store-file", "");
+        assert_eq!(run(&argv(&["index", &file, &store_path])), Ok(()));
+        // A selective program prunes through the index; a literal-free one
+        // falls back to the full scan — both must succeed end to end.
+        assert_eq!(
+            run(&argv(&[
+                "query",
+                "--store",
+                "/.*needle{x: .*}/",
+                &store_path,
+                "2"
+            ])),
+            Ok(())
+        );
+        assert_eq!(
+            run(&argv(&["query", "--store", "/{x:[nh]+}/", &store_path])),
+            Ok(())
+        );
+        // A corrupt store file is diagnosed by path.
+        let bogus = scratch("store-bogus", "not a store");
+        let err = run(&argv(&["query", "--store", "/{x:a}/", &bogus])).unwrap_err();
+        assert!(err.contains("invalid store file"), "{err}");
+        // The program is validated before the store is read.
+        let err = run(&argv(&["query", "--store", "let a = /x/; b", &store_path])).unwrap_err();
+        assert!(err.contains("unknown extractor"), "{err}");
+        std::fs::remove_file(&file).ok();
+        std::fs::remove_file(&store_path).ok();
+        std::fs::remove_file(&bogus).ok();
     }
 
     #[test]
