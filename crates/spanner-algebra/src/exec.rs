@@ -47,6 +47,12 @@ use spanner_vset::{CompiledVsa, PreScan, Vsa};
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-operator execution trace (re-exported from `spanner-obs`): one
+/// [`TraceNode`](spanner_obs::TraceNode) per physical operator, produced
+/// by [`PhysOp::execute_traced_bounded`].
+pub use spanner_obs::TraceNode as ExecTrace;
 
 /// A node of the physical operator tree (see the module docs).
 ///
@@ -162,6 +168,175 @@ impl PhysOp {
                 }
                 let probe = checked(probe.execute_bounded(doc, limit)?, limit)?;
                 Ok(input.anti_join(&probe))
+            }
+        }
+    }
+
+    /// A zero-valued [`ExecTrace`] with the shape and labels of this plan.
+    ///
+    /// The traced executor attaches a skeleton for every subtree it
+    /// short-circuits (a skipped join build side, a skipped difference
+    /// probe side, union inputs after an error), so **every** trace of a
+    /// given plan has exactly this shape — which is what lets traces from
+    /// different documents and different worker shards
+    /// [`merge`](ExecTrace::merge) into one aggregate.
+    pub fn trace_skeleton(&self) -> ExecTrace {
+        let mut node = ExecTrace::new(self.label());
+        node.children = self
+            .children()
+            .into_iter()
+            .map(PhysOp::trace_skeleton)
+            .collect();
+        node
+    }
+
+    /// [`PhysOp::execute_traced_bounded`] without a resource guard.
+    pub fn execute_traced(&self, doc: &Document) -> (SpannerResult<MappingSet>, ExecTrace) {
+        self.execute_traced_bounded(doc, usize::MAX)
+    }
+
+    /// [`PhysOp::execute_bounded`] with per-operator instrumentation.
+    ///
+    /// Semantically identical to the untraced path (same results, same
+    /// errors, same short-circuits); it is a **separate** recursion so the
+    /// hot path pays nothing when tracing is off. The trace is returned
+    /// alongside the result — also on error, so a `LimitExceeded` trip is
+    /// visible in the trace of the operator whose guard fired
+    /// (`limit_trips`). Per node: `rows` (mappings produced), `nanos`
+    /// (inclusive wall time), and operator-specific counters —
+    /// `prescan_skip`/`prescan_reject`/`prescan_accept` and
+    /// `bool_dfa`/`bool_nfa` on compiled scans, `build_rows`/
+    /// `build_skipped` on joins, `probe_rows`/`probe_skipped` on
+    /// differences.
+    pub fn execute_traced_bounded(
+        &self,
+        doc: &Document,
+        limit: usize,
+    ) -> (SpannerResult<MappingSet>, ExecTrace) {
+        let start = Instant::now();
+        let mut node = ExecTrace::new(self.label());
+        let result = self.execute_traced_inner(doc, limit, &mut node);
+        if let Ok(set) = &result {
+            node.rows = set.len() as u64;
+        }
+        node.observe_elapsed(start.elapsed());
+        (result, node)
+    }
+
+    fn execute_traced_inner(
+        &self,
+        doc: &Document,
+        limit: usize,
+        node: &mut ExecTrace,
+    ) -> SpannerResult<MappingSet> {
+        match self {
+            PhysOp::CompiledScan {
+                vsa,
+                compiled,
+                fast_path,
+            } => {
+                if vsa.accepting_states().is_empty() {
+                    node.add("prescan_skip", 1);
+                    return Ok(MappingSet::new());
+                }
+                if *fast_path {
+                    let verdict = compiled.prescan(doc);
+                    // The pre-pass ran its boolean scan (unless a static
+                    // prefilter skipped first); report which tier answered.
+                    // `dfa_states` is the non-forcing probe, so recording
+                    // never builds machinery the untraced path would not.
+                    if verdict != PreScan::Skip {
+                        match compiled.scan_plan().dfa_states() {
+                            Some(Some(_)) => node.add("bool_dfa", 1),
+                            Some(None) => node.add("bool_nfa", 1),
+                            None => {}
+                        }
+                    }
+                    match verdict {
+                        PreScan::Skip => {
+                            node.add("prescan_skip", 1);
+                            return Ok(MappingSet::new());
+                        }
+                        PreScan::Reject => {
+                            node.add("prescan_reject", 1);
+                            return Ok(MappingSet::new());
+                        }
+                        PreScan::Accept => node.add("prescan_accept", 1),
+                    }
+                }
+                spanner_enum::evaluate_compiled(compiled, doc)
+            }
+            PhysOp::BlackBoxScan(s) => s.eval(doc),
+            PhysOp::Project { keep, input } => {
+                let (result, child) = input.execute_traced_bounded(doc, limit);
+                node.children.push(child);
+                let set = result.and_then(|s| checked_traced(s, limit, node))?;
+                Ok(set.project(keep))
+            }
+            PhysOp::UnionAll(inputs) => {
+                let mut out = MappingSet::builder();
+                let mut failed = None;
+                for op in inputs {
+                    if failed.is_some() {
+                        // Keep the trace shape stable past the error.
+                        node.children.push(op.trace_skeleton());
+                        continue;
+                    }
+                    let (result, child) = op.execute_traced_bounded(doc, limit);
+                    node.children.push(child);
+                    match result.and_then(|s| checked_traced(s, limit, node)) {
+                        Ok(set) => out.extend(set),
+                        Err(e) => failed = Some(e),
+                    }
+                }
+                match failed {
+                    Some(e) => Err(e),
+                    None => Ok(out.finish()),
+                }
+            }
+            PhysOp::HashJoin { left, right } => {
+                let (result, child) = left.execute_traced_bounded(doc, limit);
+                node.children.push(child);
+                let left_set = match result.and_then(|s| checked_traced(s, limit, node)) {
+                    Ok(set) => set,
+                    Err(e) => {
+                        node.children.push(right.trace_skeleton());
+                        return Err(e);
+                    }
+                };
+                if left_set.is_empty() {
+                    // ∅ ⋈ R = ∅ — skip the build side.
+                    node.add("build_skipped", 1);
+                    node.children.push(right.trace_skeleton());
+                    return Ok(left_set);
+                }
+                let (result, child) = right.execute_traced_bounded(doc, limit);
+                node.children.push(child);
+                let right_set = result.and_then(|s| checked_traced(s, limit, node))?;
+                node.add("build_rows", right_set.len() as u64);
+                Ok(left_set.join(&right_set))
+            }
+            PhysOp::Difference { input, probe } => {
+                let (result, child) = input.execute_traced_bounded(doc, limit);
+                node.children.push(child);
+                let input_set = match result.and_then(|s| checked_traced(s, limit, node)) {
+                    Ok(set) => set,
+                    Err(e) => {
+                        node.children.push(probe.trace_skeleton());
+                        return Err(e);
+                    }
+                };
+                if input_set.is_empty() {
+                    // ∅ \ R = ∅ — skip the probe side entirely.
+                    node.add("probe_skipped", 1);
+                    node.children.push(probe.trace_skeleton());
+                    return Ok(input_set);
+                }
+                let (result, child) = probe.execute_traced_bounded(doc, limit);
+                node.children.push(child);
+                let probe_set = result.and_then(|s| checked_traced(s, limit, node))?;
+                node.add("probe_rows", probe_set.len() as u64);
+                Ok(input_set.anti_join(&probe_set))
             }
         }
     }
@@ -463,6 +638,19 @@ impl PhysicalPlan {
         self.root.execute_bounded(doc, self.max_intermediate)
     }
 
+    /// [`PhysicalPlan::execute`] with per-operator instrumentation (see
+    /// [`PhysOp::execute_traced_bounded`]); a separate recursion, so
+    /// untraced execution pays nothing for it.
+    pub fn execute_traced(&self, doc: &Document) -> (SpannerResult<MappingSet>, ExecTrace) {
+        self.root.execute_traced_bounded(doc, self.max_intermediate)
+    }
+
+    /// A zero-valued trace with this plan's shape
+    /// (see [`PhysOp::trace_skeleton`]).
+    pub fn trace_skeleton(&self) -> ExecTrace {
+        self.root.trace_skeleton()
+    }
+
     /// Opens a pull iterator over the plan's mappings on one document
     /// (materialized sides bounded by the plan's resource guard).
     pub fn stream<'a>(&'a self, doc: &'a Document) -> SpannerResult<OpStream<'a>> {
@@ -506,6 +694,20 @@ impl fmt::Debug for PhysicalPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.describe())
     }
+}
+
+/// [`checked`] for the traced path: a tripped guard is recorded on the
+/// operator that enforced it (`limit_trips`) before the error propagates.
+fn checked_traced(
+    set: MappingSet,
+    limit: usize,
+    node: &mut ExecTrace,
+) -> SpannerResult<MappingSet> {
+    let result = checked(set, limit);
+    if result.is_err() {
+        node.add("limit_trips", 1);
+    }
+    result
 }
 
 /// Enforces the intermediate-relation resource guard of
@@ -887,6 +1089,85 @@ mod tests {
         // The default limit is far away: the same plans evaluate fine.
         let plan = CompiledPlan::compile(&join_tree, &inst, RaOptions::default()).unwrap();
         assert!(plan.evaluate(&doc).is_ok());
+    }
+
+    #[test]
+    fn traced_execution_matches_untraced_and_keeps_shape() {
+        let tree = RaTree::project(
+            VarSet::from_iter(["x"]),
+            RaTree::difference(
+                RaTree::join(RaTree::leaf(0), RaTree::leaf(1)),
+                RaTree::leaf(2),
+            ),
+        );
+        let inst = Instantiation::new()
+            .with(0, parse("{x:a+}b*").unwrap())
+            .with(1, parse("{x:a+}{y:b*}").unwrap())
+            .with(2, parse("{x:aa}").unwrap());
+        let physical = lower(&tree, &inst);
+        let skeleton = physical.trace_skeleton();
+        let mut merged = physical.trace_skeleton();
+        for text in ["ab", "aab", "a", "", "zzz"] {
+            let doc = Document::new(text);
+            let (traced, trace) = physical.execute_traced(&doc);
+            assert_eq!(
+                traced.unwrap(),
+                physical.execute(&doc).unwrap(),
+                "traced result differs on {text:?}"
+            );
+            // Shape (labels + child arity) is data-independent: the trace of
+            // a skipped document merges cleanly with a fully-evaluated one.
+            merged.merge(&trace);
+            assert_eq!(trace.label, skeleton.label, "on {text:?}");
+        }
+        assert_eq!(merged.label, skeleton.label);
+        // "zzz" and "" must have been pruned or rejected by the scan
+        // pre-pass somewhere in the tree; "aab" survives to enumeration.
+        let flat = merged.render();
+        assert!(flat.contains("prescan_accept"), "{flat}");
+        assert!(merged.total_rows() > 0 && flat.contains("rows="), "{flat}");
+    }
+
+    #[test]
+    fn traced_execution_records_prescan_and_limit_counters() {
+        // Difference with a tight limit: the input side yields 15 mappings
+        // on "abcd" (> 3), so the guard trips on the Difference node and
+        // the trace says so — while the result is the same error as the
+        // untraced path.
+        let tree = RaTree::difference(RaTree::leaf(0), RaTree::leaf(1));
+        let inst = Instantiation::new()
+            .with(0, parse(".*{x:.*}.*").unwrap())
+            .with(1, parse("{x:zz}").unwrap());
+        let tight = RaOptions {
+            max_signatures: 3,
+            ..RaOptions::default()
+        };
+        let plan = CompiledPlan::compile(&tree, &inst, tight).unwrap();
+        let doc = Document::new("abcd");
+        let (result, trace) = plan.evaluate_traced(&doc);
+        assert!(matches!(
+            result,
+            Err(spanner_core::SpannerError::LimitExceeded { .. })
+        ));
+        assert_eq!(trace.counter("limit_trips"), 1, "{}", trace.render());
+        assert_eq!(
+            trace.children.len(),
+            2,
+            "skeleton keeps the skipped probe side: {}",
+            trace.render()
+        );
+        // A scan that the pre-pass rejects reports the verdict and which
+        // boolean tier answered.
+        let miss = Instantiation::new().with(0, parse("q{x:a+}").unwrap());
+        let physical = lower(&RaTree::leaf(0), &miss);
+        let (result, trace) = physical.execute_traced(&Document::new("aaa"));
+        assert!(result.unwrap().is_empty());
+        assert_eq!(
+            trace.counter("prescan_skip") + trace.counter("prescan_reject"),
+            1,
+            "{}",
+            trace.render()
+        );
     }
 
     #[test]

@@ -598,6 +598,17 @@ impl CompiledPlan {
         self.physical.execute(doc)
     }
 
+    /// [`CompiledPlan::evaluate`] with a per-operator execution trace (see
+    /// [`PhysicalPlan::execute_traced`]). The trace is returned alongside
+    /// the result — also when evaluation fails, so limit trips stay
+    /// observable.
+    pub fn evaluate_traced(
+        &self,
+        doc: &Document,
+    ) -> (SpannerResult<MappingSet>, crate::exec::ExecTrace) {
+        self.physical.execute_traced(doc)
+    }
+
     /// Streams the plan's mappings on one document.
     ///
     /// Fully static plans enumerate straight off the shared compiled

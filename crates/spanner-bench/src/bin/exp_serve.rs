@@ -18,9 +18,11 @@ use spanner_workloads::{request_mix, RequestKind, RequestMixConfig, ServeRequest
 use std::time::{Duration, Instant};
 
 /// Replays the request stream against a fresh daemon with the given cache
-/// capacity; returns the wall-clock time and the number of responses with
-/// `"ok": true`.
-fn replay(requests: &[ServeRequest], cache_capacity: usize) -> (Duration, usize) {
+/// capacity; returns the wall-clock time, the number of responses with
+/// `"ok": true`, and the total number of mappings reported across all
+/// responses (`count` on query responses, `mappings` on corpus responses)
+/// — the correctness invariant `bench_gate` holds the baseline to.
+fn replay(requests: &[ServeRequest], cache_capacity: usize) -> (Duration, usize, usize) {
     let server = Server::bind(
         "127.0.0.1:0",
         ServeOptions {
@@ -34,6 +36,7 @@ fn replay(requests: &[ServeRequest], cache_capacity: usize) -> (Duration, usize)
     let mut client = Client::connect(addr).expect("connect");
     let start = Instant::now();
     let mut ok = 0;
+    let mut mappings = 0;
     for request in requests {
         let response = match request.kind {
             RequestKind::Query => client.query(&request.program, &request.doc),
@@ -45,17 +48,27 @@ fn replay(requests: &[ServeRequest], cache_capacity: usize) -> (Duration, usize)
         if response.get("ok").and_then(Json::as_bool) == Some(true) {
             ok += 1;
         }
+        // Single-document responses report `count`; corpus responses
+        // report their total as a `mappings` number.
+        mappings += match request.kind {
+            RequestKind::Query => response.get("count").and_then(Json::as_usize).unwrap_or(0),
+            RequestKind::QueryCorpus => response
+                .get("mappings")
+                .and_then(Json::as_usize)
+                .unwrap_or(0),
+            RequestKind::Explain | RequestKind::Stats => 0,
+        };
     }
     let elapsed = start.elapsed();
     client.shutdown().expect("shutdown");
     handle.join().expect("join").expect("clean exit");
-    (elapsed, ok)
+    (elapsed, ok, mappings)
 }
 
 /// [`replay`] three times, keeping the median wall-clock run (noise from
 /// co-tenants on the machine skews single runs by 2x and more).
-fn replay_median(requests: &[ServeRequest], cache_capacity: usize) -> (Duration, usize) {
-    let mut runs: Vec<(Duration, usize)> =
+fn replay_median(requests: &[ServeRequest], cache_capacity: usize) -> (Duration, usize, usize) {
+    let mut runs: Vec<(Duration, usize, usize)> =
         (0..3).map(|_| replay(requests, cache_capacity)).collect();
     runs.sort();
     runs[1]
@@ -81,14 +94,14 @@ fn main() {
     println!("{n} single-document requests, 70% on the hot program, over TCP\n");
     header(&["configuration", "total ms", "requests/s", "ok responses"]);
 
-    let (cold, cold_ok) = replay_median(&requests, 0);
+    let (cold, cold_ok, cold_mappings) = replay_median(&requests, 0);
     row(&[
         "cold (capacity 0)".to_string(),
         ms(cold),
         format!("{:.0}", qps(n, cold)),
         cold_ok.to_string(),
     ]);
-    let (cached, cached_ok) = replay_median(&requests, 64);
+    let (cached, cached_ok, cached_mappings) = replay_median(&requests, 64);
     row(&[
         "cached (capacity 64)".to_string(),
         ms(cached),
@@ -96,6 +109,10 @@ fn main() {
         cached_ok.to_string(),
     ]);
     assert_eq!(cold_ok, cached_ok, "the cache must not change any result");
+    assert_eq!(
+        cold_mappings, cached_mappings,
+        "the cache must not change any mapping count"
+    );
 
     let speedup = qps(n, cached) / qps(n, cold);
     println!("\ncached/cold speedup: {speedup:.1}x (acceptance bar: ≥ 5x)");
@@ -103,19 +120,29 @@ fn main() {
     // A mixed stream (corpus + introspection included) for the realistic
     // serving picture.
     let mixed = request_mix(200, RequestMixConfig::default(), 17);
-    let (mixed_cold, _) = replay(&mixed, 0);
-    let (mixed_cached, _) = replay(&mixed, 64);
+    let (mixed_cold, _, mixed_cold_mappings) = replay(&mixed, 0);
+    let (mixed_cached, _, mixed_cached_mappings) = replay(&mixed, 64);
     println!(
         "mixed stream (200 requests, 10% corpus): cold {:.0} req/s, cached {:.0} req/s\n",
         qps(200, mixed_cold),
         qps(200, mixed_cached),
     );
+    assert_eq!(
+        mixed_cold_mappings, mixed_cached_mappings,
+        "the cache must not change any mapping count on the mixed stream"
+    );
 
+    // Every row carries its measured mapping total so `bench_gate` can
+    // hold the baseline to the answer, not just the latency.
     let entries = vec![
-        BenchEntry::new("serve/query/cold", cold / n as u32, cold_ok),
-        BenchEntry::new("serve/query/cached", cached / n as u32, cached_ok),
-        BenchEntry::new("serve/mixed/cold", mixed_cold / 200, 0),
-        BenchEntry::new("serve/mixed/cached", mixed_cached / 200, 0),
+        BenchEntry::new("serve/query/cold", cold / n as u32, cold_mappings),
+        BenchEntry::new("serve/query/cached", cached / n as u32, cached_mappings),
+        BenchEntry::new("serve/mixed/cold", mixed_cold / 200, mixed_cold_mappings),
+        BenchEntry::new(
+            "serve/mixed/cached",
+            mixed_cached / 200,
+            mixed_cached_mappings,
+        ),
     ];
     merge_bench_json("BENCH_serve.json", &entries).expect("write BENCH_serve.json");
     println!("wrote {} entries to BENCH_serve.json", entries.len());

@@ -35,7 +35,7 @@
 //! assert!(out.results[1].is_empty());
 //! ```
 
-use spanner_algebra::{CompiledPlan, Instantiation, PreScan, RaOptions, RaTree};
+use spanner_algebra::{CompiledPlan, ExecTrace, Instantiation, PreScan, RaOptions, RaTree};
 use spanner_core::{Document, MappingSet, SpannerResult};
 use std::num::NonZeroUsize;
 use std::sync::Arc;
@@ -119,6 +119,34 @@ fn eval_doc(plan: &CompiledPlan, doc: &Document) -> (SpannerResult<MappingSet>, 
         Some(PreScan::Skip) => (Ok(MappingSet::new()), DocOutcome::Skipped),
         Some(PreScan::Reject) => (Ok(MappingSet::new()), DocOutcome::Rejected),
         _ => (plan.evaluate(doc), DocOutcome::Evaluated),
+    }
+}
+
+/// [`eval_doc`] with per-operator instrumentation: documents the pre-pass
+/// proves empty never reach the executor, so they surface as corpus-level
+/// counters on the root trace node (`corpus_docs_skipped` /
+/// `corpus_docs_rejected`); evaluated documents merge their full
+/// per-operator trace into the worker's accumulator.
+fn eval_doc_traced(
+    plan: &CompiledPlan,
+    doc: &Document,
+    trace: &mut ExecTrace,
+) -> (SpannerResult<MappingSet>, DocOutcome) {
+    match plan.prescan_reject(doc) {
+        Some(PreScan::Skip) => {
+            trace.add("corpus_docs_skipped", 1);
+            (Ok(MappingSet::new()), DocOutcome::Skipped)
+        }
+        Some(PreScan::Reject) => {
+            trace.add("corpus_docs_rejected", 1);
+            (Ok(MappingSet::new()), DocOutcome::Rejected)
+        }
+        _ => {
+            let (result, doc_trace) = plan.evaluate_traced(doc);
+            trace.merge(&doc_trace);
+            trace.add("corpus_docs_evaluated", 1);
+            (result, DocOutcome::Evaluated)
+        }
     }
 }
 
@@ -243,6 +271,61 @@ impl CorpusEngine {
             ranges.len()
         };
         collect_result(docs, workers, slots, start)
+    }
+
+    /// [`CorpusEngine::evaluate_with_threads`] with per-operator
+    /// instrumentation: returns the corpus result together with one
+    /// [`ExecTrace`] aggregated over every document — per-document traces
+    /// merge into per-worker accumulators (all seeded from the same
+    /// [`PhysicalPlan::trace_skeleton`](spanner_algebra::PhysicalPlan),
+    /// so shapes always agree) and the workers' traces merge at the end.
+    /// The relations and stats are bit-identical to the untraced path for
+    /// every thread count; only wall time differs. This is a separate
+    /// evaluation loop, so the untraced path pays nothing for it.
+    pub fn evaluate_traced_with_threads(
+        &self,
+        docs: &[Document],
+        threads: usize,
+    ) -> SpannerResult<(CorpusResult, ExecTrace)> {
+        let start = Instant::now();
+        let threads = effective_threads(threads, docs.len());
+        let skeleton = self.plan.physical().trace_skeleton();
+        let mut slots: Vec<DocSlot> = vec![None; docs.len()];
+        let mut trace = skeleton.clone();
+        let workers = if threads <= 1 {
+            for (slot, doc) in slots.iter_mut().zip(docs) {
+                *slot = Some(eval_doc_traced(&self.plan, doc, &mut trace));
+            }
+            1
+        } else {
+            let ranges = shard_ranges(docs.len(), threads);
+            let worker_traces: Vec<ExecTrace> = std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(ranges.len());
+                let mut rest: &mut [DocSlot] = &mut slots;
+                for range in &ranges {
+                    let (slot_chunk, tail) = rest.split_at_mut(range.len());
+                    rest = tail;
+                    let doc_chunk = &docs[range.clone()];
+                    let mut worker_trace = skeleton.clone();
+                    handles.push(scope.spawn(move || {
+                        for (slot, doc) in slot_chunk.iter_mut().zip(doc_chunk) {
+                            *slot = Some(eval_doc_traced(&self.plan, doc, &mut worker_trace));
+                        }
+                        worker_trace
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("corpus worker panicked"))
+                    .collect()
+            });
+            for worker_trace in &worker_traces {
+                trace.merge(worker_trace);
+            }
+            ranges.len()
+        };
+        let result = collect_result(docs, workers, slots, start)?;
+        Ok((result, trace))
     }
 
     /// Evaluates only the `candidates` subset of the corpus — the
@@ -615,6 +698,48 @@ mod tests {
         assert!(out.results.iter().all(MappingSet::is_empty));
         assert_eq!(out.stats.docs_skipped, docs.len());
         assert_eq!(out.stats.threads, 1);
+    }
+
+    #[test]
+    fn traced_corpus_evaluation_matches_untraced_for_every_thread_count() {
+        let e = engine(".*{x:a+}@.*");
+        let docs = vec![
+            Document::new("xxa@yy"), // evaluated, matches
+            Document::new("bbbb"),   // skipped by static prefilters
+            Document::new("@aaa"),   // rejected by the boolean scan
+            Document::new("a@"),     // evaluated, matches
+        ];
+        let untraced = e.evaluate_with_threads(&docs, 2).unwrap();
+        let mut baseline: Option<ExecTrace> = None;
+        for threads in [1, 2, 4] {
+            let (out, trace) = e.evaluate_traced_with_threads(&docs, threads).unwrap();
+            assert_eq!(out.results, untraced.results, "threads={threads}");
+            // The trace's corpus tallies agree with the stats counters.
+            assert_eq!(
+                trace.counter("corpus_docs_skipped") as usize,
+                out.stats.docs_skipped,
+                "threads={threads}"
+            );
+            assert_eq!(
+                trace.counter("corpus_docs_rejected") as usize,
+                out.stats.docs_rejected,
+                "threads={threads}"
+            );
+            assert_eq!(trace.counter("corpus_docs_evaluated"), 2);
+            assert_eq!(trace.total_rows(), out.stats.mappings as u64);
+            // Deterministic modulo wall time: rows and counters are
+            // identical for every thread count (merge order commutes).
+            let mut timeless = trace.clone();
+            fn zero_nanos(node: &mut ExecTrace) {
+                node.nanos = 0;
+                node.children.iter_mut().for_each(zero_nanos);
+            }
+            zero_nanos(&mut timeless);
+            match &baseline {
+                None => baseline = Some(timeless),
+                Some(b) => assert_eq!(b, &timeless, "threads={threads}"),
+            }
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::error::QlError;
 use crate::lower::Lowered;
 use crate::parser::{parse_program, Program};
 use spanner_algebra::{
-    shared_variable_bound, tree_vars, CompiledPlan, Instantiation, PhysOp, PhysicalPlan,
+    shared_variable_bound, tree_vars, CompiledPlan, ExecTrace, Instantiation, PhysOp, PhysicalPlan,
     PlanStream, RaOptions, RaTree,
 };
 use spanner_core::{Document, MappingSet, SpannerResult, VarSet};
@@ -98,6 +98,13 @@ impl PreparedQuery {
         self.engine.plan().evaluate(doc)
     }
 
+    /// [`PreparedQuery::evaluate`] with a per-operator execution trace
+    /// (see [`spanner_algebra::PhysicalPlan::execute_traced`]); the trace
+    /// is returned alongside the result, also on error.
+    pub fn evaluate_traced(&self, doc: &Document) -> (SpannerResult<MappingSet>, ExecTrace) {
+        self.engine.plan().evaluate_traced(doc)
+    }
+
     /// Streams the query's mappings on one document (polynomial delay for
     /// fully static plans).
     pub fn stream<'a>(&'a self, doc: &'a Document) -> SpannerResult<PlanStream<'a>> {
@@ -126,6 +133,17 @@ impl PreparedQuery {
         pool: &WorkerPool,
     ) -> SpannerResult<CorpusResult> {
         self.engine.evaluate_on_pool(docs, pool)
+    }
+
+    /// [`PreparedQuery::evaluate_corpus`] with per-operator instrumentation
+    /// aggregated over every document
+    /// (see [`CorpusEngine::evaluate_traced_with_threads`]).
+    pub fn evaluate_corpus_traced(
+        &self,
+        docs: &[Document],
+        threads: usize,
+    ) -> SpannerResult<(CorpusResult, ExecTrace)> {
+        self.engine.evaluate_traced_with_threads(docs, threads)
     }
 
     /// The corpus engine wrapping the compiled plan.
@@ -276,6 +294,47 @@ impl PreparedQuery {
                 .map(|l| format!("{:?}", String::from_utf8_lossy(l)))
                 .collect();
             out.push_str(&format!("literals   : {}\n", rendered.join(" ")));
+        }
+        out
+    }
+
+    /// [`PreparedQuery::explain`], then actually *runs* the query on `doc`
+    /// through the traced executor and appends the measured per-operator
+    /// tree — rows produced, inclusive wall time, prescan verdicts,
+    /// boolean-scan tier, join build sizes, limit trips. A failing
+    /// evaluation still reports its (partial) trace, with the error on the
+    /// `analyze` line, so `LimitExceeded` trips stay diagnosable.
+    pub fn explain_analyze(&self, doc: &Document) -> String {
+        let (result, trace) = self.evaluate_traced(doc);
+        self.render_analyze(doc, &result, &trace)
+    }
+
+    /// Renders the [`PreparedQuery::explain_analyze`] text from an
+    /// already-measured run — the serving layer evaluates once through
+    /// [`PreparedQuery::evaluate_traced`] and feeds the same trace to both
+    /// this rendering and the structured trace JSON, so the two reports
+    /// can never disagree.
+    pub fn render_analyze(
+        &self,
+        doc: &Document,
+        result: &SpannerResult<MappingSet>,
+        trace: &ExecTrace,
+    ) -> String {
+        let mut out = self.explain();
+        match result {
+            Ok(set) => out.push_str(&format!(
+                "analyze    : {} mapping{} in {:.3}ms on a {}-byte document\n",
+                set.len(),
+                if set.len() == 1 { "" } else { "s" },
+                trace.nanos as f64 / 1e6,
+                doc.len(),
+            )),
+            Err(e) => out.push_str(&format!("analyze    : error: {e}\n")),
+        }
+        for line in trace.render().lines() {
+            out.push_str("  ");
+            out.push_str(line);
+            out.push('\n');
         }
         out
     }
@@ -504,6 +563,43 @@ mod tests {
             "{explain}"
         );
         assert!(explain.contains("scan #0: fast path off"), "{explain}");
+    }
+
+    #[test]
+    fn explain_analyze_reports_measured_operator_counters() {
+        let q = PreparedQuery::prepare(
+            "let a = /{x:a+}{y:b*}/; let b = /{x:a}b/; project x (a minus b);",
+        )
+        .unwrap();
+        let text = q.explain_analyze(&Document::new("aab"));
+        // Everything `explain` prints, plus the measured section.
+        assert!(text.contains("physical   :"), "{text}");
+        assert!(text.contains("analyze    : "), "{text}");
+        assert!(text.contains("rows="), "{text}");
+        assert!(text.contains("time="), "{text}");
+        assert!(text.contains("prescan_accept=1"), "{text}");
+        // A document the pre-pass rejects reports the verdict, not rows.
+        let miss = q.explain_analyze(&Document::new("zzz"));
+        assert!(
+            miss.contains("prescan_skip=1") || miss.contains("prescan_reject=1"),
+            "{miss}"
+        );
+        assert!(miss.contains("analyze    : 0 mappings"), "{miss}");
+    }
+
+    #[test]
+    fn traced_query_evaluation_matches_untraced() {
+        let q = PreparedQuery::prepare("let a = /{x:a+}b*/; a union /{x:b+}/").unwrap();
+        for text in ["aab", "bb", ""] {
+            let doc = Document::new(text);
+            let (traced, trace) = q.evaluate_traced(&doc);
+            assert_eq!(traced.unwrap(), q.evaluate(&doc).unwrap(), "{text:?}");
+            assert!(trace.children.len() == 2 || trace.children.is_empty());
+        }
+        let docs = vec![Document::new("aab"), Document::new("bb")];
+        let (out, trace) = q.evaluate_corpus_traced(&docs, 2).unwrap();
+        assert_eq!(out.results, q.evaluate_corpus(&docs, 2).unwrap().results);
+        assert_eq!(trace.total_rows(), out.stats.mappings as u64);
     }
 
     #[test]

@@ -109,9 +109,27 @@ impl Client {
         ]))
     }
 
+    /// `explain` with `"analyze": true`: run `program` on `doc` through
+    /// the traced executor and report the explain text annotated with the
+    /// measured per-operator tree, plus the structured trace.
+    pub fn explain_analyze(&mut self, program: &str, doc: &str) -> io::Result<Json> {
+        self.request(&Json::object([
+            ("op", Json::string("explain")),
+            ("program", Json::string(program)),
+            ("analyze", Json::Bool(true)),
+            ("doc", Json::string(doc)),
+        ]))
+    }
+
     /// `stats`: cache and server counters.
     pub fn stats(&mut self) -> io::Result<Json> {
         self.request(&Json::object([("op", Json::string("stats"))]))
+    }
+
+    /// `metrics`: the server's metrics registry as Prometheus text
+    /// exposition (in the response's `metrics` field).
+    pub fn metrics(&mut self) -> io::Result<Json> {
+        self.request(&Json::object([("op", Json::string("metrics"))]))
     }
 
     /// `shutdown`: ask the server to drain and exit.

@@ -13,8 +13,9 @@
 //! | `query` | `program`, `doc` | evaluate on one document |
 //! | `load_corpus` | `text` | ingest every line of `text` into the resident trigram-indexed store |
 //! | `query_corpus` | `program`, `text`? | evaluate every line of `text` as its own document; with `text` omitted, run against the resident store through its trigram index |
-//! | `explain` | `program` | the full multi-line explain, as a string |
+//! | `explain` | `program`, `analyze`?, `doc`? | the full multi-line explain, as a string; with `"analyze": true` (which requires `doc`) the query actually runs and the response adds the measured per-operator trace |
 //! | `stats` | — | cache + server counters |
+//! | `metrics` | — | the whole metrics registry, rendered in Prometheus text exposition format |
 //! | `shutdown` | — | stop accepting, drain, exit |
 //!
 //! Every response carries `"ok"`; failures are
@@ -57,13 +58,22 @@ pub enum Request {
         /// store.
         text: Option<String>,
     },
-    /// Render the full explain output of `program`.
+    /// Render the full explain output of `program`; with `analyze` set,
+    /// run it on `doc` through the traced executor and report the
+    /// measured per-operator tree as well.
     Explain {
         /// SpannerQL program text.
         program: String,
+        /// Whether to actually execute and report measurements
+        /// (`"analyze": true`); requires `doc`.
+        analyze: bool,
+        /// The document to analyze on (required iff `analyze`).
+        doc: Option<String>,
     },
     /// Report cache and server counters.
     Stats,
+    /// Render the metrics registry in Prometheus text exposition format.
+    Metrics,
     /// Stop accepting connections, drain in-flight work, and exit.
     Shutdown,
 }
@@ -104,15 +114,52 @@ impl Request {
                     Some(_) => Some(field("text")?),
                 },
             }),
-            "explain" => Ok(Request::Explain {
-                program: field("program")?,
-            }),
+            "explain" => {
+                let analyze = match value.get("analyze") {
+                    None => false,
+                    Some(v) => v
+                        .as_bool()
+                        .ok_or("`explain` needs a boolean `analyze` field")?,
+                };
+                let doc = match value.get("doc") {
+                    None => None,
+                    Some(_) => Some(field("doc")?),
+                };
+                if analyze && doc.is_none() {
+                    return Err("`explain` with `\"analyze\": true` needs a `doc` field \
+                                to run the query on"
+                        .to_string());
+                }
+                Ok(Request::Explain {
+                    program: field("program")?,
+                    analyze,
+                    doc,
+                })
+            }
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
                 "unknown op `{other}` (expected prepare, query, load_corpus, \
-                 query_corpus, explain, stats, or shutdown)"
+                 query_corpus, explain, stats, metrics, or shutdown)"
             )),
+        }
+    }
+
+    /// The protocol op name of this request — the `op` label of the
+    /// per-operation request metrics, so every counter family partitions
+    /// over exactly these values (plus `"invalid"` for lines that never
+    /// decode to a request).
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::Prepare { .. } => "prepare",
+            Request::Query { .. } => "query",
+            Request::LoadCorpus { .. } => "load_corpus",
+            Request::QueryCorpus { .. } => "query_corpus",
+            Request::Explain { .. } => "explain",
+            Request::Stats => "stats",
+            Request::Metrics => "metrics",
+            Request::Shutdown => "shutdown",
         }
     }
 }
@@ -174,11 +221,17 @@ mod tests {
             ),
             (r#"{"op":"query_corpus","program":"/a/"}"#, "query_corpus"),
             (r#"{"op":"explain","program":"/a/"}"#, "explain"),
+            (
+                r#"{"op":"explain","program":"/a/","analyze":true,"doc":"aa"}"#,
+                "explain",
+            ),
             (r#"{"op":"stats"}"#, "stats"),
+            (r#"{"op":"metrics"}"#, "metrics"),
             (r#"{"op":"shutdown"}"#, "shutdown"),
         ];
         for (line, op) in cases {
             let request = Request::parse(line).unwrap();
+            assert_eq!(request.op_name(), op, "{line}");
             match (op, &request) {
                 ("prepare", Request::Prepare { .. })
                 | ("query", Request::Query { .. })
@@ -186,10 +239,29 @@ mod tests {
                 | ("query_corpus", Request::QueryCorpus { .. })
                 | ("explain", Request::Explain { .. })
                 | ("stats", Request::Stats)
+                | ("metrics", Request::Metrics)
                 | ("shutdown", Request::Shutdown) => {}
                 _ => panic!("{line} parsed to {request:?}"),
             }
         }
+        // Plain explain defaults to no analysis; analyze carries the doc.
+        assert_eq!(
+            Request::parse(r#"{"op":"explain","program":"/a/"}"#).unwrap(),
+            Request::Explain {
+                program: "/a/".into(),
+                analyze: false,
+                doc: None,
+            }
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"explain","program":"/a/","analyze":true,"doc":"aa"}"#)
+                .unwrap(),
+            Request::Explain {
+                program: "/a/".into(),
+                analyze: true,
+                doc: Some("aa".into()),
+            }
+        );
         // An omitted `text` targets the resident store, not an error.
         assert_eq!(
             Request::parse(r#"{"op":"query_corpus","program":"/a/"}"#).unwrap(),
@@ -214,6 +286,14 @@ mod tests {
             (
                 r#"{"op":"query_corpus","program":"/a/","text":7}"#,
                 "`text`",
+            ),
+            (
+                r#"{"op":"explain","program":"/a/","analyze":true}"#,
+                "`doc`",
+            ),
+            (
+                r#"{"op":"explain","program":"/a/","analyze":"yes"}"#,
+                "`analyze`",
             ),
         ] {
             let err = Request::parse(line).unwrap_err();

@@ -26,13 +26,14 @@ use crate::protocol::{error_response, mappings_to_json, Request};
 use spanner_algebra::RaOptions;
 use spanner_core::Document;
 use spanner_corpus::{split_lines, CorpusResult, WorkerPool};
+use spanner_obs::{Counter, Exposition, Histogram, Registry, LATENCY_BUCKETS, RATIO_BUCKETS};
 use spanner_store::Store;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Configuration of a [`Server`].
 #[derive(Debug, Clone, Copy)]
@@ -72,6 +73,157 @@ impl Default for ServeOptions {
     }
 }
 
+/// The protocol op labels every per-operation metric family partitions
+/// over: one slot per [`Request::op_name`] value plus `"invalid"` for
+/// lines that never decode to a request (parse errors, oversized lines).
+const OPS: &[&str] = &[
+    "prepare",
+    "query",
+    "load_corpus",
+    "query_corpus",
+    "explain",
+    "stats",
+    "metrics",
+    "shutdown",
+    "invalid",
+];
+
+/// The per-op handles of one protocol operation.
+struct OpMetrics {
+    requests: Counter,
+    errors: Counter,
+    latency: Histogram,
+}
+
+/// The daemon's metrics: one [`Registry`] plus pre-registered handles for
+/// everything recorded on the hot path, so serving a request never takes
+/// the registry mutex — recording is `fetch_add` only. Scrape-time values
+/// (cache stats, store size, uptime) are appended to the rendered
+/// exposition by [`Shared::render_metrics`] instead of being mirrored
+/// into yet another set of counters.
+struct ServerMetrics {
+    registry: Registry,
+    /// Per-op request/error/latency, indexed like [`OPS`].
+    ops: Vec<OpMetrics>,
+    connections: Counter,
+    bytes_read: Counter,
+    bytes_written: Counter,
+    /// Corpus documents by fast-path outcome, accumulated over every
+    /// `query_corpus` request: skipped (static prefilters), rejected
+    /// (boolean pre-pass), evaluated (reached the executor).
+    docs_skipped: Counter,
+    docs_rejected: Counter,
+    docs_evaluated: Counter,
+    /// Trigram-index selectivity (candidates / documents) per resident
+    /// store query; full-scan fallbacks observe 1.0.
+    store_selectivity: Histogram,
+}
+
+impl ServerMetrics {
+    fn new() -> ServerMetrics {
+        let registry = Registry::new();
+        let ops = OPS
+            .iter()
+            .map(|&op| OpMetrics {
+                requests: registry.counter(
+                    "spanner_requests_total",
+                    "Protocol requests handled, by operation",
+                    &[("op", op)],
+                ),
+                errors: registry.counter(
+                    "spanner_request_errors_total",
+                    "Requests answered with an error response, by operation",
+                    &[("op", op)],
+                ),
+                latency: registry.histogram(
+                    "spanner_request_seconds",
+                    "Request handling latency in seconds, by operation",
+                    &[("op", op)],
+                    LATENCY_BUCKETS,
+                ),
+            })
+            .collect();
+        let docs = |outcome| {
+            registry.counter(
+                "spanner_corpus_docs_total",
+                "Corpus documents processed, by scan fast-path outcome",
+                &[("outcome", outcome)],
+            )
+        };
+        ServerMetrics {
+            ops,
+            connections: registry.counter(
+                "spanner_connections_total",
+                "TCP connections accepted",
+                &[],
+            ),
+            bytes_read: registry.counter(
+                "spanner_bytes_read_total",
+                "Request bytes read from clients",
+                &[],
+            ),
+            bytes_written: registry.counter(
+                "spanner_bytes_written_total",
+                "Response bytes written to clients",
+                &[],
+            ),
+            docs_skipped: docs("skipped"),
+            docs_rejected: docs("rejected"),
+            docs_evaluated: docs("evaluated"),
+            store_selectivity: registry.histogram(
+                "spanner_store_selectivity",
+                "Trigram-index selectivity (candidates / documents) per resident-store query",
+                &[],
+                RATIO_BUCKETS,
+            ),
+            registry,
+        }
+    }
+
+    /// The handles for one op label (`"invalid"` for unknown labels, which
+    /// cannot occur for parsed requests).
+    fn op(&self, op: &str) -> &OpMetrics {
+        let idx = OPS.iter().position(|&o| o == op).unwrap_or(OPS.len() - 1);
+        &self.ops[idx]
+    }
+
+    /// Counts a request as soon as it is decoded — before dispatch, so a
+    /// `stats` or `metrics` response includes the request that asked.
+    fn begin_request(&self, op: &str) {
+        self.op(op).requests.inc();
+    }
+
+    /// Records the handled request's latency and — read off the response's
+    /// `ok` field, so the tally can never drift from what the client saw —
+    /// the error total.
+    fn finish_request(&self, op: &str, elapsed: Duration, response: &Json) {
+        let m = self.op(op);
+        if response.get("ok").and_then(Json::as_bool) != Some(true) {
+            m.errors.inc();
+        }
+        m.latency.observe_duration(elapsed);
+    }
+
+    /// [`ServerMetrics::begin_request`] + [`ServerMetrics::finish_request`]
+    /// in one step, for lines that never dispatch (parse errors, oversized
+    /// lines).
+    fn record_request(&self, op: &str, elapsed: Duration, response: &Json) {
+        self.begin_request(op);
+        self.finish_request(op, elapsed, response);
+    }
+
+    /// Total requests across every op — derived from the per-op counters,
+    /// never tracked separately (one source of truth).
+    fn total_requests(&self) -> u64 {
+        self.ops.iter().map(|m| m.requests.get()).sum()
+    }
+
+    /// Total error responses across every op.
+    fn total_errors(&self) -> u64 {
+        self.ops.iter().map(|m| m.errors.get()).sum()
+    }
+}
+
 /// State shared by the accept loop and every connection worker.
 struct Shared {
     cache: QueryCache,
@@ -79,19 +231,88 @@ struct Shared {
     options: ServeOptions,
     addr: SocketAddr,
     shutdown: AtomicBool,
-    requests: AtomicU64,
-    connections: AtomicU64,
-    /// Corpus documents proven empty by the scan fast path's static
-    /// prefilters, accumulated over every `query_corpus` request.
-    docs_skipped: AtomicU64,
-    /// Corpus documents rejected by the boolean match pre-pass,
-    /// accumulated over every `query_corpus` request.
-    docs_rejected: AtomicU64,
+    metrics: ServerMetrics,
+    started: Instant,
     /// The resident corpus store: loaded once by `load_corpus`, then
     /// queried by `query_corpus` requests that omit `text` — documents
     /// stay on the server and selective queries prune through the trigram
     /// index instead of shipping the corpus per request.
     store: Mutex<Option<Arc<Store>>>,
+}
+
+impl Shared {
+    /// Renders the whole registry plus the scrape-time families (cache,
+    /// resident store, uptime) as one Prometheus text exposition.
+    fn render_metrics(&self) -> String {
+        let mut out = Exposition::new();
+        self.metrics.registry.export_into(&mut out);
+        let cache = self.cache.stats();
+        out.family(
+            "spanner_cache_entries",
+            "gauge",
+            "Prepared queries resident in the cache",
+        );
+        out.sample("spanner_cache_entries", &[], cache.entries as f64);
+        out.family(
+            "spanner_cache_capacity",
+            "gauge",
+            "Configured prepared-query cache capacity",
+        );
+        out.sample("spanner_cache_capacity", &[], cache.capacity as f64);
+        for (name, help, value) in [
+            (
+                "spanner_cache_hits_total",
+                "Cache lookups served from a resident entry",
+                cache.hits,
+            ),
+            (
+                "spanner_cache_misses_total",
+                "Cache lookups that compiled the program",
+                cache.misses,
+            ),
+            (
+                "spanner_cache_evictions_total",
+                "Entries evicted to make room",
+                cache.evictions,
+            ),
+        ] {
+            out.family(name, "counter", help);
+            out.sample(name, &[], value as f64);
+        }
+        if let Some(store) = self.store.lock().expect("store poisoned").as_deref() {
+            for (name, help, value) in [
+                (
+                    "spanner_store_documents",
+                    "Documents in the resident store",
+                    store.len(),
+                ),
+                (
+                    "spanner_store_bytes",
+                    "Bytes in the resident store",
+                    store.bytes(),
+                ),
+                (
+                    "spanner_store_trigrams",
+                    "Distinct trigrams in the resident store's index",
+                    store.trigram_count(),
+                ),
+            ] {
+                out.family(name, "gauge", help);
+                out.sample(name, &[], value as f64);
+            }
+        }
+        out.family(
+            "spanner_uptime_seconds",
+            "gauge",
+            "Seconds since the daemon started",
+        );
+        out.sample(
+            "spanner_uptime_seconds",
+            &[],
+            self.started.elapsed().as_secs_f64(),
+        );
+        out.finish()
+    }
 }
 
 /// A bound, not-yet-running query daemon.
@@ -114,10 +335,8 @@ impl Server {
                 options,
                 addr,
                 shutdown: AtomicBool::new(false),
-                requests: AtomicU64::new(0),
-                connections: AtomicU64::new(0),
-                docs_skipped: AtomicU64::new(0),
-                docs_rejected: AtomicU64::new(0),
+                metrics: ServerMetrics::new(),
+                started: Instant::now(),
                 store: Mutex::new(None),
             }),
         })
@@ -144,7 +363,7 @@ impl Server {
                         Ok(stream) => stream,
                         Err(_) => return, // accept loop closed the queue
                     };
-                    shared.connections.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.connections.inc();
                     // Connection-level I/O errors (peer reset, timeout on a
                     // dead socket) end that connection only.
                     let _ = handle_connection(stream, &shared);
@@ -216,22 +435,42 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     loop {
+        // The latency clock starts once a complete line is in hand —
+        // client idle time between requests is not handling time.
         let response = match read_request_line(&mut reader, shared)? {
             LineRead::Closed => return Ok(()),
-            LineRead::TooLong => error_response(format!(
-                "request line exceeds the {}-byte limit",
-                shared.options.max_line_bytes
-            )),
+            LineRead::TooLong => {
+                let response = error_response(format!(
+                    "request line exceeds the {}-byte limit",
+                    shared.options.max_line_bytes
+                ));
+                shared
+                    .metrics
+                    .record_request("invalid", Duration::ZERO, &response);
+                response
+            }
             LineRead::Line(line) if line.trim().is_empty() => continue,
             LineRead::Line(line) => {
-                shared.requests.fetch_add(1, Ordering::Relaxed);
+                let started = Instant::now();
+                shared.metrics.bytes_read.add(line.len() as u64 + 1);
                 match Request::parse(&line) {
-                    Err(message) => error_response(message),
+                    Err(message) => {
+                        let response = error_response(message);
+                        shared
+                            .metrics
+                            .record_request("invalid", started.elapsed(), &response);
+                        response
+                    }
                     Ok(request) => {
+                        let op = request.op_name();
                         let shutdown = request == Request::Shutdown;
+                        shared.metrics.begin_request(op);
                         let response = handle_request(shared, request);
+                        shared
+                            .metrics
+                            .finish_request(op, started.elapsed(), &response);
                         if shutdown {
-                            write_response(&mut writer, &response)?;
+                            write_response(&mut writer, &response, shared)?;
                             initiate_shutdown(shared);
                             return Ok(());
                         }
@@ -240,7 +479,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
                 }
             }
         };
-        write_response(&mut writer, &response)?;
+        write_response(&mut writer, &response, shared)?;
     }
 }
 
@@ -248,9 +487,10 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
 /// into the socket would issue one `write(2)` per formatting fragment —
 /// under `TCP_NODELAY` that is one packet per fragment, which dominates
 /// the round trip for any non-trivial response.
-fn write_response(writer: &mut TcpStream, response: &Json) -> io::Result<()> {
+fn write_response(writer: &mut TcpStream, response: &Json, shared: &Shared) -> io::Result<()> {
     let mut line = response.to_string();
     line.push('\n');
+    shared.metrics.bytes_written.add(line.len() as u64);
     writer.write_all(line.as_bytes())
 }
 
@@ -363,12 +603,14 @@ fn corpus_response(
     out: &CorpusResult,
     extra: impl IntoIterator<Item = (&'static str, Json)>,
 ) -> Json {
+    let skipped = out.stats.docs_skipped as u64;
+    let rejected = out.stats.docs_rejected as u64;
+    shared.metrics.docs_skipped.add(skipped);
+    shared.metrics.docs_rejected.add(rejected);
     shared
-        .docs_skipped
-        .fetch_add(out.stats.docs_skipped as u64, Ordering::Relaxed);
-    shared
-        .docs_rejected
-        .fetch_add(out.stats.docs_rejected as u64, Ordering::Relaxed);
+        .metrics
+        .docs_evaluated
+        .add((out.stats.documents as u64).saturating_sub(skipped + rejected));
     let results: Vec<Json> = docs
         .iter()
         .zip(&out.results)
@@ -464,6 +706,10 @@ fn handle_request(shared: &Shared, request: Request) -> Json {
                     match store.query(query.engine(), shared.pool.threads()) {
                         Err(e) => error_response(e),
                         Ok(outcome) => {
+                            shared
+                                .metrics
+                                .store_selectivity
+                                .observe(outcome.selectivity());
                             let candidates = match outcome.candidates {
                                 Some(count) => Json::number(count),
                                 // Full-scan fallback: no usable literal.
@@ -484,13 +730,52 @@ fn handle_request(shared: &Shared, request: Request) -> Json {
                 }),
             }
         }
-        Request::Explain { program } => with_query(shared, &program, |query, cached| {
+        Request::Explain {
+            program,
+            analyze: false,
+            ..
+        } => with_query(shared, &program, |query, cached| {
             Json::object([
                 ("ok", Json::Bool(true)),
                 ("cached", Json::Bool(cached)),
                 ("explain", Json::string(query.explain())),
             ])
         }),
+        Request::Explain {
+            program,
+            analyze: true,
+            doc,
+        } => {
+            // The parser enforces `doc` whenever `analyze` is set; a
+            // hand-built Request without one gets the same diagnosis.
+            let Some(doc) = doc else {
+                return error_response(
+                    "`explain` with `\"analyze\": true` needs a `doc` field to run the query on",
+                );
+            };
+            with_query(shared, &program, |query, cached| {
+                let document = Document::new(doc);
+                // One traced run feeds both the human rendering and the
+                // structured trace, so they can never disagree.
+                let (result, trace) = query.evaluate_traced(&document);
+                let trace_json = Json::parse(&trace.to_json()).expect("trace JSON is well-formed");
+                let ok = result.is_ok();
+                let mut fields = vec![
+                    ("ok", Json::Bool(ok)),
+                    ("cached", Json::Bool(cached)),
+                    (
+                        "explain",
+                        Json::string(query.render_analyze(&document, &result, &trace)),
+                    ),
+                    ("trace", trace_json),
+                ];
+                match result {
+                    Ok(set) => fields.push(("count", Json::number(set.len()))),
+                    Err(e) => fields.push(("error", Json::string(e.to_string()))),
+                }
+                Json::object(fields)
+            })
+        }
         Request::Stats => {
             let cache = shared.cache.stats();
             let store = match shared.store.lock().expect("store poisoned").as_deref() {
@@ -517,27 +802,62 @@ fn handle_request(shared: &Shared, request: Request) -> Json {
                     "server",
                     Json::object([
                         (
-                            "requests",
-                            Json::number(shared.requests.load(Ordering::Relaxed) as usize),
+                            "requests_total",
+                            Json::number(shared.metrics.total_requests() as usize),
+                        ),
+                        (
+                            "errors_total",
+                            Json::number(shared.metrics.total_errors() as usize),
+                        ),
+                        (
+                            "uptime_s",
+                            Json::Number(shared.started.elapsed().as_secs_f64()),
                         ),
                         (
                             "connections",
-                            Json::number(shared.connections.load(Ordering::Relaxed) as usize),
+                            Json::number(shared.metrics.connections.get() as usize),
                         ),
                         ("corpus_threads", Json::number(shared.pool.threads())),
                         (
                             "docs_skipped",
-                            Json::number(shared.docs_skipped.load(Ordering::Relaxed) as usize),
+                            Json::number(shared.metrics.docs_skipped.get() as usize),
                         ),
                         (
                             "docs_rejected",
-                            Json::number(shared.docs_rejected.load(Ordering::Relaxed) as usize),
+                            Json::number(shared.metrics.docs_rejected.get() as usize),
+                        ),
+                        (
+                            "docs_evaluated",
+                            Json::number(shared.metrics.docs_evaluated.get() as usize),
                         ),
                     ]),
+                ),
+                (
+                    // Per-op request/error totals, so rates are computable
+                    // per operation (the same counters `metrics` renders).
+                    "ops",
+                    Json::Object(
+                        OPS.iter()
+                            .map(|&op| {
+                                let m = shared.metrics.op(op);
+                                (
+                                    op.to_string(),
+                                    Json::object([
+                                        ("requests", Json::number(m.requests.get() as usize)),
+                                        ("errors", Json::number(m.errors.get() as usize)),
+                                    ]),
+                                )
+                            })
+                            .collect(),
+                    ),
                 ),
                 ("store", store),
             ])
         }
+        Request::Metrics => Json::object([
+            ("ok", Json::Bool(true)),
+            ("metrics", Json::string(shared.render_metrics())),
+        ]),
         Request::Shutdown => Json::object([
             ("ok", Json::Bool(true)),
             ("shutting_down", Json::Bool(true)),

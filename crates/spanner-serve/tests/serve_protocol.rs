@@ -344,10 +344,152 @@ fn stats_count_requests_and_connections() {
     client.prepare("/{x:a}/").unwrap();
     let stats = client.stats().unwrap();
     assert!(ok(&stats));
-    // query + prepare + this stats request.
-    assert_eq!(field(&stats, ["server", "requests"]), 3, "{stats}");
+    // query + prepare + this stats request (counted on arrival, so the
+    // in-flight stats request is included in its own report).
+    assert_eq!(field(&stats, ["server", "requests_total"]), 3, "{stats}");
+    assert_eq!(field(&stats, ["server", "errors_total"]), 0, "{stats}");
     assert_eq!(field(&stats, ["server", "connections"]), 1, "{stats}");
     assert!(field(&stats, ["server", "corpus_threads"]) >= 1);
+    assert!(
+        stats
+            .get("server")
+            .and_then(|s| s.get("uptime_s"))
+            .and_then(Json::as_f64)
+            .is_some_and(|u| u >= 0.0),
+        "{stats}"
+    );
+    // The per-op breakdown sums to the totals and partitions them right.
+    let ops = stats.get("ops").unwrap();
+    for (op, requests) in [("query", 1), ("prepare", 1), ("stats", 1)] {
+        let entry = ops.get(op).unwrap_or_else(|| panic!("no ops.{op}"));
+        assert_eq!(
+            entry.get("requests").and_then(Json::as_usize),
+            Some(requests)
+        );
+        assert_eq!(entry.get("errors").and_then(Json::as_usize), Some(0));
+    }
+
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn error_requests_are_tallied_per_op() {
+    let (addr, handle) = start(ServeOptions::default());
+    let mut client = Client::connect(addr).unwrap();
+
+    // One good query, one compile error, one undecodable line.
+    assert!(ok(&client.query("/{x:a}/", "a").unwrap()));
+    assert!(!ok(&client.query("let a = /x/; b", "x").unwrap()));
+    let bad = client.request_line("not json").unwrap();
+    assert!(!ok(&Json::parse(&bad).unwrap()));
+
+    let stats = client.stats().unwrap();
+    assert_eq!(field(&stats, ["server", "requests_total"]), 4, "{stats}");
+    assert_eq!(field(&stats, ["server", "errors_total"]), 2, "{stats}");
+    let ops = stats.get("ops").unwrap();
+    let query = ops.get("query").unwrap();
+    assert_eq!(query.get("requests").and_then(Json::as_usize), Some(2));
+    assert_eq!(query.get("errors").and_then(Json::as_usize), Some(1));
+    let invalid = ops.get("invalid").unwrap();
+    assert_eq!(invalid.get("requests").and_then(Json::as_usize), Some(1));
+    assert_eq!(invalid.get("errors").and_then(Json::as_usize), Some(1));
+
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn metrics_op_returns_prometheus_exposition() {
+    let (addr, handle) = start(ServeOptions::default());
+    let mut client = Client::connect(addr).unwrap();
+
+    client.query("/{x:a+}/", "aaa").unwrap();
+    client.query("/{x:a+}/", "aaa").unwrap(); // cache hit
+    client.query_corpus("/{x:a+}/", "aa\nb\na").unwrap();
+
+    let response = client.metrics().unwrap();
+    assert!(ok(&response), "{response}");
+    let text = response.get("metrics").and_then(Json::as_str).unwrap();
+
+    // Structurally valid Prometheus text exposition.
+    spanner_obs::expo::check_exposition(text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+
+    // The families the daemon promises are present with the right types.
+    for needle in [
+        "# TYPE spanner_requests_total counter",
+        "# TYPE spanner_request_seconds histogram",
+        "# TYPE spanner_connections_total counter",
+        "# TYPE spanner_cache_hits_total counter",
+        "# TYPE spanner_corpus_docs_total counter",
+        "# TYPE spanner_uptime_seconds gauge",
+        r#"spanner_requests_total{op="query"} 2"#,
+        r#"spanner_requests_total{op="query_corpus"} 1"#,
+        // Second query + query_corpus both reuse the first query's entry.
+        r#"spanner_cache_hits_total 2"#,
+        r#"spanner_corpus_docs_total{outcome="skipped"} 1"#,
+        r#"le="+Inf"#,
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+    // Histogram invariants on the wire: the query latency series has a
+    // count of 2 observed requests.
+    assert!(
+        text.contains(r#"spanner_request_seconds_count{op="query"} 2"#),
+        "{text}"
+    );
+
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn explain_analyze_round_trip() {
+    let (addr, handle) = start(ServeOptions::default());
+    let mut client = Client::connect(addr).unwrap();
+
+    // `.*{x:a+}b`: two mappings on "aab" (x = "aa" and x = "a").
+    let response = client
+        .explain_analyze("let a = /.*{x:a+}b/; project x (a);", "aab")
+        .unwrap();
+    assert!(ok(&response), "{response}");
+    assert_eq!(response.get("count").and_then(Json::as_usize), Some(2));
+
+    // The human rendering carries the measured annotations.
+    let text = response.get("explain").and_then(Json::as_str).unwrap();
+    assert!(text.contains("analyze    :"), "{text}");
+    assert!(text.contains("mappings in"), "{text}");
+    assert!(text.contains("rows="), "{text}");
+
+    // The structured trace mirrors the optimized plan: the projection is
+    // fused into the scan, so the root is one CompiledScan leaf carrying
+    // the measured row count and prescan verdict.
+    let trace = response.get("trace").unwrap();
+    let label = trace.get("label").and_then(Json::as_str).unwrap();
+    assert!(label.starts_with("CompiledScan"), "{trace}");
+    assert_eq!(trace.get("rows").and_then(Json::as_usize), Some(2));
+    assert!(trace.get("nanos").and_then(Json::as_usize).is_some());
+    assert_eq!(
+        trace
+            .get("children")
+            .and_then(Json::as_array)
+            .map(|c| c.len()),
+        Some(0),
+        "{trace}"
+    );
+    assert_eq!(
+        trace
+            .get("counters")
+            .and_then(|c| c.get("prescan_accept"))
+            .and_then(Json::as_usize),
+        Some(1),
+        "{trace}"
+    );
+
+    // Analyze on an erroring query still reports ok:false with the error,
+    // not a teardown.
+    let bad = client.explain_analyze("let a = /x/; b", "x").unwrap();
+    assert!(!ok(&bad), "{bad}");
 
     client.shutdown().unwrap();
     handle.join().unwrap().unwrap();

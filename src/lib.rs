@@ -18,6 +18,7 @@
 //! | [`vset`] | `spanner-vset` | vset-automata: analyses, semi-functional transform, FPT join |
 //! | [`enumeration`] | `spanner-enum` | polynomial-delay enumeration (Theorem 2.5) |
 //! | [`algebra`] | `spanner-algebra` | difference operator, RA trees, black-box spanners |
+//! | [`obs`] | `spanner-obs` | metrics registry, Prometheus exposition, execution traces |
 //! | [`reductions`] | `spanner-reductions` | SAT reductions for the lower bounds |
 //! | [`workloads`] | `spanner-workloads` | synthetic corpora, extractor library, random spanners |
 //! | [`corpus`] | `spanner-corpus` | parallel multi-document evaluation of compiled plans |
@@ -49,6 +50,7 @@ pub use spanner_algebra as algebra;
 pub use spanner_core as core;
 pub use spanner_corpus as corpus;
 pub use spanner_enum as enumeration;
+pub use spanner_obs as obs;
 pub use spanner_ql as ql;
 pub use spanner_reductions as reductions;
 pub use spanner_rgx as rgx;

@@ -13,6 +13,8 @@
 //!                                                    into a trigram-indexed
 //!                                                    segment file
 //! document-spanners query    <program> [file]        run a SpannerQL program
+//! document-spanners query --trace <program> [file]   … and report the measured
+//!                                                    per-operator trace on stderr
 //! document-spanners query --corpus <program> [file [threads]]
 //!                                                    … over every line, in parallel
 //! document-spanners query --store <program> <store> [threads]
@@ -23,6 +25,11 @@
 //!                                                    optimized plan, the physical
 //!                                                    operators, and the
 //!                                                    shared-variable bound
+//! document-spanners explain --analyze <program> [file]
+//!                                                    … then run the program on the
+//!                                                    document and annotate every
+//!                                                    operator with measured rows,
+//!                                                    time, and fast-path counters
 //! document-spanners serve    [addr [threads]]        long-running query daemon
 //!                                                    with a prepared-query cache
 //! document-spanners client   <addr> [json-line]      send one request line to a
@@ -48,9 +55,11 @@ const USAGE: &str = "usage:
   document-spanners corpus   <pattern> [file [threads]]
   document-spanners index    <file> <store>
   document-spanners query    <program> [file]
+  document-spanners query    --trace <program> [file]
   document-spanners query    --corpus <program> [file [threads]]
   document-spanners query    --store <program> <store> [threads]
   document-spanners explain  <program>
+  document-spanners explain  --analyze <program> [file]
   document-spanners serve    [addr [threads]]
   document-spanners client   <addr> [json-line]
 
@@ -185,13 +194,27 @@ fn run(args: &[String]) -> Result<(), String> {
         "query" => {
             let mode = operands
                 .first()
-                .filter(|a| *a == "--corpus" || *a == "--store")
+                .filter(|a| *a == "--corpus" || *a == "--store" || *a == "--trace")
                 .map(String::as_str);
             let operands = if mode.is_some() {
                 &operands[1..]
             } else {
                 operands
             };
+            if let Some("--trace") = mode {
+                arity("query --trace", operands, 1, 2)?;
+                let prepared = prepare_program(&operands[0])?;
+                let doc = read_document(operands.get(1))?;
+                // The trace goes to stderr even when the query errors —
+                // seeing where a LimitExceeded tripped is the point.
+                let (result, trace) = prepared.evaluate_traced(&doc);
+                eprint!("{}", trace.render());
+                let set = result.map_err(|e| e.to_string())?;
+                for mapping in set.iter() {
+                    print_mapping(&doc, mapping);
+                }
+                return Ok(());
+            }
             if let Some("--store") = mode {
                 arity("query --store", operands, 2, 3)?;
                 let prepared = prepare_program(&operands[0])?;
@@ -246,9 +269,18 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "explain" => {
-            arity(command, operands, 1, 1)?;
-            let prepared = prepare_program(&operands[0])?;
-            print!("{}", prepared.explain());
+            let analyze = operands.first().is_some_and(|a| a == "--analyze");
+            if analyze {
+                let operands = &operands[1..];
+                arity("explain --analyze", operands, 1, 2)?;
+                let prepared = prepare_program(&operands[0])?;
+                let doc = read_document(operands.get(1))?;
+                print!("{}", prepared.explain_analyze(&doc));
+            } else {
+                arity(command, operands, 1, 1)?;
+                let prepared = prepare_program(&operands[0])?;
+                print!("{}", prepared.explain());
+            }
             Ok(())
         }
         "serve" => {
@@ -262,8 +294,8 @@ fn run(args: &[String]) -> Result<(), String> {
             let server = spanner_serve::Server::bind(addr, options)
                 .map_err(|e| format!("cannot bind {addr}: {e}"))?;
             eprintln!(
-                "listening on {} (line-delimited JSON ops: \
-                 prepare, query, load_corpus, query_corpus, explain, stats, shutdown)",
+                "listening on {} (line-delimited JSON ops: prepare, query, \
+                 load_corpus, query_corpus, explain, stats, metrics, shutdown)",
                 server.local_addr(),
             );
             server.run().map_err(|e| e.to_string())
@@ -414,9 +446,11 @@ mod tests {
             &["corpus", "a", "file", "2", "extra"],
             &["index", "file", "store", "extra"],
             &["query", "/a/", "file", "extra"],
+            &["query", "--trace", "/a/", "file", "extra"],
             &["query", "--corpus", "/a/", "file", "2", "extra"],
             &["query", "--store", "/a/", "store", "2", "extra"],
             &["explain", "/a/", "extra"],
+            &["explain", "--analyze", "/a/", "file", "extra"],
             &["serve", "127.0.0.1:0", "2", "extra"],
             &["client", "127.0.0.1:1", "{}", "extra"],
         ];
@@ -435,6 +469,8 @@ mod tests {
             &["explain"],
             &["index", "file"],
             &["query", "--store", "/a/"],
+            &["explain", "--analyze"],
+            &["query", "--trace"],
         ] {
             let err = run(&argv(case)).unwrap_err();
             assert!(err.contains("needs at least"), "{case:?}: {err}");
@@ -526,6 +562,27 @@ mod tests {
             ])),
             Ok(())
         );
+    }
+
+    #[test]
+    fn query_trace_and_explain_analyze_run_end_to_end() {
+        let file = scratch("trace", "aab");
+        assert_eq!(
+            run(&argv(&["query", "--trace", "/{x:a+}b/", &file])),
+            Ok(())
+        );
+        assert_eq!(
+            run(&argv(&["explain", "--analyze", "/{x:a+}b/", &file])),
+            Ok(())
+        );
+        // The analyze rendering carries the measured annotations.
+        let doc = Document::new("aab");
+        let text = prepare_program("/{x:a+}b/").unwrap().explain_analyze(&doc);
+        assert!(text.contains("analyze    :"), "{text}");
+        assert!(text.contains("rows="), "{text}");
+        // A traced query that errors still reports the error on exit.
+        let err = run(&argv(&["query", "--trace", "let a = /x/; b", &file])).unwrap_err();
+        assert!(err.contains("unknown extractor"), "{err}");
     }
 
     #[test]
