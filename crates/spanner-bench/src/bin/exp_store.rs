@@ -13,54 +13,10 @@
 
 use spanner_algebra::{Instantiation, RaOptions, RaTree};
 use spanner_bench::{header, median_of, merge_bench_json, ms, row, BenchEntry};
-use spanner_core::Document;
 use spanner_corpus::CorpusEngine;
 use spanner_rgx::parse;
 use spanner_store::Store;
-
-/// Deterministic padding over lowercase letters and spaces. The alphabet
-/// includes every byte of "needle", so candidate pruning has to work on
-/// whole trigrams, not on byte absence.
-fn padding(len: usize, seed: u64) -> String {
-    const ALPHABET: &[u8] = b"abcdefghijklmnop qrstuvwxyz ";
-    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
-    (0..len)
-        .map(|_| {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            ALPHABET[(state % ALPHABET.len() as u64) as usize] as char
-        })
-        .collect()
-}
-
-/// One corpus line: a hit embeds the needle in a short alert-shaped line,
-/// a miss is a long padding-only line. (Hits are short on purpose: both
-/// paths pay the same enumeration cost on every true match, so the sweep
-/// isolates what the index actually saves — touching the misses.)
-fn line(hit: bool, seed: u64) -> Document {
-    let text = if hit {
-        format!(
-            "{} needle {}",
-            padding(4, seed),
-            padding(4, seed.wrapping_add(1))
-        )
-    } else {
-        padding(103, seed)
-    };
-    Document::new(&text)
-}
-
-/// A corpus of `lines` documents where `hits_per_10k` of every 10 000
-/// lines contain the needle, spread evenly.
-fn corpus(lines: usize, hits_per_10k: usize, seed: u64) -> Vec<Document> {
-    (0..lines)
-        .map(|i| {
-            let hit = hits_per_10k > 0 && (i * hits_per_10k) % 10_000 < hits_per_10k;
-            line(hit, seed.wrapping_add(i as u64))
-        })
-        .collect()
-}
+use spanner_workloads::needle_corpus as corpus;
 
 fn main() {
     println!("## E15 — trigram store: corpus-size and selectivity sweep\n");

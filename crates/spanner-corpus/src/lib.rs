@@ -42,8 +42,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 pub mod pool;
+pub mod view;
 
 pub use pool::{resolve_pool_threads, WorkerPool};
+pub use view::{DeltaOutcome, QueryView};
 
 /// Aggregate statistics of one corpus evaluation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

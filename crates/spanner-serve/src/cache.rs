@@ -67,8 +67,10 @@ struct CacheEntry {
 /// A plan compiled under one `RaOptions` (optimizer off, different state
 /// budgets, fast path off) is not interchangeable with one compiled under
 /// another — keying on the pair keeps the cache correct if per-request
-/// options ever reach the daemon.
-fn cache_key(program: &str, options: RaOptions) -> String {
+/// options ever reach the daemon. The server's maintained query views key
+/// on the same string, so a view can never be shared across plans that
+/// could disagree.
+pub(crate) fn cache_key(program: &str, options: RaOptions) -> String {
     format!(
         "{}:{}:{}:{}\n{}",
         options.max_states,

@@ -91,9 +91,38 @@ impl Client {
         ]))
     }
 
+    /// `append_docs`: append every line of `text` to the resident store.
+    pub fn append_docs(&mut self, text: &str) -> io::Result<Json> {
+        self.request(&Json::object([
+            ("op", Json::string("append_docs")),
+            ("text", Json::string(text)),
+        ]))
+    }
+
+    /// `update_doc`: replace resident document `line` (0-based) with
+    /// `text`.
+    pub fn update_doc(&mut self, line: u32, text: &str) -> io::Result<Json> {
+        self.request(&Json::object([
+            ("op", Json::string("update_doc")),
+            ("line", Json::number(line as usize)),
+            ("text", Json::string(text)),
+        ]))
+    }
+
+    /// `delete_docs`: tombstone the given resident document ids.
+    pub fn delete_docs(&mut self, lines: &[u32]) -> io::Result<Json> {
+        self.request(&Json::object([
+            ("op", Json::string("delete_docs")),
+            (
+                "lines",
+                Json::Array(lines.iter().map(|&id| Json::number(id as usize)).collect()),
+            ),
+        ]))
+    }
+
     /// `query_corpus` without `text`: evaluate `program` against the
-    /// resident store loaded by [`Client::load_corpus`], pruned through
-    /// its trigram index.
+    /// resident store loaded by [`Client::load_corpus`], served
+    /// incrementally through its maintained view and trigram index.
     pub fn query_store(&mut self, program: &str) -> io::Result<Json> {
         self.request(&Json::object([
             ("op", Json::string("query_corpus")),

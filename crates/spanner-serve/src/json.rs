@@ -326,12 +326,18 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                 *pos += 1;
             }
             Some(_) => {
-                // Consume one UTF-8 character (the input is a &str, so the
-                // bytes are valid UTF-8 by construction).
-                let rest = std::str::from_utf8(&bytes[*pos..]).expect("input is UTF-8");
-                let c = rest.chars().next().expect("non-empty");
-                out.push(c);
-                *pos += c.len_utf8();
+                // Consume the maximal run of unescaped bytes in one copy.
+                // The input is a &str, so the bytes are valid UTF-8 by
+                // construction, and `"` / `\` are ASCII — never part of a
+                // multi-byte character — so the run boundary is a char
+                // boundary. (Per-character consumption here would rescan
+                // the tail per char: quadratic on megabyte-sized
+                // `load_corpus` strings.)
+                let run = *pos;
+                while *pos < bytes.len() && !matches!(bytes[*pos], b'"' | b'\\') {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&bytes[run..*pos]).expect("input is UTF-8"));
             }
         }
     }

@@ -12,7 +12,10 @@
 //! | `prepare` | `program` | compile into the cache, report the plan outline |
 //! | `query` | `program`, `doc` | evaluate on one document |
 //! | `load_corpus` | `text` | ingest every line of `text` into the resident trigram-indexed store |
-//! | `query_corpus` | `program`, `text`? | evaluate every line of `text` as its own document; with `text` omitted, run against the resident store through its trigram index |
+//! | `append_docs` | `text` | append every line of `text` to the resident store |
+//! | `update_doc` | `line`, `text` | replace resident document `line` (0-based) with `text` |
+//! | `delete_docs` | `lines` | tombstone the given resident document ids (applied in order) |
+//! | `query_corpus` | `program`, `text`? | evaluate every line of `text` as its own document; with `text` omitted, run against the resident store incrementally through its maintained query view and trigram index |
 //! | `explain` | `program`, `analyze`?, `doc`? | the full multi-line explain, as a string; with `"analyze": true` (which requires `doc`) the query actually runs and the response adds the measured per-operator trace |
 //! | `stats` | — | cache + server counters |
 //! | `metrics` | — | the whole metrics registry, rendered in Prometheus text exposition format |
@@ -47,6 +50,27 @@ pub enum Request {
     LoadCorpus {
         /// The corpus: one document per line.
         text: String,
+    },
+    /// Append every line of `text` to the resident store as new
+    /// documents. The store's maintained query views pick the delta up on
+    /// the next `query_corpus`.
+    AppendDocs {
+        /// The new documents: one per line.
+        text: String,
+    },
+    /// Replace one resident document's content.
+    UpdateDoc {
+        /// The document id (0-based corpus line).
+        line: u32,
+        /// The new document text.
+        text: String,
+    },
+    /// Tombstone resident documents (their slots become empty documents;
+    /// ids stay stable). Applied in order; the first out-of-bounds id
+    /// aborts with an error.
+    DeleteDocs {
+        /// The document ids to delete.
+        lines: Vec<u32>,
     },
     /// Evaluate `program` over a corpus: every line of `text` as its own
     /// document, or — with `text` omitted — the resident store loaded by
@@ -105,6 +129,31 @@ impl Request {
             "load_corpus" => Ok(Request::LoadCorpus {
                 text: field("text")?,
             }),
+            "append_docs" => Ok(Request::AppendDocs {
+                text: field("text")?,
+            }),
+            "update_doc" => Ok(Request::UpdateDoc {
+                line: doc_id(&value, op, "line")?,
+                text: field("text")?,
+            }),
+            "delete_docs" => {
+                let lines = value
+                    .get("lines")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| format!("`{op}` needs a `lines` array field"))?;
+                let lines = lines
+                    .iter()
+                    .map(|v| {
+                        v.as_usize()
+                            .filter(|&id| id <= u32::MAX as usize)
+                            .map(|id| id as u32)
+                            .ok_or_else(|| {
+                                format!("`{op}` needs `lines` entries to be document ids")
+                            })
+                    })
+                    .collect::<Result<Vec<u32>, String>>()?;
+                Ok(Request::DeleteDocs { lines })
+            }
             "query_corpus" => Ok(Request::QueryCorpus {
                 program: field("program")?,
                 // `text` is optional (absent targets the resident store),
@@ -141,7 +190,8 @@ impl Request {
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
                 "unknown op `{other}` (expected prepare, query, load_corpus, \
-                 query_corpus, explain, stats, metrics, or shutdown)"
+                 append_docs, update_doc, delete_docs, query_corpus, explain, \
+                 stats, metrics, or shutdown)"
             )),
         }
     }
@@ -155,6 +205,9 @@ impl Request {
             Request::Prepare { .. } => "prepare",
             Request::Query { .. } => "query",
             Request::LoadCorpus { .. } => "load_corpus",
+            Request::AppendDocs { .. } => "append_docs",
+            Request::UpdateDoc { .. } => "update_doc",
+            Request::DeleteDocs { .. } => "delete_docs",
             Request::QueryCorpus { .. } => "query_corpus",
             Request::Explain { .. } => "explain",
             Request::Stats => "stats",
@@ -162,6 +215,16 @@ impl Request {
             Request::Shutdown => "shutdown",
         }
     }
+}
+
+/// Reads a whole-number JSON field as a `u32` document id.
+fn doc_id(value: &Json, op: &str, name: &str) -> Result<u32, String> {
+    value
+        .get(name)
+        .and_then(Json::as_usize)
+        .filter(|&id| id <= u32::MAX as usize)
+        .map(|id| id as u32)
+        .ok_or_else(|| format!("`{op}` needs a document-id `{name}` field"))
 }
 
 /// Builds the standard failure response.
@@ -215,6 +278,9 @@ mod tests {
             (r#"{"op":"prepare","program":"/a/"}"#, "prepare"),
             (r#"{"op":"query","program":"/a/","doc":"aa"}"#, "query"),
             (r#"{"op":"load_corpus","text":"a\nb"}"#, "load_corpus"),
+            (r#"{"op":"append_docs","text":"a\nb"}"#, "append_docs"),
+            (r#"{"op":"update_doc","line":3,"text":"new"}"#, "update_doc"),
+            (r#"{"op":"delete_docs","lines":[0,2]}"#, "delete_docs"),
             (
                 r#"{"op":"query_corpus","program":"/a/","text":"a\nb"}"#,
                 "query_corpus",
@@ -236,6 +302,9 @@ mod tests {
                 ("prepare", Request::Prepare { .. })
                 | ("query", Request::Query { .. })
                 | ("load_corpus", Request::LoadCorpus { .. })
+                | ("append_docs", Request::AppendDocs { .. })
+                | ("update_doc", Request::UpdateDoc { .. })
+                | ("delete_docs", Request::DeleteDocs { .. })
                 | ("query_corpus", Request::QueryCorpus { .. })
                 | ("explain", Request::Explain { .. })
                 | ("stats", Request::Stats)
@@ -270,6 +339,24 @@ mod tests {
                 text: None,
             }
         );
+        // Mutation ops decode ids as numbers.
+        assert_eq!(
+            Request::parse(r#"{"op":"update_doc","line":3,"text":"new"}"#).unwrap(),
+            Request::UpdateDoc {
+                line: 3,
+                text: "new".into(),
+            }
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"delete_docs","lines":[2,0,2]}"#).unwrap(),
+            Request::DeleteDocs {
+                lines: vec![2, 0, 2],
+            }
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"delete_docs","lines":[]}"#).unwrap(),
+            Request::DeleteDocs { lines: vec![] }
+        );
     }
 
     #[test]
@@ -295,6 +382,13 @@ mod tests {
                 r#"{"op":"explain","program":"/a/","analyze":"yes"}"#,
                 "`analyze`",
             ),
+            (r#"{"op":"append_docs"}"#, "`text`"),
+            (r#"{"op":"update_doc","text":"x"}"#, "`line`"),
+            (r#"{"op":"update_doc","line":-1,"text":"x"}"#, "`line`"),
+            (r#"{"op":"update_doc","line":1.5,"text":"x"}"#, "`line`"),
+            (r#"{"op":"update_doc","line":0}"#, "`text`"),
+            (r#"{"op":"delete_docs"}"#, "`lines`"),
+            (r#"{"op":"delete_docs","lines":[0,"x"]}"#, "document ids"),
         ] {
             let err = Request::parse(line).unwrap_err();
             assert!(err.contains(needle), "{line:?}: {err}");

@@ -20,19 +20,20 @@
 //!   worker finishes its in-flight request (and any input already
 //!   buffered on its connection) before the server exits.
 
-use crate::cache::QueryCache;
+use crate::cache::{cache_key, QueryCache};
 use crate::json::Json;
 use crate::protocol::{error_response, mappings_to_json, Request};
 use spanner_algebra::RaOptions;
 use spanner_core::Document;
-use spanner_corpus::{split_lines, CorpusResult, WorkerPool};
+use spanner_corpus::{split_lines, CorpusResult, QueryView, WorkerPool};
 use spanner_obs::{Counter, Exposition, Histogram, Registry, LATENCY_BUCKETS, RATIO_BUCKETS};
 use spanner_store::Store;
+use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Configuration of a [`Server`].
@@ -58,6 +59,15 @@ pub struct ServeOptions {
     /// complete line, so an active client can idle between requests up to
     /// this long.
     pub idle_timeout: Duration,
+    /// Retention budget of each maintained query view over the resident
+    /// store, in cost units (≈ retained mappings; see
+    /// [`QueryView::new`]). `0` disables retention — every store query is
+    /// a cold evaluation.
+    pub view_budget: usize,
+    /// Maximum number of maintained query views per resident store (one
+    /// per distinct prepared program); least-recently-used views are
+    /// dropped past it. `0` disables views entirely.
+    pub max_views: usize,
 }
 
 impl Default for ServeOptions {
@@ -69,6 +79,8 @@ impl Default for ServeOptions {
             ra_options: RaOptions::default(),
             corpus_threads: 0,
             idle_timeout: Duration::from_secs(60),
+            view_budget: 1 << 20,
+            max_views: 16,
         }
     }
 }
@@ -80,12 +92,21 @@ const OPS: &[&str] = &[
     "prepare",
     "query",
     "load_corpus",
+    "append_docs",
+    "update_doc",
+    "delete_docs",
     "query_corpus",
     "explain",
     "stats",
     "metrics",
     "shutdown",
     "invalid",
+];
+
+/// Buckets for delta-size histograms (documents touched per incremental
+/// store query) — counts, not seconds.
+const DELTA_BUCKETS: &[f64] = &[
+    0.0, 1.0, 2.0, 5.0, 10.0, 25.0, 100.0, 1000.0, 10000.0, 100000.0,
 ];
 
 /// The per-op handles of one protocol operation.
@@ -117,6 +138,24 @@ struct ServerMetrics {
     /// Trigram-index selectivity (candidates / documents) per resident
     /// store query; full-scan fallbacks observe 1.0.
     store_selectivity: Histogram,
+    /// Resident-store build time per `load_corpus` — the expensive part of
+    /// corpus ingestion, kept visible because it runs on a connection
+    /// worker (the store swap itself is an atomic pointer store).
+    store_build_seconds: Histogram,
+    /// Store mutations applied, by op (append/update/delete).
+    store_appends: Counter,
+    store_updates: Counter,
+    store_deletes: Counter,
+    /// Maintained-view outcomes per resident-store query: documents served
+    /// from a retained entry, documents re-evaluated (the delta), and
+    /// retained entries dropped because their document changed.
+    view_hits: Counter,
+    view_misses: Counter,
+    view_invalidations: Counter,
+    /// Delta size (documents touched) per resident-store query.
+    view_delta_docs: Histogram,
+    /// Share of documents served from the view per resident-store query.
+    view_hit_ratio: Histogram,
 }
 
 impl ServerMetrics {
@@ -176,6 +215,54 @@ impl ServerMetrics {
                 &[],
                 RATIO_BUCKETS,
             ),
+            store_build_seconds: registry.histogram(
+                "spanner_store_build_seconds",
+                "Resident store build time per load_corpus request",
+                &[],
+                LATENCY_BUCKETS,
+            ),
+            store_appends: registry.counter(
+                "spanner_store_mutations_total",
+                "Resident-store mutations applied, by op",
+                &[("op", "append")],
+            ),
+            store_updates: registry.counter(
+                "spanner_store_mutations_total",
+                "Resident-store mutations applied, by op",
+                &[("op", "update")],
+            ),
+            store_deletes: registry.counter(
+                "spanner_store_mutations_total",
+                "Resident-store mutations applied, by op",
+                &[("op", "delete")],
+            ),
+            view_hits: registry.counter(
+                "spanner_view_docs_total",
+                "Documents per resident-store query, by view outcome",
+                &[("outcome", "hit")],
+            ),
+            view_misses: registry.counter(
+                "spanner_view_docs_total",
+                "Documents per resident-store query, by view outcome",
+                &[("outcome", "miss")],
+            ),
+            view_invalidations: registry.counter(
+                "spanner_view_invalidations_total",
+                "Retained view entries dropped because their document changed",
+                &[],
+            ),
+            view_delta_docs: registry.histogram(
+                "spanner_view_delta_docs",
+                "Documents re-evaluated (the delta) per resident-store query",
+                &[],
+                DELTA_BUCKETS,
+            ),
+            view_hit_ratio: registry.histogram(
+                "spanner_view_hit_ratio",
+                "Share of documents served from the maintained view per resident-store query",
+                &[],
+                RATIO_BUCKETS,
+            ),
             registry,
         }
     }
@@ -224,6 +311,100 @@ impl ServerMetrics {
     }
 }
 
+/// The resident mutable corpus plus its maintained query views.
+///
+/// Queries take the store's read lock (and run concurrently); mutations
+/// take the write lock. `load_corpus` builds a whole new `ResidentStore`
+/// *off*-lock and swaps the `Arc` in one pointer store, so queries
+/// against the previous corpus stay live for the entire build.
+struct ResidentStore {
+    store: RwLock<Store>,
+    views: ViewSet,
+}
+
+/// A bounded LRU map of maintained query views over one resident store,
+/// keyed exactly like the prepared-query cache (trimmed program text +
+/// compile options) so a view can never serve a plan it was not built by.
+struct ViewSet {
+    state: Mutex<ViewSetState>,
+    /// Maximum resident views; `0` disables views.
+    capacity: usize,
+    /// Retention budget handed to each new view.
+    budget: usize,
+}
+
+#[derive(Default)]
+struct ViewSetState {
+    views: HashMap<String, ViewSlot>,
+    /// Monotonic recency clock; bumped on every touch.
+    tick: u64,
+}
+
+struct ViewSlot {
+    view: Arc<Mutex<QueryView>>,
+    last_used: u64,
+}
+
+impl ViewSet {
+    fn new(capacity: usize, budget: usize) -> ViewSet {
+        ViewSet {
+            state: Mutex::new(ViewSetState::default()),
+            capacity,
+            budget,
+        }
+    }
+
+    /// The view for `key`, creating it (and evicting the least recently
+    /// used one past capacity) on first use; `None` when views are
+    /// disabled. The returned handle is locked *outside* the set mutex.
+    fn get(&self, key: &str) -> Option<Arc<Mutex<QueryView>>> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let mut state = self.state.lock().expect("view set poisoned");
+        state.tick += 1;
+        let tick = state.tick;
+        if let Some(slot) = state.views.get_mut(key) {
+            slot.last_used = tick;
+            return Some(Arc::clone(&slot.view));
+        }
+        if state.views.len() >= self.capacity {
+            if let Some(oldest) = state
+                .views
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                state.views.remove(&oldest);
+            }
+        }
+        let view = Arc::new(Mutex::new(QueryView::new(self.budget)));
+        state.views.insert(
+            key.to_string(),
+            ViewSlot {
+                view: Arc::clone(&view),
+                last_used: tick,
+            },
+        );
+        Some(view)
+    }
+
+    /// Number of resident views.
+    fn entries(&self) -> usize {
+        self.state.lock().expect("view set poisoned").views.len()
+    }
+
+    /// Total retention cost across every resident view.
+    fn retained_cost(&self) -> usize {
+        let state = self.state.lock().expect("view set poisoned");
+        state
+            .views
+            .values()
+            .map(|slot| slot.view.lock().expect("view poisoned").retained_cost())
+            .sum()
+    }
+}
+
 /// State shared by the accept loop and every connection worker.
 struct Shared {
     cache: QueryCache,
@@ -233,14 +414,21 @@ struct Shared {
     shutdown: AtomicBool,
     metrics: ServerMetrics,
     started: Instant,
-    /// The resident corpus store: loaded once by `load_corpus`, then
-    /// queried by `query_corpus` requests that omit `text` — documents
-    /// stay on the server and selective queries prune through the trigram
-    /// index instead of shipping the corpus per request.
-    store: Mutex<Option<Arc<Store>>>,
+    /// The resident corpus: loaded by `load_corpus`, mutated in place by
+    /// `append_docs`/`update_doc`/`delete_docs`, and queried by
+    /// `query_corpus` requests that omit `text` — documents stay on the
+    /// server, selective queries prune through the trigram index, and
+    /// repeat queries are served incrementally from maintained views.
+    store: Mutex<Option<Arc<ResidentStore>>>,
 }
 
 impl Shared {
+    /// The current resident store, if any (cheap pointer clone; the
+    /// pointer mutex is never held across a query or a build).
+    fn resident(&self) -> Option<Arc<ResidentStore>> {
+        self.store.lock().expect("store poisoned").clone()
+    }
+
     /// Renders the whole registry plus the scrape-time families (cache,
     /// resident store, uptime) as one Prometheus text exposition.
     fn render_metrics(&self) -> String {
@@ -279,7 +467,8 @@ impl Shared {
             out.family(name, "counter", help);
             out.sample(name, &[], value as f64);
         }
-        if let Some(store) = self.store.lock().expect("store poisoned").as_deref() {
+        if let Some(resident) = self.resident() {
+            let store = resident.store.read().expect("store lock poisoned");
             for (name, help, value) in [
                 (
                     "spanner_store_documents",
@@ -296,8 +485,43 @@ impl Shared {
                     "Distinct trigrams in the resident store's index",
                     store.trigram_count(),
                 ),
+                (
+                    "spanner_store_delta_postings",
+                    "Posting entries in the resident store's delta segment",
+                    store.delta_postings(),
+                ),
+                (
+                    "spanner_store_deleted_documents",
+                    "Resident documents tombstoned since load",
+                    store.deleted_count(),
+                ),
+                (
+                    "spanner_views",
+                    "Maintained query views over the resident store",
+                    resident.views.entries(),
+                ),
+                (
+                    "spanner_view_retained_cost",
+                    "Total retention cost across the maintained query views",
+                    resident.views.retained_cost(),
+                ),
             ] {
                 out.family(name, "gauge", help);
+                out.sample(name, &[], value as f64);
+            }
+            for (name, help, value) in [
+                (
+                    "spanner_store_generation",
+                    "Mutations applied to the resident store since load",
+                    store.generation(),
+                ),
+                (
+                    "spanner_store_compactions_total",
+                    "Trigram-index compactions of the resident store",
+                    store.compactions(),
+                ),
+            ] {
+                out.family(name, "counter", help);
                 out.sample(name, &[], value as f64);
             }
         }
@@ -671,18 +895,106 @@ fn handle_request(shared: &Shared, request: Request) -> Json {
                 ]),
             }
         }),
-        Request::LoadCorpus { text } => match Store::build(split_lines(&text)) {
-            Err(e) => error_response(e),
-            Ok(store) => {
-                let store = Arc::new(store);
-                let response = Json::object([
-                    ("ok", Json::Bool(true)),
-                    ("documents", Json::number(store.len())),
-                    ("bytes", Json::number(store.bytes())),
-                    ("trigrams", Json::number(store.trigram_count())),
-                ]);
-                *shared.store.lock().expect("store poisoned") = Some(store);
-                response
+        Request::LoadCorpus { text } => {
+            // The build is the expensive part; it runs before any lock is
+            // taken, so queries against the previous resident corpus stay
+            // live until the one-pointer swap below.
+            let build_started = Instant::now();
+            match Store::build(split_lines(&text)) {
+                Err(e) => error_response(e),
+                Ok(store) => {
+                    shared
+                        .metrics
+                        .store_build_seconds
+                        .observe_duration(build_started.elapsed());
+                    let response = Json::object([
+                        ("ok", Json::Bool(true)),
+                        ("documents", Json::number(store.len())),
+                        ("bytes", Json::number(store.bytes())),
+                        ("trigrams", Json::number(store.trigram_count())),
+                        ("generation", Json::number(store.generation() as usize)),
+                    ]);
+                    let resident = Arc::new(ResidentStore {
+                        store: RwLock::new(store),
+                        views: ViewSet::new(shared.options.max_views, shared.options.view_budget),
+                    });
+                    *shared.store.lock().expect("store poisoned") = Some(resident);
+                    response
+                }
+            }
+        }
+        Request::AppendDocs { text } => match shared.resident() {
+            None => error_response("no resident corpus (send `load_corpus` first)"),
+            Some(resident) => {
+                let mut store = resident.store.write().expect("store lock poisoned");
+                let mut appended = 0usize;
+                let mut failure = None;
+                for line in text.lines() {
+                    match store.append(line) {
+                        Ok(_) => appended += 1,
+                        Err(e) => {
+                            failure = Some(e);
+                            break;
+                        }
+                    }
+                }
+                shared.metrics.store_appends.add(appended as u64);
+                match failure {
+                    Some(e) => error_response(e),
+                    None => Json::object([
+                        ("ok", Json::Bool(true)),
+                        ("appended", Json::number(appended)),
+                        ("documents", Json::number(store.len())),
+                        ("generation", Json::number(store.generation() as usize)),
+                    ]),
+                }
+            }
+        },
+        Request::UpdateDoc { line, text } => match shared.resident() {
+            None => error_response("no resident corpus (send `load_corpus` first)"),
+            Some(resident) => {
+                let mut store = resident.store.write().expect("store lock poisoned");
+                match store.update(line, &text) {
+                    Err(e) => error_response(e),
+                    Ok(()) => {
+                        shared.metrics.store_updates.inc();
+                        Json::object([
+                            ("ok", Json::Bool(true)),
+                            ("documents", Json::number(store.len())),
+                            ("generation", Json::number(store.generation() as usize)),
+                        ])
+                    }
+                }
+            }
+        },
+        Request::DeleteDocs { lines } => match shared.resident() {
+            None => error_response("no resident corpus (send `load_corpus` first)"),
+            Some(resident) => {
+                let mut store = resident.store.write().expect("store lock poisoned");
+                let mut deleted = 0usize;
+                let mut failure = None;
+                // Applied in order; the first bad id aborts (earlier
+                // deletes stay applied — deletes are idempotent, so a
+                // client can safely retry the whole batch).
+                for id in lines {
+                    match store.delete(id) {
+                        Ok(()) => deleted += 1,
+                        Err(e) => {
+                            failure = Some(e);
+                            break;
+                        }
+                    }
+                }
+                shared.metrics.store_deletes.add(deleted as u64);
+                match failure {
+                    Some(e) => error_response(e),
+                    None => Json::object([
+                        ("ok", Json::Bool(true)),
+                        ("deleted", Json::number(deleted)),
+                        ("documents", Json::number(store.len())),
+                        ("generation", Json::number(store.generation() as usize)),
+                    ]),
+                }
             }
         },
         Request::QueryCorpus {
@@ -698,38 +1010,61 @@ fn handle_request(shared: &Shared, request: Request) -> Json {
         Request::QueryCorpus {
             program,
             text: None,
-        } => {
-            let store = shared.store.lock().expect("store poisoned").clone();
-            match store {
-                None => error_response("no resident corpus (send `load_corpus` first)"),
-                Some(store) => with_query(shared, &program, |query, cached| {
-                    match store.query(query.engine(), shared.pool.threads()) {
-                        Err(e) => error_response(e),
-                        Ok(outcome) => {
-                            shared
-                                .metrics
-                                .store_selectivity
-                                .observe(outcome.selectivity());
-                            let candidates = match outcome.candidates {
-                                Some(count) => Json::number(count),
-                                // Full-scan fallback: no usable literal.
-                                None => Json::Null,
-                            };
-                            corpus_response(
-                                shared,
-                                cached,
-                                store.documents(),
-                                &outcome.output,
-                                [
-                                    ("candidates", candidates),
-                                    ("selectivity", Json::Number(outcome.selectivity())),
-                                ],
-                            )
-                        }
+        } => match shared.resident() {
+            None => error_response("no resident corpus (send `load_corpus` first)"),
+            Some(resident) => with_query(shared, &program, |query, cached| {
+                let store = resident.store.read().expect("store lock poisoned");
+                let threads = shared.pool.threads();
+                // One maintained view per (program, options) key; with
+                // views disabled a throwaway zero-budget view keeps the
+                // code path (and the response shape) identical.
+                let slot = resident
+                    .views
+                    .get(&cache_key(&program, shared.options.ra_options));
+                let result = match &slot {
+                    Some(slot) => {
+                        let mut view = slot.lock().expect("view poisoned");
+                        store.query_view(query.engine(), &mut view, threads)
                     }
-                }),
-            }
-        }
+                    None => store.query_view(query.engine(), &mut QueryView::new(0), threads),
+                };
+                match result {
+                    Err(e) => error_response(e),
+                    Ok(outcome) => {
+                        let m = &shared.metrics;
+                        m.store_selectivity.observe(outcome.selectivity());
+                        m.view_hits.add(outcome.view_hits as u64);
+                        m.view_misses.add(outcome.delta_docs as u64);
+                        m.view_invalidations.add(outcome.invalidated as u64);
+                        m.view_delta_docs.observe(outcome.delta_docs as f64);
+                        let documents = outcome.output.stats.documents;
+                        if documents > 0 {
+                            m.view_hit_ratio
+                                .observe(outcome.view_hits as f64 / documents as f64);
+                        }
+                        let candidates = match outcome.candidates {
+                            Some(count) => Json::number(count),
+                            // Full-scan fallback: no usable literal.
+                            None => Json::Null,
+                        };
+                        corpus_response(
+                            shared,
+                            cached,
+                            store.documents(),
+                            &outcome.output,
+                            [
+                                ("candidates", candidates),
+                                ("selectivity", Json::Number(outcome.selectivity())),
+                                ("delta_docs", Json::number(outcome.delta_docs)),
+                                ("view_hits", Json::number(outcome.view_hits)),
+                                ("invalidated", Json::number(outcome.invalidated)),
+                                ("generation", Json::number(outcome.generation as usize)),
+                            ],
+                        )
+                    }
+                }
+            }),
+        },
         Request::Explain {
             program,
             analyze: false,
@@ -778,13 +1113,21 @@ fn handle_request(shared: &Shared, request: Request) -> Json {
         }
         Request::Stats => {
             let cache = shared.cache.stats();
-            let store = match shared.store.lock().expect("store poisoned").as_deref() {
+            let store = match shared.resident() {
                 None => Json::Null,
-                Some(store) => Json::object([
-                    ("documents", Json::number(store.len())),
-                    ("bytes", Json::number(store.bytes())),
-                    ("trigrams", Json::number(store.trigram_count())),
-                ]),
+                Some(resident) => {
+                    let store = resident.store.read().expect("store lock poisoned");
+                    Json::object([
+                        ("documents", Json::number(store.len())),
+                        ("bytes", Json::number(store.bytes())),
+                        ("trigrams", Json::number(store.trigram_count())),
+                        ("generation", Json::number(store.generation() as usize)),
+                        ("deleted", Json::number(store.deleted_count())),
+                        ("delta_postings", Json::number(store.delta_postings())),
+                        ("compactions", Json::number(store.compactions() as usize)),
+                        ("views", Json::number(resident.views.entries())),
+                    ])
+                }
             };
             Json::object([
                 ("ok", Json::Bool(true)),

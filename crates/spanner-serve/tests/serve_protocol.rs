@@ -166,6 +166,164 @@ fn resident_store_round_trip() {
 }
 
 #[test]
+fn mutations_propagate_through_the_maintained_view() {
+    let (addr, handle) = start(ServeOptions::default());
+    let mut client = Client::connect(addr).unwrap();
+
+    // Mutating before a corpus is loaded is a protocol error, not a
+    // teardown.
+    let early = client.append_docs("x").unwrap();
+    assert!(!ok(&early));
+    assert!(early
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("load_corpus"));
+
+    let corpus: String = (0..50).map(|i| format!("line {i}: nothing\n")).collect();
+    let loaded = client.load_corpus(corpus.trim_end()).unwrap();
+    assert!(ok(&loaded), "{loaded}");
+    let gen0 = loaded.get("generation").and_then(Json::as_usize).unwrap();
+
+    // Cold query: every document is a view miss (the non-candidates are
+    // recorded as empty without being read — all 50 here, since nothing
+    // contains the literal).
+    let program = "/.*needle{x: .*}/";
+    let cold = client.query_store(program).unwrap();
+    assert!(ok(&cold), "{cold}");
+    assert_eq!(cold.get("matched").and_then(Json::as_usize), Some(0));
+    assert_eq!(cold.get("delta_docs").and_then(Json::as_usize), Some(50));
+    assert_eq!(cold.get("view_hits").and_then(Json::as_usize), Some(0));
+
+    // Warm repeat: answered entirely from the maintained view.
+    let warm = client.query_store(program).unwrap();
+    assert_eq!(warm.get("delta_docs").and_then(Json::as_usize), Some(0));
+    assert_eq!(warm.get("view_hits").and_then(Json::as_usize), Some(50));
+
+    // Mutate: two appends, one rewrite, one delete — four changed ids.
+    let appended = client
+        .append_docs("new needle alpha\nnew needle beta")
+        .unwrap();
+    assert!(ok(&appended), "{appended}");
+    assert_eq!(appended.get("appended").and_then(Json::as_usize), Some(2));
+    assert_eq!(appended.get("documents").and_then(Json::as_usize), Some(52));
+    let updated = client.update_doc(3, "line 3: needle now").unwrap();
+    assert!(ok(&updated), "{updated}");
+    let deleted = client.delete_docs(&[10]).unwrap();
+    assert!(ok(&deleted), "{deleted}");
+    assert_eq!(deleted.get("deleted").and_then(Json::as_usize), Some(1));
+    let gen = deleted.get("generation").and_then(Json::as_usize).unwrap();
+    assert!(
+        gen > gen0,
+        "mutations advance the generation: {gen0} -> {gen}"
+    );
+
+    // Only the four changed documents are re-evaluated; the other 48 are
+    // served from the view. The update and the delete invalidate retained
+    // entries; the appends never had any.
+    let delta = client.query_store(program).unwrap();
+    assert!(ok(&delta), "{delta}");
+    assert_eq!(delta.get("documents").and_then(Json::as_usize), Some(52));
+    assert_eq!(delta.get("delta_docs").and_then(Json::as_usize), Some(4));
+    assert_eq!(delta.get("view_hits").and_then(Json::as_usize), Some(48));
+    assert_eq!(delta.get("invalidated").and_then(Json::as_usize), Some(2));
+    // The rewritten doc and the two appends match; the tombstoned slot is
+    // empty and does not.
+    assert_eq!(delta.get("matched").and_then(Json::as_usize), Some(3));
+    assert_eq!(delta.get("generation").and_then(Json::as_usize), Some(gen));
+
+    // And the refreshed view serves the whole corpus on the next repeat.
+    let warm2 = client.query_store(program).unwrap();
+    assert_eq!(warm2.get("delta_docs").and_then(Json::as_usize), Some(0));
+    assert_eq!(warm2.get("view_hits").and_then(Json::as_usize), Some(52));
+    assert_eq!(warm2.get("results"), delta.get("results"));
+
+    // An out-of-range id is an error response, with earlier state intact.
+    let bad = client.update_doc(999, "nope").unwrap();
+    assert!(!ok(&bad), "{bad}");
+    let stats = client.stats().unwrap();
+    assert_eq!(field(&stats, ["store", "documents"]), 52, "{stats}");
+    assert_eq!(field(&stats, ["store", "deleted"]), 1, "{stats}");
+    assert!(field(&stats, ["store", "generation"]) >= 4, "{stats}");
+    assert_eq!(field(&stats, ["store", "views"]), 1, "{stats}");
+
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn queries_stay_live_during_a_large_load_corpus() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let (addr, handle) = start(ServeOptions {
+        threads: 4,
+        max_line_bytes: 64 << 20,
+        ..ServeOptions::default()
+    });
+    let mut client = Client::connect(addr).unwrap();
+    let loaded = client
+        .load_corpus("alpha needle\nbeta\ngamma needle")
+        .unwrap();
+    assert!(ok(&loaded), "{loaded}");
+
+    // A second connection replaces the corpus with a large one; the build
+    // happens off the resident pointer, so queries on the first connection
+    // must keep being answered (by the old store) for the whole duration.
+    // Big enough that the build visibly overlaps the query loop, small
+    // enough to stay quick in unoptimized test builds.
+    const BIG: usize = 30_000;
+    let done = Arc::new(AtomicBool::new(false));
+    let loader_done = Arc::clone(&done);
+    let loader = std::thread::spawn(move || {
+        let mut loader = Client::connect(addr).unwrap();
+        let big: String = (0..BIG)
+            .map(|i| format!("filler document {i} with some text\n"))
+            .collect();
+        let response = loader.load_corpus(big.trim_end()).unwrap();
+        loader_done.store(true, Ordering::SeqCst);
+        response
+    });
+
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    let mut live_during_load = 0;
+    loop {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "load_corpus did not finish within a minute"
+        );
+        let before = done.load(Ordering::SeqCst);
+        let response = client.query_store("/.*needle{x:.*}/").unwrap();
+        assert!(ok(&response), "{response}");
+        let documents = response.get("documents").and_then(Json::as_usize).unwrap();
+        assert!(
+            documents == 3 || documents == BIG,
+            "a query observed a half-swapped store: {response}"
+        );
+        if !before && documents == 3 {
+            live_during_load += 1;
+        }
+        if documents == BIG {
+            break;
+        }
+    }
+    assert!(
+        live_during_load > 0,
+        "no query was served while the load was in flight"
+    );
+
+    let response = loader.join().unwrap();
+    assert!(ok(&response), "{response}");
+    assert_eq!(
+        response.get("documents").and_then(Json::as_usize),
+        Some(BIG)
+    );
+
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
 fn malformed_requests_error_without_closing_the_connection() {
     let (addr, handle) = start(ServeOptions::default());
     let mut client = Client::connect(addr).unwrap();

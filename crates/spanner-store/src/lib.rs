@@ -1,4 +1,4 @@
-//! A persistent, trigram-indexed corpus store.
+//! A persistent, trigram-indexed, *mutable* corpus store.
 //!
 //! The paper's spanners map one document to a relation; the serving layers
 //! built on top apply one query to a whole corpus. Until this crate, every
@@ -6,13 +6,11 @@
 //! but still linear in corpus size. [`Store`] makes document touch
 //! sub-linear for selective queries:
 //!
-//! * **Segment file**: the corpus is persisted once as a compact
+//! * **Segment file**: the corpus is persisted as a compact
 //!   length-prefixed segment file and loaded back into an in-memory
-//!   document table (documents are immutable after ingest — the shape of
-//!   log-scanning workloads).
-//! * **Trigram posting index**: at ingest time every document's byte
-//!   trigrams are inverted into sorted posting lists (delta-varint encoded
-//!   on disk).
+//!   document table.
+//! * **Trigram posting index**: every document's byte trigrams are
+//!   inverted into sorted posting lists (delta-varint encoded on disk).
 //! * **Literal pruning**: at query time, the *required literals* a
 //!   compiled plan extracts from its automata (see
 //!   `spanner_vset::scan::ScanPlan::required_literals` — byte strings every
@@ -27,20 +25,48 @@
 //! to the unindexed path in corpus order either way (pinned by the
 //! `store_oracle` differential suite).
 //!
+//! **Mutations.** The store is a *living* corpus: [`Store::append`],
+//! [`Store::update`] and [`Store::delete`] maintain the index
+//! incrementally through a classic LSM shape — a read-only **base**
+//! segment (the postings as of the last build/compaction), a small sorted
+//! **delta** segment holding the postings of mutated documents, and a
+//! **tombstone mask** marking base postings that died. A document's live
+//! postings are always entirely in one segment, and every read path
+//! (candidates, save) merges `base − tombstones` with the delta, so a
+//! mutated store is query- and byte-identical to a from-scratch rebuild
+//! over the same documents (pinned by the `incr_oracle` suite). When the
+//! pending delta outgrows the base ([`COMPACT_GRACE`]), the index is
+//! compacted in place. Each document also carries a 64-bit FNV-1a content
+//! hash ([`fnv1a64`]) and the store a monotone [`Store::generation`]
+//! counter — the keys the maintained query views of
+//! [`spanner_corpus::QueryView`] invalidate on (see [`Store::query_view`]).
+//! Deleting a document replaces it with an empty one (document ids are
+//! stable — views and journals refer to them), so "rebuild" always means
+//! `Store::build(store.documents().to_vec())`.
+//!
+//! Mutations can be journaled to disk ([`journal::Journal`]) and replayed
+//! onto a loaded segment, so persistence is segment + journal.
+//!
 //! ```
 //! use spanner_core::Document;
 //! use spanner_store::Store;
 //!
 //! let docs = vec![Document::new("error: disk full"), Document::new("ok")];
-//! let store = Store::build(docs).unwrap();
+//! let mut store = Store::build(docs).unwrap();
 //! // "error" → trigrams {err, rro, ror, or:} → only document 0.
 //! assert_eq!(store.candidates(&[b"error".to_vec()]), Some(vec![0]));
+//! store.append("another error").unwrap();
+//! assert_eq!(store.candidates(&[b"error".to_vec()]), Some(vec![0, 2]));
 //! ```
 
-use spanner_core::{Document, FxHashMap, SpannerResult};
-use spanner_corpus::{CorpusEngine, CorpusResult};
+use spanner_core::{Document, FxHashMap, FxHashSet, SpannerResult};
+use spanner_corpus::{CorpusEngine, CorpusResult, QueryView};
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
+
+pub mod journal;
+
+pub use journal::{Journal, Mutation};
 
 /// Magic bytes opening every segment file.
 pub const MAGIC: &[u8; 8] = b"SPANSTOR";
@@ -52,13 +78,22 @@ pub const VERSION: u32 = 1;
 /// pruned on and force a full scan.
 pub const TRIGRAM_LEN: usize = 3;
 
-/// Errors opening or parsing a segment file.
+/// Compaction threshold grace: the index is compacted when the pending
+/// work (delta postings + tombstoned base postings) exceeds
+/// `max(COMPACT_GRACE, base_postings / 2)`. The grace keeps small stores
+/// from compacting on every mutation; the ratio keeps amortized mutation
+/// cost constant (geometric rebuild schedule).
+pub const COMPACT_GRACE: usize = 1024;
+
+/// Errors opening or parsing a segment file, or applying a mutation.
 #[derive(Debug)]
 pub enum StoreError {
     /// The underlying file operation failed.
     Io(io::Error),
     /// The file is not a segment file, or is corrupt / truncated.
     Format(String),
+    /// A mutation was rejected (out-of-bounds document id, id overflow).
+    Mutation(String),
 }
 
 impl std::fmt::Display for StoreError {
@@ -66,6 +101,7 @@ impl std::fmt::Display for StoreError {
         match self {
             StoreError::Io(e) => write!(f, "store i/o error: {e}"),
             StoreError::Format(msg) => write!(f, "invalid store file: {msg}"),
+            StoreError::Mutation(msg) => write!(f, "invalid mutation: {msg}"),
         }
     }
 }
@@ -78,14 +114,56 @@ impl From<io::Error> for StoreError {
     }
 }
 
-/// An immutable corpus with its trigram posting index: built in memory
-/// with [`Store::build`], persisted with [`Store::save`], and mapped back
-/// with [`Store::load`]. The document table is loaded once and shared by
-/// every query against the store.
+/// The 64-bit FNV-1a hash of `bytes` — the store's per-document content
+/// hash. Std-only, stable across platforms and versions: view entries and
+/// journal replays compare these across process boundaries.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// A trigram-indexed corpus: built in memory with [`Store::build`],
+/// persisted with [`Store::save`], mapped back with [`Store::load`], and
+/// mutated in place with [`Store::append`] / [`Store::update`] /
+/// [`Store::delete`]. The document table is shared by every query against
+/// the store.
 pub struct Store {
     docs: Vec<Document>,
-    /// Sorted, duplicate-free posting lists per byte trigram.
-    postings: FxHashMap<[u8; 3], Vec<u32>>,
+    /// Per-document FNV-1a content hashes, indexed like `docs`.
+    hashes: Vec<u64>,
+    /// Base segment: sorted, duplicate-free posting lists per byte trigram
+    /// covering documents `0..base_len` as of the last build/compaction.
+    base: FxHashMap<[u8; 3], Vec<u32>>,
+    /// Documents covered by the base segment.
+    base_len: usize,
+    /// Total posting entries in the base segment (at compaction time).
+    base_postings: usize,
+    /// Delta segment: sorted posting lists of documents mutated since the
+    /// last compaction. A document's live postings are entirely in the
+    /// base xor entirely in the delta.
+    delta: FxHashMap<[u8; 3], Vec<u32>>,
+    /// Total posting entries currently in the delta.
+    delta_postings: usize,
+    /// Tombstone mask over `0..base_len`: `true` = this document's base
+    /// postings are dead (it was updated or deleted).
+    stale: Vec<bool>,
+    /// Number of `true` entries in `stale`, weighted per document (the
+    /// pending-work trigger counts documents, not their posting entries —
+    /// cheap to maintain, same asymptotics).
+    stale_count: usize,
+    /// Documents tombstoned by [`Store::delete`] (their slot is an empty
+    /// document). Advisory — not persisted in the segment file.
+    deleted: FxHashSet<u32>,
+    /// Monotone mutation counter: bumped once per effective mutation.
+    generation: u64,
+    /// Number of threshold-triggered or explicit compactions.
+    compactions: u64,
 }
 
 /// What one indexed query did: the full-corpus result plus how the
@@ -114,6 +192,59 @@ impl StoreQueryOutcome {
     }
 }
 
+/// What one view-backed query did: the full-corpus result plus how much
+/// came from the maintained view and how the delta was pruned.
+#[derive(Debug)]
+pub struct ViewQueryOutcome {
+    /// Per-document relations for the whole corpus, in corpus order —
+    /// bit-identical to [`Store::query`] and the unindexed paths.
+    pub output: CorpusResult,
+    /// Documents not served from the view (the delta the query touched).
+    pub delta_docs: usize,
+    /// Documents whose retained relation was reused.
+    pub view_hits: usize,
+    /// Retained entries dropped because the document's content changed.
+    pub invalidated: usize,
+    /// Size of the trigram candidate set (`None` = full-scan fallback),
+    /// as in [`StoreQueryOutcome::candidates`].
+    pub candidates: Option<usize>,
+    /// The literals the candidate set was intersected from.
+    pub literals: Vec<Vec<u8>>,
+    /// The store generation the view now reflects.
+    pub generation: u64,
+}
+
+impl ViewQueryOutcome {
+    /// Candidate-set selectivity: candidates / corpus size (`1.0` on the
+    /// full-scan fallback or an empty corpus).
+    pub fn selectivity(&self) -> f64 {
+        match (self.candidates, self.output.results.len()) {
+            (Some(c), n) if n > 0 => c as f64 / n as f64,
+            _ => 1.0,
+        }
+    }
+}
+
+/// Inverts every document's trigrams into sorted posting lists; returns
+/// the map and the total number of posting entries.
+fn index_documents(docs: &[Document]) -> (FxHashMap<[u8; 3], Vec<u32>>, usize) {
+    let mut postings: FxHashMap<[u8; 3], Vec<u32>> = FxHashMap::default();
+    let mut total = 0usize;
+    for (id, doc) in docs.iter().enumerate() {
+        for w in doc.bytes().windows(TRIGRAM_LEN) {
+            let key: [u8; 3] = w.try_into().expect("window of TRIGRAM_LEN");
+            let list = postings.entry(key).or_default();
+            // Windows arrive in order, so a repeated trigram within one
+            // document is the tail entry.
+            if list.last() != Some(&(id as u32)) {
+                list.push(id as u32);
+                total += 1;
+            }
+        }
+    }
+    (postings, total)
+}
+
 impl Store {
     /// Builds a store over `docs`, inverting every document's trigrams.
     /// Fails only when the corpus exceeds `u32` document ids.
@@ -124,27 +255,38 @@ impl Store {
                 docs.len()
             )));
         }
-        let mut postings: FxHashMap<[u8; 3], Vec<u32>> = FxHashMap::default();
-        for (id, doc) in docs.iter().enumerate() {
-            for w in doc.bytes().windows(TRIGRAM_LEN) {
-                let key: [u8; 3] = w.try_into().expect("window of TRIGRAM_LEN");
-                let list = postings.entry(key).or_default();
-                // Windows arrive in order, so a repeated trigram within one
-                // document is the tail entry.
-                if list.last() != Some(&(id as u32)) {
-                    list.push(id as u32);
-                }
-            }
-        }
-        Ok(Store { docs, postings })
+        let (base, base_postings) = index_documents(&docs);
+        let hashes = docs.iter().map(|d| fnv1a64(d.bytes())).collect();
+        let base_len = docs.len();
+        Ok(Store {
+            docs,
+            hashes,
+            base,
+            base_len,
+            base_postings,
+            delta: FxHashMap::default(),
+            delta_postings: 0,
+            stale: vec![false; base_len],
+            stale_count: 0,
+            deleted: FxHashSet::default(),
+            generation: 0,
+            compactions: 0,
+        })
     }
 
-    /// The resident document table, in ingest order.
+    /// The resident document table, in ingest order. Deleted documents
+    /// keep their slot as an empty document (ids are stable).
     pub fn documents(&self) -> &[Document] {
         &self.docs
     }
 
-    /// Number of documents in the store.
+    /// Per-document FNV-1a content hashes, indexed like
+    /// [`Store::documents`].
+    pub fn doc_hashes(&self) -> &[u64] {
+        &self.hashes
+    }
+
+    /// Number of documents in the store (including deleted slots).
     pub fn len(&self) -> usize {
         self.docs.len()
     }
@@ -154,14 +296,230 @@ impl Store {
         self.docs.is_empty()
     }
 
-    /// Number of distinct trigrams in the index.
+    /// Number of distinct trigrams in the index. After mutations this is
+    /// an upper bound (tombstoned trigrams are counted until the next
+    /// compaction); exact right after build/load/compaction.
     pub fn trigram_count(&self) -> usize {
-        self.postings.len()
+        self.base.len()
+            + self
+                .delta
+                .keys()
+                .filter(|k| !self.base.contains_key(*k))
+                .count()
     }
 
     /// Total corpus size in bytes.
     pub fn bytes(&self) -> usize {
         self.docs.iter().map(Document::len).sum()
+    }
+
+    /// Monotone mutation counter: `0` for a fresh build/load, bumped once
+    /// per effective `append`/`update`/`delete`.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of threshold-triggered or explicit index compactions.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Posting entries currently in the delta segment.
+    pub fn delta_postings(&self) -> usize {
+        self.delta_postings
+    }
+
+    /// Base documents whose postings are tombstoned (pending compaction).
+    pub fn stale_count(&self) -> usize {
+        self.stale_count
+    }
+
+    /// Documents tombstoned by [`Store::delete`] since build/load.
+    pub fn deleted_count(&self) -> usize {
+        self.deleted.len()
+    }
+
+    /// Whether `id` was deleted since build/load.
+    pub fn is_deleted(&self, id: u32) -> bool {
+        self.deleted.contains(&id)
+    }
+
+    /// Appends a document; returns its id. Bumps the generation.
+    pub fn append(&mut self, text: &str) -> Result<u32, StoreError> {
+        if self.docs.len() >= u32::MAX as usize {
+            return Err(StoreError::Mutation(
+                "corpus already holds u32::MAX documents".into(),
+            ));
+        }
+        let id = self.docs.len() as u32;
+        let doc = Document::new(text);
+        self.add_delta_postings(id, doc.bytes());
+        self.hashes.push(fnv1a64(doc.bytes()));
+        self.docs.push(doc);
+        self.generation += 1;
+        self.maybe_compact();
+        Ok(id)
+    }
+
+    /// Replaces document `id`'s content. Bumps the generation; un-deletes
+    /// a previously deleted slot.
+    pub fn update(&mut self, id: u32, text: &str) -> Result<(), StoreError> {
+        let idx = id as usize;
+        if idx >= self.docs.len() {
+            return Err(StoreError::Mutation(format!(
+                "document id {id} out of bounds (corpus of {})",
+                self.docs.len()
+            )));
+        }
+        self.retire_postings(id);
+        let doc = Document::new(text);
+        self.add_delta_postings(id, doc.bytes());
+        self.hashes[idx] = fnv1a64(doc.bytes());
+        self.docs[idx] = doc;
+        self.deleted.remove(&id);
+        self.generation += 1;
+        self.maybe_compact();
+        Ok(())
+    }
+
+    /// Deletes document `id`: the slot becomes an empty document so ids
+    /// stay stable (results for it are empty, as for any empty document).
+    /// Idempotent — deleting a deleted document is a no-op that does *not*
+    /// bump the generation.
+    pub fn delete(&mut self, id: u32) -> Result<(), StoreError> {
+        let idx = id as usize;
+        if idx >= self.docs.len() {
+            return Err(StoreError::Mutation(format!(
+                "document id {id} out of bounds (corpus of {})",
+                self.docs.len()
+            )));
+        }
+        if self.deleted.contains(&id) {
+            return Ok(());
+        }
+        self.retire_postings(id);
+        self.docs[idx] = Document::new("");
+        self.hashes[idx] = fnv1a64(b"");
+        self.deleted.insert(id);
+        self.generation += 1;
+        self.maybe_compact();
+        Ok(())
+    }
+
+    /// Applies one [`Mutation`] (the journal's replay unit); returns the
+    /// affected document id.
+    pub fn apply(&mut self, mutation: &Mutation) -> Result<u32, StoreError> {
+        match mutation {
+            Mutation::Append { text } => self.append(text),
+            Mutation::Update { id, text } => {
+                self.update(*id, text)?;
+                Ok(*id)
+            }
+            Mutation::Delete { id } => {
+                self.delete(*id)?;
+                Ok(*id)
+            }
+        }
+    }
+
+    /// Kills document `id`'s live postings ahead of a rewrite: a tombstone
+    /// on the base segment, or a purge from the delta — whichever segment
+    /// holds them (exactly one does).
+    fn retire_postings(&mut self, id: u32) {
+        let idx = id as usize;
+        if idx < self.base_len && !self.stale[idx] {
+            self.stale[idx] = true;
+            self.stale_count += 1;
+            return;
+        }
+        // The document's postings (if any) live in the delta.
+        let keys: Vec<[u8; 3]> = self.docs[idx]
+            .bytes()
+            .windows(TRIGRAM_LEN)
+            .map(|w| w.try_into().expect("window of TRIGRAM_LEN"))
+            .collect();
+        for key in keys {
+            if let Some(list) = self.delta.get_mut(&key) {
+                if let Ok(pos) = list.binary_search(&id) {
+                    list.remove(pos);
+                    self.delta_postings -= 1;
+                    if list.is_empty() {
+                        self.delta.remove(&key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Inserts `bytes`' trigrams into the delta segment for `id` (sorted,
+    /// duplicate-free).
+    fn add_delta_postings(&mut self, id: u32, bytes: &[u8]) {
+        for w in bytes.windows(TRIGRAM_LEN) {
+            let key: [u8; 3] = w.try_into().expect("window of TRIGRAM_LEN");
+            let list = self.delta.entry(key).or_default();
+            if let Err(pos) = list.binary_search(&id) {
+                list.insert(pos, id);
+                self.delta_postings += 1;
+            }
+        }
+    }
+
+    /// Compacts when the pending work outgrows the base (see
+    /// [`COMPACT_GRACE`]).
+    fn maybe_compact(&mut self) {
+        if self.delta_postings + self.stale_count > COMPACT_GRACE.max(self.base_postings / 2) {
+            self.compact();
+        }
+    }
+
+    /// Rebuilds the base segment from the current documents, clearing the
+    /// delta and the tombstones. Normally threshold-triggered; public so
+    /// callers can force a fully compacted index (e.g. before `save` of a
+    /// long-lived segment).
+    pub fn compact(&mut self) {
+        let (base, base_postings) = index_documents(&self.docs);
+        self.base = base;
+        self.base_postings = base_postings;
+        self.base_len = self.docs.len();
+        self.delta.clear();
+        self.delta_postings = 0;
+        self.stale = vec![false; self.base_len];
+        self.stale_count = 0;
+        self.compactions += 1;
+    }
+
+    /// The live posting list for `key`: base entries that are not
+    /// tombstoned, merged with the delta. Sorted and duplicate-free.
+    fn effective(&self, key: &[u8; 3]) -> Vec<u32> {
+        let base = self.base.get(key).map_or(&[][..], Vec::as_slice);
+        let delta = self.delta.get(key).map_or(&[][..], Vec::as_slice);
+        let mut out = Vec::with_capacity(base.len() + delta.len());
+        let (mut i, mut j) = (0, 0);
+        while i < base.len() && j < delta.len() {
+            let (b, d) = (base[i], delta[j]);
+            if b < d {
+                if !self.stale[b as usize] {
+                    out.push(b);
+                }
+                i += 1;
+            } else if d < b {
+                out.push(d);
+                j += 1;
+            } else {
+                // Same id in both: the base entry is tombstoned (a
+                // document's live postings are in exactly one segment).
+                out.push(d);
+                i += 1;
+                j += 1;
+            }
+        }
+        for &b in &base[i..] {
+            if !self.stale[b as usize] {
+                out.push(b);
+            }
+        }
+        out.extend_from_slice(&delta[j..]);
+        out
     }
 
     /// The candidate document set for a query requiring `literals`:
@@ -175,10 +533,10 @@ impl Store {
             for w in literal.windows(TRIGRAM_LEN) {
                 let key: [u8; 3] = w.try_into().expect("window of TRIGRAM_LEN");
                 // A trigram absent from the index matches no document.
-                let list = self.postings.get(&key).map_or(&[][..], Vec::as_slice);
+                let list = self.effective(&key);
                 result = Some(match result {
-                    None => list.to_vec(),
-                    Some(acc) => intersect_sorted(&acc, list),
+                    None => list,
+                    Some(acc) => intersect_sorted(&acc, &list),
                 });
                 if matches!(result.as_deref(), Some([])) {
                     return Some(Vec::new());
@@ -217,6 +575,40 @@ impl Store {
         }
     }
 
+    /// Runs a compiled query *incrementally* through a maintained
+    /// [`QueryView`]: documents whose content hash matches their retained
+    /// entry are served from the view; the delta is pruned through the
+    /// trigram index and re-evaluated
+    /// ([`CorpusEngine::evaluate_delta`]). Results cover the whole corpus
+    /// in order and are bit-identical to [`Store::query`] — a repeat query
+    /// after `k` mutations touches `O(k)` documents, not `O(n)`.
+    pub fn query_view(
+        &self,
+        engine: &CorpusEngine,
+        view: &mut QueryView,
+        threads: usize,
+    ) -> SpannerResult<ViewQueryOutcome> {
+        let literals = engine.plan().required_literals();
+        let candidates = self.candidates(&literals);
+        let delta = engine.evaluate_delta(
+            &self.docs,
+            &self.hashes,
+            candidates.as_deref(),
+            view,
+            threads,
+        )?;
+        view.set_generation(self.generation);
+        Ok(ViewQueryOutcome {
+            output: delta.output,
+            delta_docs: delta.delta_docs,
+            view_hits: delta.view_hits,
+            invalidated: delta.invalidated,
+            candidates: candidates.map(|c| c.len()),
+            literals,
+            generation: self.generation,
+        })
+    }
+
     /// Persists the store as one segment file (documents + index):
     ///
     /// ```text
@@ -227,22 +619,38 @@ impl Store {
     /// ```
     ///
     /// All integers little-endian; posting lists are sorted and stored as
-    /// varint-encoded gaps (first entry is the id itself).
+    /// varint-encoded gaps (first entry is the id itself). The *live*
+    /// (merged, tombstone-free) index is written, so the bytes are
+    /// identical to saving `Store::build(store.documents().to_vec())` —
+    /// mutations never leak into the segment format.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), StoreError> {
+        // Deterministic on-disk order: sorted by trigram; dead keys
+        // (tombstoned everywhere, nothing in the delta) are dropped.
+        let mut keys: Vec<[u8; 3]> = self.base.keys().copied().collect();
+        keys.extend(
+            self.delta
+                .keys()
+                .copied()
+                .filter(|k| !self.base.contains_key(k)),
+        );
+        keys.sort_unstable();
+        let mut entries: Vec<([u8; 3], Vec<u32>)> = Vec::with_capacity(keys.len());
+        for key in keys {
+            let list = self.effective(&key);
+            if !list.is_empty() {
+                entries.push((key, list));
+            }
+        }
         let mut w = BufWriter::new(std::fs::File::create(path)?);
         w.write_all(MAGIC)?;
         w.write_all(&VERSION.to_le_bytes())?;
         w.write_all(&(self.docs.len() as u32).to_le_bytes())?;
-        w.write_all(&(self.postings.len() as u32).to_le_bytes())?;
+        w.write_all(&(entries.len() as u32).to_le_bytes())?;
         for doc in &self.docs {
             w.write_all(&(doc.len() as u32).to_le_bytes())?;
             w.write_all(doc.bytes())?;
         }
-        // Deterministic on-disk order: sorted by trigram.
-        let mut keys: Vec<&[u8; 3]> = self.postings.keys().collect();
-        keys.sort_unstable();
-        for key in keys {
-            let list = &self.postings[key];
+        for (key, list) in &entries {
             w.write_all(key.as_slice())?;
             w.write_all(&(list.len() as u32).to_le_bytes())?;
             let mut prev = 0u32;
@@ -258,9 +666,16 @@ impl Store {
 
     /// Loads a segment file written by [`Store::save`] back into a resident
     /// store: the document table is read once, whole; the posting lists are
-    /// decoded and validated (sortedness, bounds).
+    /// decoded and validated (sortedness, bounds). Content hashes are
+    /// recomputed; the generation restarts at `0` (deletion tombstones are
+    /// not persisted — a deleted slot loads as an empty document).
     pub fn load(path: impl AsRef<Path>) -> Result<Store, StoreError> {
-        let mut r = BufReader::new(std::fs::File::open(path)?);
+        Store::load_from(std::fs::File::open(path)?)
+    }
+
+    /// [`Store::load`] from any reader — e.g. a segment piped on stdin.
+    pub fn load_from(reader: impl Read) -> Result<Store, StoreError> {
+        let mut r = BufReader::new(reader);
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)
             .map_err(|_| StoreError::Format("file shorter than the magic header".into()))?;
@@ -286,6 +701,7 @@ impl Store {
             docs.push(Document::new(text));
         }
         let mut postings: FxHashMap<[u8; 3], Vec<u32>> = FxHashMap::default();
+        let mut total = 0usize;
         for _ in 0..trigram_count {
             let mut key = [0u8; 3];
             r.read_exact(&mut key)
@@ -312,6 +728,7 @@ impl Store {
                 list.push(id);
                 prev = id;
             }
+            total += list.len();
             if postings.insert(key, list).is_some() {
                 return Err(StoreError::Format("duplicate trigram entry".into()));
             }
@@ -321,7 +738,21 @@ impl Store {
         if r.read(&mut rest)? != 0 {
             return Err(StoreError::Format("trailing bytes after the index".into()));
         }
-        Ok(Store { docs, postings })
+        let hashes = docs.iter().map(|d| fnv1a64(d.bytes())).collect();
+        Ok(Store {
+            base_len: docs.len(),
+            stale: vec![false; docs.len()],
+            docs,
+            hashes,
+            base: postings,
+            base_postings: total,
+            delta: FxHashMap::default(),
+            delta_postings: 0,
+            stale_count: 0,
+            deleted: FxHashSet::default(),
+            generation: 0,
+            compactions: 0,
+        })
     }
 }
 
@@ -329,10 +760,12 @@ impl std::fmt::Debug for Store {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "Store({} docs, {} bytes, {} trigrams)",
+            "Store({} docs, {} bytes, {} trigrams, gen {}, {} delta postings)",
             self.docs.len(),
             self.bytes(),
-            self.postings.len()
+            self.trigram_count(),
+            self.generation,
+            self.delta_postings,
         )
     }
 }
@@ -408,6 +841,11 @@ mod tests {
         p
     }
 
+    fn engine(pattern: &str) -> CorpusEngine {
+        let inst = Instantiation::new().with(0, spanner_rgx::parse(pattern).unwrap());
+        CorpusEngine::compile(&RaTree::leaf(0), &inst, RaOptions::default()).unwrap()
+    }
+
     #[test]
     fn candidates_intersect_trigram_postings() {
         let store = Store::build(docs(&[
@@ -450,6 +888,7 @@ mod tests {
         let loaded = Store::load(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(loaded.documents(), store.documents());
+        assert_eq!(loaded.doc_hashes(), store.doc_hashes());
         assert_eq!(loaded.trigram_count(), store.trigram_count());
         assert_eq!(
             loaded.candidates(&[b"alpha".to_vec()]),
@@ -490,8 +929,7 @@ mod tests {
             .collect();
         let store =
             Store::build(texts.iter().map(|t| Document::new(t.as_str())).collect()).unwrap();
-        let inst = Instantiation::new().with(0, spanner_rgx::parse(".*needle{x: .*}").unwrap());
-        let engine = CorpusEngine::compile(&RaTree::leaf(0), &inst, RaOptions::default()).unwrap();
+        let engine = engine(".*needle{x: .*}");
         let outcome = store.query(&engine, 2).unwrap();
         assert_eq!(outcome.candidates, Some(5));
         assert!(outcome.selectivity() <= 0.1 + f64::EPSILON);
@@ -522,5 +960,152 @@ mod tests {
         std::fs::remove_file(&path).ok();
         assert!(loaded.is_empty());
         assert_eq!(loaded.trigram_count(), 0);
+    }
+
+    #[test]
+    fn mutations_maintain_candidates_and_generation() {
+        let mut store = Store::build(docs(&["the error log", "all fine"])).unwrap();
+        assert_eq!(store.generation(), 0);
+        let id = store.append("error: disk").unwrap();
+        assert_eq!(id, 2);
+        assert_eq!(store.generation(), 1);
+        assert_eq!(store.candidates(&[b"error".to_vec()]), Some(vec![0, 2]));
+        // Update removes old postings and adds new ones.
+        store.update(0, "all quiet").unwrap();
+        assert_eq!(store.candidates(&[b"error".to_vec()]), Some(vec![2]));
+        assert_eq!(store.candidates(&[b"quiet".to_vec()]), Some(vec![0]));
+        assert_eq!(store.generation(), 2);
+        // Delete tombstones the slot; ids stay stable.
+        store.delete(2).unwrap();
+        assert_eq!(store.candidates(&[b"error".to_vec()]), Some(Vec::new()));
+        assert_eq!(store.len(), 3);
+        assert!(store.is_deleted(2));
+        assert!(store.documents()[2].is_empty());
+        assert_eq!(store.generation(), 3);
+        // Deleting again is a no-op.
+        store.delete(2).unwrap();
+        assert_eq!(store.generation(), 3);
+        // Updating a deleted slot revives it.
+        store.update(2, "error again").unwrap();
+        assert!(!store.is_deleted(2));
+        assert_eq!(store.candidates(&[b"error".to_vec()]), Some(vec![2]));
+        // Out-of-bounds ids are rejected.
+        assert!(matches!(
+            store.update(99, "x"),
+            Err(StoreError::Mutation(_))
+        ));
+        assert!(matches!(store.delete(99), Err(StoreError::Mutation(_))));
+    }
+
+    #[test]
+    fn hashes_track_content() {
+        let mut store = Store::build(docs(&["abc", "abc"])).unwrap();
+        assert_eq!(store.doc_hashes()[0], store.doc_hashes()[1]);
+        assert_eq!(store.doc_hashes()[0], fnv1a64(b"abc"));
+        store.update(1, "abd").unwrap();
+        assert_ne!(store.doc_hashes()[0], store.doc_hashes()[1]);
+        store.delete(0).unwrap();
+        assert_eq!(store.doc_hashes()[0], fnv1a64(b""));
+    }
+
+    #[test]
+    fn mutated_store_matches_scratch_rebuild() {
+        let mut store =
+            Store::build(docs(&["needle one", "hay", "needle two", "hay hay"])).unwrap();
+        store.append("fresh needle").unwrap();
+        store.update(1, "now a needle too").unwrap();
+        store.delete(2).unwrap();
+        store.update(3, "still hay").unwrap();
+        let rebuilt = Store::build(store.documents().to_vec()).unwrap();
+        // Identical candidates...
+        for lit in [&b"needle"[..], b"hay", b"fresh"] {
+            assert_eq!(
+                store.candidates(&[lit.to_vec()]),
+                rebuilt.candidates(&[lit.to_vec()]),
+                "literal {:?}",
+                String::from_utf8_lossy(lit)
+            );
+        }
+        // ...identical query results...
+        let e = engine(".*needle{x: .*}");
+        let mutated = store.query(&e, 2).unwrap();
+        let scratch = rebuilt.query(&e, 2).unwrap();
+        assert_eq!(mutated.output.results, scratch.output.results);
+        assert_eq!(mutated.candidates, scratch.candidates);
+        // ...and identical bytes on disk.
+        let p1 = tmp("mutated");
+        let p2 = tmp("rebuilt");
+        store.save(&p1).unwrap();
+        rebuilt.save(&p2).unwrap();
+        let b1 = std::fs::read(&p1).unwrap();
+        let b2 = std::fs::read(&p2).unwrap();
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+        assert_eq!(b1, b2, "segment bytes differ from a scratch rebuild");
+    }
+
+    #[test]
+    fn compaction_triggers_and_preserves_results() {
+        let mut store = Store::build(Vec::new()).unwrap();
+        // Each line contributes ~17 postings; a few hundred appends push
+        // the pending delta past COMPACT_GRACE.
+        for i in 0..200 {
+            store
+                .append(&format!("entry number {i} with text"))
+                .unwrap();
+        }
+        assert!(store.compactions() > 0, "no compaction after bulk appends");
+        // Pending work stays at or below the trigger threshold.
+        assert!(
+            store.delta_postings() + store.stale_count()
+                <= COMPACT_GRACE.max(store.base_postings / 2)
+        );
+        let rebuilt = Store::build(store.documents().to_vec()).unwrap();
+        assert_eq!(
+            store.candidates(&[b"number".to_vec()]),
+            rebuilt.candidates(&[b"number".to_vec()])
+        );
+        // Explicit compaction is also available and idempotent.
+        let before = store.compactions();
+        store.compact();
+        assert_eq!(store.compactions(), before + 1);
+        assert_eq!(store.delta_postings(), 0);
+        assert_eq!(store.stale_count(), 0);
+    }
+
+    #[test]
+    fn query_view_is_incremental_and_identical() {
+        let texts: Vec<String> = (0..60)
+            .map(|i| {
+                if i % 6 == 0 {
+                    format!("record {i}: needle found")
+                } else {
+                    format!("record {i}: nothing")
+                }
+            })
+            .collect();
+        let mut store =
+            Store::build(texts.iter().map(|t| Document::new(t.as_str())).collect()).unwrap();
+        let e = engine(".*needle{x: .*}");
+        let mut view = QueryView::unbounded();
+        let cold = store.query_view(&e, &mut view, 2).unwrap();
+        let full = e.evaluate_with_threads(store.documents(), 2).unwrap();
+        assert_eq!(cold.output.results, full.results);
+        assert_eq!(cold.view_hits, 0);
+        assert_eq!(view.generation(), store.generation());
+        // Warm re-query: everything from the view.
+        let warm = store.query_view(&e, &mut view, 2).unwrap();
+        assert_eq!(warm.output.results, full.results);
+        assert_eq!(warm.view_hits, store.len());
+        assert_eq!(warm.delta_docs, 0);
+        // Mutate two documents: only they are touched.
+        store.update(1, "record 1: needle appears").unwrap();
+        store.append("a fresh needle line").unwrap();
+        let after = store.query_view(&e, &mut view, 2).unwrap();
+        assert_eq!(after.delta_docs, 2);
+        assert_eq!(after.invalidated, 1);
+        let full = e.evaluate_with_threads(store.documents(), 2).unwrap();
+        assert_eq!(after.output.results, full.results);
+        assert_eq!(view.generation(), store.generation());
     }
 }

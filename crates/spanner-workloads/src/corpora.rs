@@ -146,6 +146,52 @@ pub fn access_log(lines: usize, seed: u64) -> Document {
     Document::new(text)
 }
 
+/// Deterministic padding over lowercase letters and spaces (xorshift, no
+/// `rand` state). The alphabet includes every byte of "needle", so
+/// candidate pruning over this text has to work on whole trigrams, not on
+/// byte absence.
+pub fn needle_padding(len: usize, seed: u64) -> String {
+    const ALPHABET: &[u8] = b"abcdefghijklmnop qrstuvwxyz ";
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ALPHABET[(state % ALPHABET.len() as u64) as usize] as char
+        })
+        .collect()
+}
+
+/// One needle-corpus line: a hit embeds the needle in a short
+/// alert-shaped line, a miss is a long padding-only line. (Hits are short
+/// on purpose: every evaluation path pays the same enumeration cost on a
+/// true match, so sweeps over this corpus isolate what an index or view
+/// actually saves — touching the misses.)
+pub fn needle_line(hit: bool, seed: u64) -> Document {
+    let text = if hit {
+        format!(
+            "{} needle {}",
+            needle_padding(4, seed),
+            needle_padding(4, seed.wrapping_add(1))
+        )
+    } else {
+        needle_padding(103, seed)
+    };
+    Document::new(&text)
+}
+
+/// A corpus of `lines` documents where `hits_per_10k` of every 10 000
+/// lines contain the needle, spread evenly.
+pub fn needle_corpus(lines: usize, hits_per_10k: usize, seed: u64) -> Vec<Document> {
+    (0..lines)
+        .map(|i| {
+            let hit = hits_per_10k > 0 && (i * hits_per_10k) % 10_000 < hits_per_10k;
+            needle_line(hit, seed.wrapping_add(i as u64))
+        })
+        .collect()
+}
+
 /// Generates a random document over a small alphabet (for stress tests).
 pub fn random_text(len: usize, alphabet: &[u8], seed: u64) -> Document {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -190,6 +236,18 @@ mod tests {
         let d = access_log(20, 1);
         assert_eq!(d.text().lines().count(), 20);
         assert!(d.text().contains('"'));
+    }
+
+    #[test]
+    fn needle_corpus_is_deterministic_with_the_planted_rate() {
+        let docs = needle_corpus(10_000, 10, 42);
+        assert_eq!(docs, needle_corpus(10_000, 10, 42));
+        let hits = docs.iter().filter(|d| d.text().contains("needle")).count();
+        assert_eq!(hits, 10, "planted rate is exact at the 10k granularity");
+        assert!(needle_corpus(100, 0, 1)
+            .iter()
+            .all(|d| !d.text().contains("needle")));
+        assert_ne!(needle_corpus(100, 10, 1), needle_corpus(100, 10, 2));
     }
 
     #[test]

@@ -68,11 +68,15 @@ pub mod prelude {
         TokenEqualitySpanner, TokenizerSpanner, VsaSpanner,
     };
     pub use spanner_core::{Document, Mapping, MappingSet, Span, SpannerError, VarSet, Variable};
-    pub use spanner_corpus::{split_lines, CorpusEngine, CorpusResult, CorpusStats, WorkerPool};
+    pub use spanner_corpus::{
+        split_lines, CorpusEngine, CorpusResult, CorpusStats, DeltaOutcome, QueryView, WorkerPool,
+    };
     pub use spanner_enum::{count_mappings, evaluate, evaluate_rgx, is_nonempty, Enumerator};
     pub use spanner_ql::{parse_program, PreparedQuery, QlError};
     pub use spanner_rgx::{parse, reference_eval, Rgx};
     pub use spanner_serve::{Client, QueryCache, ServeOptions, Server};
-    pub use spanner_store::{Store, StoreError, StoreQueryOutcome};
+    pub use spanner_store::{
+        fnv1a64, Journal, Mutation, Store, StoreError, StoreQueryOutcome, ViewQueryOutcome,
+    };
     pub use spanner_vset::{compile, join, Vsa};
 }

@@ -21,6 +21,13 @@
 //!                                                    … over an indexed store,
 //!                                                    pruning through its trigram
 //!                                                    posting lists
+//! document-spanners query --store --watch <program> <store> [threads]
+//!                                                    … then apply one mutation per
+//!                                                    stdin line (`append <text>`,
+//!                                                    `update <id> <text>`,
+//!                                                    `delete <id>`) and re-query
+//!                                                    incrementally through the
+//!                                                    maintained view
 //! document-spanners explain  <program>               show the parsed tree, the
 //!                                                    optimized plan, the physical
 //!                                                    operators, and the
@@ -40,7 +47,10 @@
 //! use the `spanner_ql` syntax (`let name = /…/; expr;`). When no file is
 //! given — or when the file argument is `-` — the document is read from
 //! standard input, so a thread count can follow in the pipe shape
-//! `tail -f log | document-spanners query --corpus <program> - 4`.
+//! `tail -f log | document-spanners query --corpus <program> - 4`. The
+//! `index` file operand and the `query --store` store operand accept `-`
+//! the same way (the store bytes themselves stream from stdin), except
+//! under `--watch`, whose stdin is the mutation stream.
 
 use document_spanners::prelude::*;
 use spanner_rgx::RgxClass;
@@ -58,12 +68,15 @@ const USAGE: &str = "usage:
   document-spanners query    --trace <program> [file]
   document-spanners query    --corpus <program> [file [threads]]
   document-spanners query    --store <program> <store> [threads]
+  document-spanners query    --store --watch <program> <store> [threads]
   document-spanners explain  <program>
   document-spanners explain  --analyze <program> [file]
   document-spanners serve    [addr [threads]]
   document-spanners client   <addr> [json-line]
 
-a file argument of `-` reads the document from standard input";
+a file or store argument of `-` reads from standard input; `--watch`
+applies one mutation per stdin line (`append <text>`, `update <id> <text>`,
+`delete <id>`) and re-queries through the maintained view";
 
 /// The default listen address of `serve`.
 const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7171";
@@ -216,11 +229,39 @@ fn run(args: &[String]) -> Result<(), String> {
                 return Ok(());
             }
             if let Some("--store") = mode {
-                arity("query --store", operands, 2, 3)?;
+                let watch = operands.first().is_some_and(|a| a == "--watch");
+                let operands = if watch { &operands[1..] } else { operands };
+                let subcommand = if watch {
+                    "query --store --watch"
+                } else {
+                    "query --store"
+                };
+                // Program and thread count are validated before anything is
+                // read: with a `-` store (or watch mode, whose stdin is the
+                // mutation stream) the input must not be consumed first.
+                arity(subcommand, operands, 2, 3)?;
                 let prepared = prepare_program(&operands[0])?;
                 let threads = parse_threads(operands.get(2))?;
-                let store =
-                    Store::load(&operands[1]).map_err(|e| format!("{}: {e}", operands[1]))?;
+                if watch {
+                    if operands[1] == "-" {
+                        return Err(
+                            "`--watch` reads mutations from standard input, so the store \
+                             cannot be `-`"
+                                .into(),
+                        );
+                    }
+                    let store =
+                        Store::load(&operands[1]).map_err(|e| format!("{}: {e}", operands[1]))?;
+                    return run_watch(store, &prepared, threads, std::io::stdin().lock());
+                }
+                let store = match document_source(Some(&operands[1])) {
+                    DocSource::Stdin => {
+                        Store::load_from(std::io::stdin().lock()).map_err(|e| format!("-: {e}"))?
+                    }
+                    DocSource::File(path) => {
+                        Store::load(path).map_err(|e| format!("{path}: {e}"))?
+                    }
+                };
                 let outcome = store
                     .query(prepared.engine(), threads)
                     .map_err(|e| e.to_string())?;
@@ -295,7 +336,8 @@ fn run(args: &[String]) -> Result<(), String> {
                 .map_err(|e| format!("cannot bind {addr}: {e}"))?;
             eprintln!(
                 "listening on {} (line-delimited JSON ops: prepare, query, \
-                 load_corpus, query_corpus, explain, stats, metrics, shutdown)",
+                 load_corpus, append_docs, update_doc, delete_docs, \
+                 query_corpus, explain, stats, metrics, shutdown)",
                 server.local_addr(),
             );
             server.run().map_err(|e| e.to_string())
@@ -367,6 +409,78 @@ fn print_corpus_result(docs: &[Document], out: &CorpusResult) {
         s.elapsed,
         s.bytes_per_second() / (1024.0 * 1024.0),
     );
+}
+
+/// The `query --store --watch` loop: evaluate once, then apply one
+/// mutation per input line and re-evaluate through the maintained view,
+/// reporting per tick how little of the corpus was recomputed.
+fn run_watch(
+    mut store: Store,
+    prepared: &PreparedQuery,
+    threads: usize,
+    ticks: impl std::io::BufRead,
+) -> Result<(), String> {
+    let mut view = QueryView::unbounded();
+    let outcome = store
+        .query_view(prepared.engine(), &mut view, threads)
+        .map_err(|e| e.to_string())?;
+    print_watch_tick(&store, &outcome);
+    for line in ticks.lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mutation = parse_mutation_line(&line)?;
+        store.apply(&mutation).map_err(|e| e.to_string())?;
+        let outcome = store
+            .query_view(prepared.engine(), &mut view, threads)
+            .map_err(|e| e.to_string())?;
+        print_watch_tick(&store, &outcome);
+    }
+    Ok(())
+}
+
+/// Prints one watch tick: the matching lines, then the incremental
+/// accounting on stderr.
+fn print_watch_tick(store: &Store, outcome: &ViewQueryOutcome) {
+    print_corpus_result(store.documents(), &outcome.output);
+    eprintln!(
+        "view: generation {}, {} of {} documents re-evaluated ({} served from the view, \
+         {} invalidated)",
+        outcome.generation,
+        outcome.delta_docs,
+        store.len(),
+        outcome.view_hits,
+        outcome.invalidated,
+    );
+}
+
+/// Parses one watch-mode mutation line: `append <text>`, `update <id>
+/// <text>`, or `delete <id>`.
+fn parse_mutation_line(line: &str) -> Result<Mutation, String> {
+    let line = line.strip_suffix('\r').unwrap_or(line);
+    let (op, rest) = line.split_once(' ').unwrap_or((line, ""));
+    let id = |text: &str| {
+        text.parse::<u32>()
+            .map_err(|_| format!("invalid document id `{text}` in mutation `{line}`"))
+    };
+    match op {
+        "append" => Ok(Mutation::Append {
+            text: rest.to_string(),
+        }),
+        "update" => {
+            let (target, text) = rest.split_once(' ').unwrap_or((rest, ""));
+            Ok(Mutation::Update {
+                id: id(target)?,
+                text: text.to_string(),
+            })
+        }
+        "delete" => Ok(Mutation::Delete { id: id(rest)? }),
+        other => Err(format!(
+            "unknown mutation `{other}` (expected `append <text>`, `update <id> <text>`, \
+             or `delete <id>`)"
+        )),
+    }
 }
 
 /// Where a document argument dispatches to: standard input (no argument, or
@@ -449,6 +563,7 @@ mod tests {
             &["query", "--trace", "/a/", "file", "extra"],
             &["query", "--corpus", "/a/", "file", "2", "extra"],
             &["query", "--store", "/a/", "store", "2", "extra"],
+            &["query", "--store", "--watch", "/a/", "store", "2", "extra"],
             &["explain", "/a/", "extra"],
             &["explain", "--analyze", "/a/", "file", "extra"],
             &["serve", "127.0.0.1:0", "2", "extra"],
@@ -469,6 +584,7 @@ mod tests {
             &["explain"],
             &["index", "file"],
             &["query", "--store", "/a/"],
+            &["query", "--store", "--watch", "/a/"],
             &["explain", "--analyze"],
             &["query", "--trace"],
         ] {
@@ -517,6 +633,93 @@ mod tests {
         std::fs::remove_file(&file).ok();
         std::fs::remove_file(&store_path).ok();
         std::fs::remove_file(&bogus).ok();
+    }
+
+    #[test]
+    fn store_dash_operand_validates_before_stdin() {
+        // `query --store <program> -` streams the store from stdin, so the
+        // program and thread count must be diagnosed without reading it.
+        let err = run(&argv(&["query", "--store", "let a = /x/; b", "-"])).unwrap_err();
+        assert!(err.contains("unknown extractor"), "{err}");
+        let err = run(&argv(&["query", "--store", "/{x:a}/", "-", "nope"])).unwrap_err();
+        assert!(err.contains("invalid thread count `nope`"), "{err}");
+        // Watch mode owns stdin for mutations: a `-` store is rejected.
+        let err = run(&argv(&["query", "--store", "--watch", "/{x:a}/", "-"])).unwrap_err();
+        assert!(err.contains("cannot be `-`"), "{err}");
+        // And its program/threads validation also precedes any input.
+        let err = run(&argv(&[
+            "query",
+            "--store",
+            "--watch",
+            "let a = /x/; b",
+            "-",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown extractor"), "{err}");
+        let err = run(&argv(&["query", "--store", "--watch", "/{x:a}/", "-", "x"])).unwrap_err();
+        assert!(err.contains("invalid thread count `x`"), "{err}");
+    }
+
+    #[test]
+    fn mutation_lines_parse_and_reject() {
+        assert_eq!(
+            parse_mutation_line("append needle here"),
+            Ok(Mutation::Append {
+                text: "needle here".into()
+            })
+        );
+        assert_eq!(
+            parse_mutation_line("append"),
+            Ok(Mutation::Append { text: "".into() }),
+            "an empty append is a legal empty document"
+        );
+        assert_eq!(
+            parse_mutation_line("update 3 new text\r"),
+            Ok(Mutation::Update {
+                id: 3,
+                text: "new text".into()
+            })
+        );
+        assert_eq!(
+            parse_mutation_line("update 7"),
+            Ok(Mutation::Update {
+                id: 7,
+                text: "".into()
+            })
+        );
+        assert_eq!(
+            parse_mutation_line("delete 2"),
+            Ok(Mutation::Delete { id: 2 })
+        );
+        for (line, needle) in [
+            ("frobnicate 3", "unknown mutation"),
+            ("update x text", "invalid document id `x`"),
+            ("delete", "invalid document id ``"),
+            ("delete -1", "invalid document id `-1`"),
+        ] {
+            let err = parse_mutation_line(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn watch_loop_applies_mutations_and_stays_incremental() {
+        let docs = split_lines("alpha needle\nbeta\ngamma");
+        let store = Store::build(docs).unwrap();
+        let prepared = prepare_program("/.*needle{x:.*}/").unwrap();
+        let script = "append delta needle\nupdate 1 beta needle\n\ndelete 0\n";
+        assert_eq!(
+            run_watch(store, &prepared, 1, std::io::Cursor::new(script)),
+            Ok(())
+        );
+        // A malformed mutation line aborts the loop with its diagnosis.
+        let store = Store::build(split_lines("alpha")).unwrap();
+        let err = run_watch(store, &prepared, 1, std::io::Cursor::new("explode 1\n")).unwrap_err();
+        assert!(err.contains("unknown mutation"), "{err}");
+        // An out-of-range id surfaces the store's mutation error.
+        let store = Store::build(split_lines("alpha")).unwrap();
+        let err = run_watch(store, &prepared, 1, std::io::Cursor::new("delete 9\n")).unwrap_err();
+        assert!(err.contains("9"), "{err}");
     }
 
     #[test]
