@@ -215,6 +215,25 @@ impl Registry {
         }
     }
 
+    /// Registers one counter per value of a single label key — a whole
+    /// family at once, in value order. This is the shape of per-partition
+    /// families whose cardinality is only known at startup (one series
+    /// per backend shard, one per HTTP status class): the caller indexes
+    /// the returned handles positionally and never touches the registry
+    /// mutex again.
+    pub fn counters<S: AsRef<str>>(
+        &self,
+        name: &str,
+        help: &str,
+        key: &str,
+        values: &[S],
+    ) -> Vec<Counter> {
+        values
+            .iter()
+            .map(|value| self.counter(name, help, &[(key, value.as_ref())]))
+            .collect()
+    }
+
     /// Registers (or retrieves) a gauge.
     pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
         match self.register(name, help, Kind::Gauge, labels, || {
@@ -321,6 +340,34 @@ impl Registry {
 mod tests {
     use super::*;
     use crate::expo::check_exposition;
+
+    #[test]
+    fn counter_families_register_per_label_value() {
+        let registry = Registry::new();
+        let shards: Vec<String> = (0..3).map(|i| i.to_string()).collect();
+        let family = registry.counters(
+            "backend_requests_total",
+            "per-shard requests",
+            "shard",
+            &shards,
+        );
+        assert_eq!(family.len(), 3);
+        family[1].add(5);
+        // Re-registering yields the same underlying series, positionally.
+        let again = registry.counters(
+            "backend_requests_total",
+            "per-shard requests",
+            "shard",
+            &shards,
+        );
+        assert_eq!(again[1].get(), 5);
+        assert_eq!(again[0].get(), 0);
+        let mut out = Exposition::new();
+        registry.export_into(&mut out);
+        let rendered = out.finish();
+        assert!(rendered.contains("backend_requests_total{shard=\"1\"} 5"));
+        check_exposition(&rendered).unwrap();
+    }
 
     #[test]
     fn counters_aggregate_across_threads() {

@@ -7,25 +7,67 @@
 
 use crate::json::Json;
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// How often a deadline-bound read wakes up to check the clock. The
+/// socket timeout is this poll interval, not the deadline itself, so a
+/// slow-drip server feeding one byte per interval still hits the overall
+/// deadline instead of resetting it per read.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
 /// A connected protocol client.
 pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    /// Overall per-request response deadline; `None` waits forever (the
+    /// interactive CLI default — the shard router always sets one).
+    deadline: Option<Duration>,
 }
 
 impl Client {
     /// Connects to a running daemon.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
+        Client::from_stream(stream)
+    }
+
+    /// Connects with a bound on the TCP connect itself — the shape the
+    /// shard router uses, so one dead backend cannot stall a fan-out for
+    /// the OS's (minutes-long) connect timeout.
+    pub fn connect_with_timeout(addr: &SocketAddr, timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        Client::from_stream(stream)
+    }
+
+    fn from_stream(stream: TcpStream) -> io::Result<Client> {
         // One small line per round trip: disable Nagle, like the server.
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(Client {
             writer,
             reader: BufReader::new(stream),
+            deadline: None,
         })
+    }
+
+    /// Bounds every subsequent request: a response that does not complete
+    /// within `deadline` fails with [`io::ErrorKind::TimedOut`] instead
+    /// of blocking forever. `None` restores unbounded waits.
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) -> io::Result<()> {
+        let stream = self.reader.get_ref();
+        match deadline {
+            Some(_) => {
+                stream.set_read_timeout(Some(POLL_INTERVAL))?;
+                self.writer.set_write_timeout(deadline)?;
+            }
+            None => {
+                stream.set_read_timeout(None)?;
+                self.writer.set_write_timeout(None)?;
+            }
+        }
+        self.deadline = deadline;
+        Ok(())
     }
 
     /// Sends one raw line and returns the raw response line (without the
@@ -38,13 +80,44 @@ impl Client {
         framed.push_str(line);
         framed.push('\n');
         self.writer.write_all(framed.as_bytes())?;
+        let limit = self.deadline.map(|d| Instant::now() + d);
         let mut response = String::new();
-        let n = self.reader.read_line(&mut response)?;
-        if n == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
+        loop {
+            match self.reader.read_line(&mut response) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ));
+                }
+                // `read_line` also returns on EOF without a terminator: a
+                // server that closes mid-response must surface as an error,
+                // not as a truncated "line".
+                Ok(_) if !response.ends_with('\n') => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection mid-response",
+                    ));
+                }
+                Ok(_) => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // A poll-interval timeout only matters past the deadline;
+                // partial bytes read so far stay buffered in `response`.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) && self.deadline.is_some() =>
+                {
+                    if limit.is_some_and(|limit| Instant::now() >= limit) {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "response deadline exceeded",
+                        ));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
         }
         Ok(response.trim_end().to_string())
     }

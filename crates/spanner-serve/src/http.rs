@@ -1,0 +1,954 @@
+//! The HTTP/1.1 front end.
+//!
+//! The same operations as the line-JSON protocol, behind a std-only
+//! HTTP/1.1 server running on the existing connection-worker pool — no
+//! async runtime, no HTTP dependency. Every endpoint translates its
+//! request into the exact [`Request`] the line protocol would decode and
+//! funnels through the server's `dispatch_request`, so the two transports share one
+//! validation path, one dispatch, one set of per-op metrics, and (on a
+//! router front end) one fan-out.
+//!
+//! | method & path | op | notes |
+//! |---|---|---|
+//! | `GET /healthz` | — | liveness: `{"ok":true,"uptime_s":…}` |
+//! | `GET /metrics` | `metrics` | Prometheus text exposition |
+//! | `GET\|POST /v1/stats` | `stats` | counters as JSON |
+//! | `POST /v1/prepare` | `prepare` | body: `{"program":…}` |
+//! | `POST /v1/query` | `query` | body: `{"program":…,"doc":…}` |
+//! | `POST /v1/explain` | `explain` | body: `{"program":…,"analyze"?,"doc"?}` |
+//! | `POST /v1/query_corpus` | `query_corpus` | **chunked** streaming response |
+//! | `POST /v1/corpus` | `load_corpus` | body: raw text, or JSON with `Content-Type: application/json` |
+//! | `POST /v1/corpus/append` | `append_docs` | like `/v1/corpus` |
+//! | `POST /v1/corpus/update` | `update_doc` | body: `{"line":…,"text":…}` |
+//! | `POST /v1/corpus/delete` | `delete_docs` | body: `{"lines":[…]}` |
+//! | `POST /v1/shutdown` | `shutdown` | drain and exit |
+//!
+//! Hostile-input containment mirrors the line transport: the request
+//! head is read through [`ServeOptions::max_head_bytes`] (`431` past
+//! it), bodies through [`ServeOptions::max_body_bytes`] (`413`, without
+//! reading the body), a `POST` without `Content-Length` is `411`, and
+//! the idle/slow-drip deadline ([`ServeOptions::idle_timeout`]) applies
+//! to head and body reads alike. Connections are keep-alive by default
+//! (HTTP/1.1) and honor `Connection: close`.
+//!
+//! Error responses carry the protocol's JSON error body: a plain error
+//! (bad program, bad field) is `400`; a router *degraded* response
+//! (`"degraded": true` — a backend shard stayed unreachable) is `503`.
+//!
+//! `POST /v1/query_corpus` streams its response with
+//! `Transfer-Encoding: chunked`, one chunk per matched document, and the
+//! reassembled body is **byte-identical** to the line-protocol response
+//! for the same request — pinned by the HTTP conformance tests.
+
+use crate::json::Json;
+use crate::protocol::{error_response, Request};
+#[cfg_attr(not(doc), allow(unused_imports))] // doc links only
+use crate::server::ServeOptions;
+use crate::server::{dispatch_request, initiate_shutdown, Shared, POLL_INTERVAL};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+/// A parsed request head.
+struct Head {
+    method: String,
+    /// The path, query string stripped.
+    path: String,
+    /// `false` for HTTP/1.0 (keep-alive off by default).
+    http11: bool,
+    /// Header name/value pairs, names lowercased.
+    headers: Vec<(String, String)>,
+}
+
+impl Head {
+    /// The first value of `name` (lowercase), if present.
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after the response.
+    fn keep_alive(&self) -> bool {
+        match self.header("connection").map(str::to_ascii_lowercase) {
+            Some(v) if v.contains("close") => false,
+            Some(v) if v.contains("keep-alive") => true,
+            _ => self.http11,
+        }
+    }
+
+    /// The declared body length; `Err` marks an unparseable value.
+    fn content_length(&self) -> Result<Option<usize>, ()> {
+        match self.header("content-length") {
+            None => Ok(None),
+            Some(v) => v.trim().parse::<usize>().map(Some).map_err(|_| ()),
+        }
+    }
+}
+
+/// Outcome of reading one request head.
+enum HeadRead {
+    Head(Vec<u8>),
+    /// Head exceeded [`ServeOptions::max_head_bytes`].
+    TooLarge,
+    /// EOF, idle deadline, or shutdown while reading.
+    Closed,
+}
+
+/// Serves one HTTP connection until close, idle timeout, or shutdown.
+pub(crate) fn handle_http_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let head_bytes = match read_head(&mut reader, shared)? {
+            HeadRead::Closed => return Ok(()),
+            HeadRead::TooLarge => {
+                let body = error_response(format!(
+                    "request head exceeds the {}-byte limit",
+                    shared.options.max_head_bytes
+                ));
+                shared
+                    .metrics
+                    .record_request("invalid", std::time::Duration::ZERO, &body);
+                // The unread rest of the head is unframed garbage: close.
+                return write_json(&mut writer, shared, 431, &body, false);
+            }
+            HeadRead::Head(bytes) => bytes,
+        };
+        let started = Instant::now();
+        shared.metrics.bytes_read.add(head_bytes.len() as u64);
+        let head = match parse_head(&head_bytes) {
+            Ok(head) => head,
+            Err(message) => {
+                let body = error_response(message);
+                shared
+                    .metrics
+                    .record_request("invalid", started.elapsed(), &body);
+                // A malformed head leaves the stream unframed: close.
+                return write_json(&mut writer, shared, 400, &body, false);
+            }
+        };
+        if head.header("transfer-encoding").is_some() {
+            // Request bodies must be length-framed; chunked requests are
+            // out of scope (the server streams chunked *responses* only).
+            let body = error_response("chunked request bodies are not supported");
+            shared
+                .metrics
+                .record_request("invalid", started.elapsed(), &body);
+            return write_json(&mut writer, shared, 501, &body, false);
+        }
+        let keep_alive = head.keep_alive();
+        // Read the body (if any) before routing, so even a 404/405
+        // response leaves the connection correctly framed for reuse.
+        let declared = match head.content_length() {
+            Ok(len) => len,
+            Err(()) => {
+                let body = error_response("unparseable Content-Length");
+                shared
+                    .metrics
+                    .record_request("invalid", started.elapsed(), &body);
+                return write_json(&mut writer, shared, 400, &body, false);
+            }
+        };
+        let body_bytes = match declared {
+            None => Vec::new(),
+            Some(len) if len > shared.options.max_body_bytes => {
+                let body = error_response(format!(
+                    "request body of {len} bytes exceeds the {}-byte limit",
+                    shared.options.max_body_bytes
+                ));
+                shared
+                    .metrics
+                    .record_request("invalid", started.elapsed(), &body);
+                // The body was never read: the stream is unframed; close.
+                return write_json(&mut writer, shared, 413, &body, false);
+            }
+            Some(len) => {
+                if head
+                    .header("expect")
+                    .is_some_and(|v| v.eq_ignore_ascii_case("100-continue"))
+                {
+                    writer.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
+                }
+                match read_body(&mut reader, len, shared)? {
+                    Some(bytes) => bytes,
+                    None => return Ok(()), // EOF / idle deadline mid-body
+                }
+            }
+        };
+        shared.metrics.bytes_read.add(body_bytes.len() as u64);
+        let outcome = route(shared, &head, &body_bytes, started);
+        match outcome {
+            Routed::Simple {
+                status,
+                body,
+                content_type,
+            } => {
+                let close = !keep_alive || status == 503;
+                write_response(&mut writer, shared, status, &content_type, &body, !close)?;
+                if close {
+                    return Ok(());
+                }
+            }
+            Routed::Json { status, body } => {
+                write_json(&mut writer, shared, status, &body, keep_alive)?;
+                if !keep_alive {
+                    return Ok(());
+                }
+            }
+            Routed::CorpusStream { response } => {
+                write_corpus_chunked(&mut writer, shared, &response, keep_alive)?;
+                if !keep_alive {
+                    return Ok(());
+                }
+            }
+            Routed::Shutdown { body } => {
+                // Answer, then drain: mirror the line transport's
+                // shutdown sequencing.
+                write_json(&mut writer, shared, 200, &body, false)?;
+                initiate_shutdown(shared);
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// What the router decided to send back.
+enum Routed {
+    /// A non-JSON (or pre-rendered) response body.
+    Simple {
+        status: u16,
+        content_type: String,
+        body: Vec<u8>,
+    },
+    /// A protocol JSON response.
+    Json { status: u16, body: Json },
+    /// A successful `query_corpus` response, streamed chunked.
+    CorpusStream { response: Json },
+    /// A `shutdown` acknowledged; drain after writing.
+    Shutdown { body: Json },
+}
+
+/// Maps a path to its protocol op, for `POST` endpoints.
+fn post_op(path: &str) -> Option<&'static str> {
+    match path {
+        "/v1/prepare" => Some("prepare"),
+        "/v1/query" => Some("query"),
+        "/v1/explain" => Some("explain"),
+        "/v1/query_corpus" => Some("query_corpus"),
+        "/v1/corpus" => Some("load_corpus"),
+        "/v1/corpus/append" => Some("append_docs"),
+        "/v1/corpus/update" => Some("update_doc"),
+        "/v1/corpus/delete" => Some("delete_docs"),
+        "/v1/stats" => Some("stats"),
+        "/v1/shutdown" => Some("shutdown"),
+        _ => None,
+    }
+}
+
+/// Routes one framed request to a response, recording per-op metrics
+/// exactly like the line transport.
+fn route(shared: &Shared, head: &Head, body: &[u8], started: Instant) -> Routed {
+    match (head.method.as_str(), head.path.as_str()) {
+        ("GET", "/healthz") => Routed::Json {
+            status: 200,
+            body: Json::object([
+                ("ok", Json::Bool(true)),
+                (
+                    "uptime_s",
+                    Json::Number(shared.started.elapsed().as_secs_f64()),
+                ),
+            ]),
+        },
+        ("GET", "/metrics") => {
+            shared.metrics.begin_request("metrics");
+            let text = shared.render_metrics();
+            shared.metrics.finish_request(
+                "metrics",
+                started.elapsed(),
+                &Json::object([("ok", Json::Bool(true))]),
+            );
+            Routed::Simple {
+                status: 200,
+                content_type: "text/plain; version=0.0.4; charset=utf-8".to_string(),
+                body: text.into_bytes(),
+            }
+        }
+        ("GET", "/v1/stats") => dispatch(shared, "stats", Json::object::<&str>([]), started),
+        ("POST", path) => match post_op(path) {
+            None => not_found(shared, started),
+            Some(op) => match body_to_fields(head, body, op) {
+                Err(message) => {
+                    let body = error_response(message);
+                    shared
+                        .metrics
+                        .record_request("invalid", started.elapsed(), &body);
+                    Routed::Json { status: 400, body }
+                }
+                Ok(fields) => dispatch(shared, op, fields, started),
+            },
+        },
+        (_, path)
+            if path == "/healthz"
+                || path == "/metrics"
+                || path == "/v1/stats"
+                || post_op(path).is_some() =>
+        {
+            // Known path, wrong method.
+            let allow = match path {
+                "/healthz" | "/metrics" => "GET",
+                "/v1/stats" => "GET, POST",
+                _ => "POST",
+            };
+            let body = error_response(format!(
+                "method {} not allowed (allow: {allow})",
+                head.method
+            ));
+            shared
+                .metrics
+                .record_request("invalid", started.elapsed(), &body);
+            Routed::Simple {
+                status: 405,
+                content_type: format!("application/json\r\nAllow: {allow}"),
+                body: body.to_string().into_bytes(),
+            }
+        }
+        _ => not_found(shared, started),
+    }
+}
+
+/// The 404 response.
+fn not_found(shared: &Shared, started: Instant) -> Routed {
+    let body = error_response("no such endpoint");
+    shared
+        .metrics
+        .record_request("invalid", started.elapsed(), &body);
+    Routed::Json { status: 404, body }
+}
+
+/// Decodes a request body into the fields object the op expects: JSON
+/// endpoints must carry a JSON object; the corpus ingest endpoints
+/// accept raw text unless `Content-Type` says JSON, so
+/// `curl --data-binary @corpus.txt` works without escaping.
+fn body_to_fields(head: &Head, body: &[u8], op: &'static str) -> Result<Json, String> {
+    let is_json = head
+        .header("content-type")
+        .is_some_and(|v| v.to_ascii_lowercase().contains("json"));
+    if matches!(op, "load_corpus" | "append_docs") && !is_json {
+        let text = String::from_utf8_lossy(body).into_owned();
+        return Ok(Json::object([("text", Json::string(text))]));
+    }
+    if body.is_empty() {
+        return Ok(Json::object::<&str>([]));
+    }
+    let text = std::str::from_utf8(body).map_err(|_| "request body is not UTF-8".to_string())?;
+    let value = Json::parse(text).map_err(|e| e.to_string())?;
+    match value {
+        Json::Object(_) => Ok(value),
+        _ => Err("request body must be a JSON object".to_string()),
+    }
+}
+
+/// Inserts the op, re-decodes through [`Request::parse`] (one validation
+/// path for both transports), dispatches, and maps the protocol response
+/// to an HTTP status.
+fn dispatch(shared: &Shared, op: &'static str, fields: Json, started: Instant) -> Routed {
+    let Json::Object(mut pairs) = fields else {
+        unreachable!("body_to_fields always yields an object");
+    };
+    pairs.retain(|(k, _)| k != "op");
+    pairs.insert(0, ("op".to_string(), Json::string(op)));
+    let line = Json::Object(pairs).to_string();
+    match Request::parse(&line) {
+        Err(message) => {
+            let body = error_response(message);
+            shared
+                .metrics
+                .record_request("invalid", started.elapsed(), &body);
+            Routed::Json { status: 400, body }
+        }
+        Ok(request) => {
+            let shutdown = request == Request::Shutdown;
+            let streaming = matches!(request, Request::QueryCorpus { .. });
+            shared.metrics.begin_request(op);
+            let response = dispatch_request(shared, request);
+            shared
+                .metrics
+                .finish_request(op, started.elapsed(), &response);
+            let ok = response.get("ok").and_then(Json::as_bool) == Some(true);
+            if shutdown && ok {
+                return Routed::Shutdown { body: response };
+            }
+            if !ok {
+                let degraded = response.get("degraded").and_then(Json::as_bool) == Some(true);
+                return Routed::Json {
+                    status: if degraded { 503 } else { 400 },
+                    body: response,
+                };
+            }
+            if streaming {
+                return Routed::CorpusStream { response };
+            }
+            Routed::Json {
+                status: 200,
+                body: response,
+            }
+        }
+    }
+}
+
+/// The reason phrase for the statuses this server produces.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Content Too Large",
+        431 => "Request Header Fields Too Large",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one JSON response.
+fn write_json(
+    writer: &mut TcpStream,
+    shared: &Shared,
+    status: u16,
+    body: &Json,
+    keep_alive: bool,
+) -> io::Result<()> {
+    write_response(
+        writer,
+        shared,
+        status,
+        "application/json",
+        body.to_string().as_bytes(),
+        keep_alive,
+    )
+}
+
+/// Writes one length-framed response with a single syscall (same
+/// rationale as the line transport's `write_response`).
+fn write_response(
+    writer: &mut TcpStream,
+    shared: &Shared,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let mut out = Vec::with_capacity(body.len() + 160);
+    out.extend_from_slice(
+        format!(
+            "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            reason(status),
+            body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        )
+        .as_bytes(),
+    );
+    out.extend_from_slice(body);
+    shared.metrics.bytes_written.add(out.len() as u64);
+    record_status(shared, status);
+    writer.write_all(&out)
+}
+
+/// Records the status-class counter.
+fn record_status(shared: &Shared, status: u16) {
+    let class = (status / 100) as usize;
+    if (2..=5).contains(&class) {
+        shared.metrics.http_classes[class - 2].inc();
+    }
+}
+
+/// Streams a successful `query_corpus` response with chunked transfer
+/// encoding: one chunk for everything before the `results` array, one
+/// chunk per result entry, one closing chunk. The protocol response puts
+/// `results` last (see `corpus_response`), so the reassembled body is
+/// byte-identical to the line-protocol response — pinned by the HTTP
+/// conformance tests. Chunks are coalesced into ~32 KiB writes.
+fn write_corpus_chunked(
+    writer: &mut TcpStream,
+    shared: &Shared,
+    response: &Json,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let Json::Object(fields) = response else {
+        // Not the expected shape; fall back to a plain response.
+        return write_json(writer, shared, 200, response, keep_alive);
+    };
+    let Some(("results", Json::Array(results))) = fields.last().map(|(k, v)| (k.as_str(), v))
+    else {
+        return write_json(writer, shared, 200, response, keep_alive);
+    };
+    let mut head = Json::Object(fields[..fields.len() - 1].to_vec()).to_string();
+    head.pop(); // strip '}' — the results array reopens the object
+    head.push_str(",\"results\":[");
+
+    let mut out = Vec::with_capacity(64 << 10);
+    out.extend_from_slice(
+        format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+            if keep_alive { "keep-alive" } else { "close" },
+        )
+        .as_bytes(),
+    );
+    let mut written = 0u64;
+    let chunk = |out: &mut Vec<u8>, data: &str| {
+        out.extend_from_slice(format!("{:x}\r\n", data.len()).as_bytes());
+        out.extend_from_slice(data.as_bytes());
+        out.extend_from_slice(b"\r\n");
+    };
+    chunk(&mut out, &head);
+    for (i, entry) in results.iter().enumerate() {
+        let rendered = if i == 0 {
+            entry.to_string()
+        } else {
+            format!(",{entry}")
+        };
+        chunk(&mut out, &rendered);
+        if out.len() >= 32 << 10 {
+            written += out.len() as u64;
+            writer.write_all(&out)?;
+            out.clear();
+        }
+    }
+    chunk(&mut out, "]}");
+    out.extend_from_slice(b"0\r\n\r\n");
+    written += out.len() as u64;
+    writer.write_all(&out)?;
+    shared.metrics.bytes_written.add(written);
+    record_status(shared, 200);
+    Ok(())
+}
+
+/// Reads one request head (request line + headers, through the blank
+/// line), enforcing [`ServeOptions::max_head_bytes`] and the idle/
+/// slow-drip deadline, polling the shutdown flag while idle. Consumes
+/// only up to the head terminator, so pipelined bytes stay buffered for
+/// the next request.
+fn read_head(reader: &mut BufReader<TcpStream>, shared: &Shared) -> io::Result<HeadRead> {
+    let cap = shared.options.max_head_bytes;
+    let mut buf: Vec<u8> = Vec::new();
+    let started = Instant::now();
+    loop {
+        if started.elapsed() >= shared.options.idle_timeout {
+            return Ok(HeadRead::Closed);
+        }
+        let chunk = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return Ok(HeadRead::Closed);
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        if chunk.is_empty() {
+            // EOF: a partial head is dropped silently (nothing to frame
+            // a response for); between requests this is a clean close.
+            return Ok(HeadRead::Closed);
+        }
+        // Find the head terminator in the window spanning the buffered
+        // tail and this chunk, accepting both CRLFCRLF and bare LFLF.
+        let tail = buf.len().min(3);
+        let mut window = Vec::with_capacity(tail + chunk.len());
+        window.extend_from_slice(&buf[buf.len() - tail..]);
+        window.extend_from_slice(chunk);
+        let crlf = find(&window, b"\r\n\r\n").map(|p| p + 4);
+        let lf = find(&window, b"\n\n").map(|p| p + 2);
+        let end = match (crlf, lf) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        match end {
+            // The terminator must end inside this chunk (a terminator
+            // fully inside `buf` would have been found last iteration).
+            Some(end) if end > tail => {
+                let take = end - tail;
+                buf.extend_from_slice(&chunk[..take]);
+                reader.consume(take);
+                if buf.len() > cap {
+                    return Ok(HeadRead::TooLarge);
+                }
+                return Ok(HeadRead::Head(buf));
+            }
+            _ => {
+                let take = chunk.len();
+                buf.extend_from_slice(chunk);
+                reader.consume(take);
+                if buf.len() > cap {
+                    return Ok(HeadRead::TooLarge);
+                }
+            }
+        }
+    }
+}
+
+/// First occurrence of `needle` in `haystack`.
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+/// Reads exactly `len` body bytes under the idle deadline; `None` on
+/// EOF, deadline, or shutdown (the connection just closes — there is no
+/// way to frame a response on a half-sent body).
+fn read_body(
+    reader: &mut BufReader<TcpStream>,
+    len: usize,
+    shared: &Shared,
+) -> io::Result<Option<Vec<u8>>> {
+    let mut buf = Vec::with_capacity(len.min(1 << 20));
+    let started = Instant::now();
+    while buf.len() < len {
+        if started.elapsed() >= shared.options.idle_timeout {
+            return Ok(None);
+        }
+        let chunk = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return Ok(None);
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        if chunk.is_empty() {
+            return Ok(None);
+        }
+        let take = chunk.len().min(len - buf.len());
+        buf.extend_from_slice(&chunk[..take]);
+        reader.consume(take);
+    }
+    Ok(Some(buf))
+}
+
+/// Parses a head's bytes into method, path, version, and headers.
+fn parse_head(bytes: &[u8]) -> Result<Head, String> {
+    let text = std::str::from_utf8(bytes).map_err(|_| "request head is not UTF-8".to_string())?;
+    let mut lines = text.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(format!("malformed request line `{request_line}`"));
+    };
+    if parts.next().is_some() {
+        return Err(format!("malformed request line `{request_line}`"));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        other => return Err(format!("unsupported protocol version `{other}`")),
+    };
+    let path = target.split('?').next().unwrap_or("").to_string();
+    if !path.starts_with('/') {
+        return Err(format!("unsupported request target `{target}`"));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(format!("malformed header line `{line}`"));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return Err(format!("malformed header name `{name}`"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok(Head {
+        method: method.to_string(),
+        path,
+        http11,
+        headers,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
+/// A decoded HTTP response.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// The status code.
+    pub status: u16,
+    /// Header name/value pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The response body (chunked bodies reassembled).
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// The first value of header `name` (lowercase).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text.
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// The body parsed as JSON.
+    pub fn json(&self) -> io::Result<Json> {
+        Json::parse(&self.text()).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad response body: {e}"),
+            )
+        })
+    }
+}
+
+/// A small synchronous HTTP/1.1 client with keep-alive: one
+/// [`HttpClient`] holds one persistent connection and reuses it across
+/// requests (the connection-reuse regression test drives a burst through
+/// one client and asserts the server accepted exactly one connection).
+/// Reassembles chunked responses, so `POST /v1/query_corpus` round-trips
+/// to the same JSON the line protocol returns.
+pub struct HttpClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl HttpClient {
+    /// Connects to an HTTP front end.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(HttpClient { stream, reader })
+    }
+
+    /// Sends a `GET`.
+    pub fn get(&mut self, path: &str) -> io::Result<HttpResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// Sends a `POST` with a JSON body.
+    pub fn post_json(&mut self, path: &str, body: &Json) -> io::Result<HttpResponse> {
+        self.request(
+            "POST",
+            path,
+            Some(("application/json", body.to_string().into_bytes())),
+        )
+    }
+
+    /// Sends a `POST` with a raw text body (the corpus ingest shape).
+    pub fn post_text(&mut self, path: &str, body: &str) -> io::Result<HttpResponse> {
+        self.request("POST", path, Some(("text/plain", body.as_bytes().to_vec())))
+    }
+
+    /// Sends one request and reads one response on the persistent
+    /// connection.
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<(&str, Vec<u8>)>,
+    ) -> io::Result<HttpResponse> {
+        let mut out = Vec::new();
+        match body {
+            None => out.extend_from_slice(format!("{method} {path} HTTP/1.1\r\n\r\n").as_bytes()),
+            Some((content_type, bytes)) => {
+                out.extend_from_slice(
+                    format!(
+                        "{method} {path} HTTP/1.1\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\r\n",
+                        bytes.len()
+                    )
+                    .as_bytes(),
+                );
+                out.extend_from_slice(&bytes);
+            }
+        }
+        self.stream.write_all(&out)?;
+        self.read_response()
+    }
+
+    /// Reads one response: status line, headers, then a body framed by
+    /// `Content-Length` or reassembled from `Transfer-Encoding: chunked`.
+    fn read_response(&mut self) -> io::Result<HttpResponse> {
+        let status_line = self.read_line()?;
+        let mut parts = status_line.split_ascii_whitespace();
+        let (_version, status) = (parts.next(), parts.next());
+        let status: u16 = status
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad_data(format!("malformed status line `{status_line}`")))?;
+        let mut headers = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+            }
+        }
+        // Interim responses (100 Continue) carry no body; read on.
+        if status == 100 {
+            return self.read_response();
+        }
+        let chunked = headers
+            .iter()
+            .any(|(k, v)| k == "transfer-encoding" && v.to_ascii_lowercase().contains("chunked"));
+        let body = if chunked {
+            let mut body = Vec::new();
+            loop {
+                let size_line = self.read_line()?;
+                let size = usize::from_str_radix(size_line.trim(), 16)
+                    .map_err(|_| bad_data(format!("malformed chunk size `{size_line}`")))?;
+                if size == 0 {
+                    // Trailer section: read through the blank line.
+                    loop {
+                        if self.read_line()?.is_empty() {
+                            break;
+                        }
+                    }
+                    break;
+                }
+                let mut chunk = vec![0u8; size];
+                io::Read::read_exact(&mut self.reader, &mut chunk)?;
+                body.extend_from_slice(&chunk);
+                let crlf = self.read_line()?;
+                if !crlf.is_empty() {
+                    return Err(bad_data("chunk not CRLF-terminated".to_string()));
+                }
+            }
+            body
+        } else {
+            let len: usize = headers
+                .iter()
+                .find(|(k, _)| k == "content-length")
+                .and_then(|(_, v)| v.parse().ok())
+                .unwrap_or(0);
+            let mut body = vec![0u8; len];
+            io::Read::read_exact(&mut self.reader, &mut body)?;
+            body
+        };
+        Ok(HttpResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+
+    /// Reads one CRLF-terminated line, without the terminator.
+    fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+}
+
+impl std::fmt::Debug for HttpClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.stream.peer_addr() {
+            Ok(addr) => write!(f, "HttpClient({addr})"),
+            Err(_) => write!(f, "HttpClient(disconnected)"),
+        }
+    }
+}
+
+/// Shorthand for an [`io::ErrorKind::InvalidData`] error.
+fn bad_data(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heads_parse_and_reject() {
+        let head = parse_head(
+            b"POST /v1/query?x=1 HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: 12\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(head.method, "POST");
+        assert_eq!(head.path, "/v1/query");
+        assert!(head.http11);
+        assert!(head.keep_alive());
+        assert_eq!(head.content_length(), Ok(Some(12)));
+        assert_eq!(head.header("content-type"), Some("application/json"));
+
+        // Bare-LF heads are tolerated; HTTP/1.0 defaults to close.
+        let head = parse_head(b"GET /healthz HTTP/1.0\n\n").unwrap();
+        assert!(!head.http11);
+        assert!(!head.keep_alive());
+
+        let head = parse_head(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!head.keep_alive());
+
+        for bytes in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET /x HTTP/2\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"GET http://example.com HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nno colon here\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbad name: v\r\n\r\n",
+        ] {
+            assert!(
+                parse_head(bytes).is_err(),
+                "{:?}",
+                String::from_utf8_lossy(bytes)
+            );
+        }
+    }
+
+    #[test]
+    fn endpoint_table_is_total() {
+        for (path, op) in [
+            ("/v1/prepare", "prepare"),
+            ("/v1/query", "query"),
+            ("/v1/explain", "explain"),
+            ("/v1/query_corpus", "query_corpus"),
+            ("/v1/corpus", "load_corpus"),
+            ("/v1/corpus/append", "append_docs"),
+            ("/v1/corpus/update", "update_doc"),
+            ("/v1/corpus/delete", "delete_docs"),
+            ("/v1/stats", "stats"),
+            ("/v1/shutdown", "shutdown"),
+        ] {
+            assert_eq!(post_op(path), Some(op));
+        }
+        assert_eq!(post_op("/v1/nope"), None);
+        assert_eq!(post_op("/"), None);
+    }
+}

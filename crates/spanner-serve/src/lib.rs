@@ -23,6 +23,20 @@
 //! synchronous client; [`json`] is the self-contained JSON layer
 //! (the workspace builds offline — no serde).
 //!
+//! Two front ends sit on the same dispatch path:
+//!
+//! * [`http`] — an HTTP/1.1 transport (`ServeOptions::http`) exposing the
+//!   protocol ops as `/v1/*` endpoints with hard head/body byte caps,
+//!   keep-alive, chunked streaming for corpus results, `/metrics`, and
+//!   `/healthz`, plus the matching [`HttpClient`];
+//! * [`router`] — a shard-router mode ([`Server::bind_router`]): one
+//!   front end partitions the corpus across N backend daemons, fans
+//!   corpus queries out in parallel, and merges per-document results in
+//!   corpus order, bit-identical to a single daemon. Backend calls are
+//!   bounded by connect/read timeouts with bounded retries on idempotent
+//!   ops; a backend that stays unreachable yields a typed degraded
+//!   response naming the failed shard instead of a hang.
+//!
 //! ```
 //! use spanner_serve::{Client, ServeOptions, Server};
 //!
@@ -42,12 +56,16 @@
 
 pub mod cache;
 pub mod client;
+pub mod http;
 pub mod json;
 pub mod protocol;
+pub mod router;
 pub mod server;
 
 pub use cache::{CacheStats, QueryCache};
 pub use client::Client;
+pub use http::{HttpClient, HttpResponse};
 pub use json::Json;
 pub use protocol::Request;
+pub use router::RouterOptions;
 pub use server::{ServeOptions, Server};

@@ -21,8 +21,10 @@
 //!   buffered on its connection) before the server exits.
 
 use crate::cache::{cache_key, QueryCache};
+use crate::http::handle_http_connection;
 use crate::json::Json;
 use crate::protocol::{error_response, mappings_to_json, Request};
+use crate::router::{Router, RouterOptions};
 use spanner_algebra::RaOptions;
 use spanner_core::Document;
 use spanner_corpus::{split_lines, CorpusResult, QueryView, WorkerPool};
@@ -68,6 +70,19 @@ pub struct ServeOptions {
     /// per distinct prepared program); least-recently-used views are
     /// dropped past it. `0` disables views entirely.
     pub max_views: usize,
+    /// Serve HTTP/1.1 instead of the line-JSON protocol: the same
+    /// operations behind `POST /v1/*` endpoints, plus `GET /healthz` and
+    /// `GET /metrics` (see [`crate::http`]).
+    pub http: bool,
+    /// Hard cap on one HTTP request head (request line + headers), in
+    /// bytes; larger heads are answered with `431` and the connection is
+    /// closed. Ignored by the line-JSON transport.
+    pub max_head_bytes: usize,
+    /// Hard cap on one HTTP request body, in bytes; a larger declared
+    /// `Content-Length` is answered with `413` without reading the body.
+    /// Ignored by the line-JSON transport (which caps whole lines via
+    /// [`ServeOptions::max_line_bytes`]).
+    pub max_body_bytes: usize,
 }
 
 impl Default for ServeOptions {
@@ -81,6 +96,9 @@ impl Default for ServeOptions {
             idle_timeout: Duration::from_secs(60),
             view_budget: 1 << 20,
             max_views: 16,
+            http: false,
+            max_head_bytes: 16 << 10,
+            max_body_bytes: 1 << 20,
         }
     }
 }
@@ -122,13 +140,16 @@ struct OpMetrics {
 /// (cache stats, store size, uptime) are appended to the rendered
 /// exposition by [`Shared::render_metrics`] instead of being mirrored
 /// into yet another set of counters.
-struct ServerMetrics {
+pub(crate) struct ServerMetrics {
     registry: Registry,
     /// Per-op request/error/latency, indexed like [`OPS`].
     ops: Vec<OpMetrics>,
-    connections: Counter,
-    bytes_read: Counter,
-    bytes_written: Counter,
+    pub(crate) connections: Counter,
+    pub(crate) bytes_read: Counter,
+    pub(crate) bytes_written: Counter,
+    /// HTTP responses by status class (`2xx`…`5xx`), indexed by
+    /// `status / 100 - 2`; stays zero on the line-JSON transport.
+    pub(crate) http_classes: Vec<Counter>,
     /// Corpus documents by fast-path outcome, accumulated over every
     /// `query_corpus` request: skipped (static prefilters), rejected
     /// (boolean pre-pass), evaluated (reached the executor).
@@ -206,6 +227,12 @@ impl ServerMetrics {
                 "Response bytes written to clients",
                 &[],
             ),
+            http_classes: registry.counters(
+                "spanner_http_requests_total",
+                "HTTP responses written, by status class",
+                "class",
+                &["2xx", "3xx", "4xx", "5xx"],
+            ),
             docs_skipped: docs("skipped"),
             docs_rejected: docs("rejected"),
             docs_evaluated: docs("evaluated"),
@@ -276,14 +303,14 @@ impl ServerMetrics {
 
     /// Counts a request as soon as it is decoded — before dispatch, so a
     /// `stats` or `metrics` response includes the request that asked.
-    fn begin_request(&self, op: &str) {
+    pub(crate) fn begin_request(&self, op: &str) {
         self.op(op).requests.inc();
     }
 
     /// Records the handled request's latency and — read off the response's
     /// `ok` field, so the tally can never drift from what the client saw —
     /// the error total.
-    fn finish_request(&self, op: &str, elapsed: Duration, response: &Json) {
+    pub(crate) fn finish_request(&self, op: &str, elapsed: Duration, response: &Json) {
         let m = self.op(op);
         if response.get("ok").and_then(Json::as_bool) != Some(true) {
             m.errors.inc();
@@ -294,7 +321,7 @@ impl ServerMetrics {
     /// [`ServerMetrics::begin_request`] + [`ServerMetrics::finish_request`]
     /// in one step, for lines that never dispatch (parse errors, oversized
     /// lines).
-    fn record_request(&self, op: &str, elapsed: Duration, response: &Json) {
+    pub(crate) fn record_request(&self, op: &str, elapsed: Duration, response: &Json) {
         self.begin_request(op);
         self.finish_request(op, elapsed, response);
     }
@@ -406,14 +433,17 @@ impl ViewSet {
 }
 
 /// State shared by the accept loop and every connection worker.
-struct Shared {
+pub(crate) struct Shared {
     cache: QueryCache,
     pool: WorkerPool,
-    options: ServeOptions,
-    addr: SocketAddr,
-    shutdown: AtomicBool,
-    metrics: ServerMetrics,
-    started: Instant,
+    pub(crate) options: ServeOptions,
+    pub(crate) addr: SocketAddr,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) metrics: ServerMetrics,
+    pub(crate) started: Instant,
+    /// The shard router, when this front end routes to backend daemons
+    /// instead of evaluating locally ([`Server::bind_router`]).
+    router: Option<Router>,
     /// The resident corpus: loaded by `load_corpus`, mutated in place by
     /// `append_docs`/`update_doc`/`delete_docs`, and queried by
     /// `query_corpus` requests that omit `text` — documents stay on the
@@ -431,7 +461,7 @@ impl Shared {
 
     /// Renders the whole registry plus the scrape-time families (cache,
     /// resident store, uptime) as one Prometheus text exposition.
-    fn render_metrics(&self) -> String {
+    pub(crate) fn render_metrics(&self) -> String {
         let mut out = Exposition::new();
         self.metrics.registry.export_into(&mut out);
         let cache = self.cache.stats();
@@ -547,10 +577,37 @@ pub struct Server {
 
 impl Server {
     /// Binds the daemon to `addr` (e.g. `"127.0.0.1:7171"`; port `0` picks
-    /// a free port, which [`Server::local_addr`] reports).
+    /// a free port, which [`Server::local_addr`] reports). The transport
+    /// is chosen by [`ServeOptions::http`].
     pub fn bind(addr: &str, options: ServeOptions) -> io::Result<Server> {
+        Server::bind_inner(addr, options, None)
+    }
+
+    /// Binds a shard-router front end: corpus operations partition and
+    /// fan out across `router.backends` (see [`crate::router`]), while
+    /// single-document operations are served locally. The transport is
+    /// still chosen by [`ServeOptions::http`], so a router can also be
+    /// the HTTP edge of a cluster.
+    pub fn bind_router(
+        addr: &str,
+        options: ServeOptions,
+        router: RouterOptions,
+    ) -> io::Result<Server> {
+        Server::bind_inner(addr, options, Some(router))
+    }
+
+    fn bind_inner(
+        addr: &str,
+        options: ServeOptions,
+        router: Option<RouterOptions>,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let metrics = ServerMetrics::new();
+        let router = match router {
+            None => None,
+            Some(router_options) => Some(Router::new(router_options, &metrics.registry)?),
+        };
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
@@ -559,8 +616,9 @@ impl Server {
                 options,
                 addr,
                 shutdown: AtomicBool::new(false),
-                metrics: ServerMetrics::new(),
+                metrics,
                 started: Instant::now(),
+                router,
                 store: Mutex::new(None),
             }),
         })
@@ -590,7 +648,11 @@ impl Server {
                     shared.metrics.connections.inc();
                     // Connection-level I/O errors (peer reset, timeout on a
                     // dead socket) end that connection only.
-                    let _ = handle_connection(stream, &shared);
+                    let _ = if shared.options.http {
+                        handle_http_connection(stream, &shared)
+                    } else {
+                        handle_connection(stream, &shared)
+                    };
                 })
             })
             .collect();
@@ -638,7 +700,7 @@ fn resolve_threads(requested: usize) -> usize {
 }
 
 /// How often an idle connection re-checks the shutdown flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(50);
+pub(crate) const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
 /// One request line, read under the byte cap.
 enum LineRead {
@@ -689,7 +751,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
                         let op = request.op_name();
                         let shutdown = request == Request::Shutdown;
                         shared.metrics.begin_request(op);
-                        let response = handle_request(shared, request);
+                        let response = dispatch_request(shared, request);
                         shared
                             .metrics
                             .finish_request(op, started.elapsed(), &response);
@@ -720,7 +782,7 @@ fn write_response(writer: &mut TcpStream, response: &Json, shared: &Shared) -> i
 
 /// Flags the shutdown and unblocks the accept loop with a wake-up
 /// connection.
-fn initiate_shutdown(shared: &Shared) {
+pub(crate) fn initiate_shutdown(shared: &Shared) {
     shared.shutdown.store(true, Ordering::SeqCst);
     let _ = TcpStream::connect(shared.addr);
 }
@@ -862,7 +924,21 @@ fn corpus_response(
     Json::object(fields)
 }
 
-/// Dispatches one decoded request to a response.
+/// Dispatches one decoded request: a router front end intercepts the
+/// corpus-level operations and fans them out to its backend shards;
+/// everything else (and everything, without a router) is handled
+/// locally. Both transports funnel through this one function, so the
+/// line-JSON and HTTP surfaces can never drift apart.
+pub(crate) fn dispatch_request(shared: &Shared, request: Request) -> Json {
+    if let Some(router) = &shared.router {
+        if let Some(response) = router.route(&request) {
+            return response;
+        }
+    }
+    handle_request(shared, request)
+}
+
+/// Handles one decoded request locally.
 fn handle_request(shared: &Shared, request: Request) -> Json {
     match request {
         Request::Prepare { program } => with_query(shared, &program, |query, cached| {
@@ -1113,6 +1189,14 @@ fn handle_request(shared: &Shared, request: Request) -> Json {
         }
         Request::Stats => {
             let cache = shared.cache.stats();
+            // Deliberately local even on a router front end: a stats
+            // probe must answer when every backend is down, so the
+            // router section reports topology and transport counters
+            // without fanning out.
+            let router = match &shared.router {
+                None => Json::Null,
+                Some(router) => router.stats(),
+            };
             let store = match shared.resident() {
                 None => Json::Null,
                 Some(resident) => {
@@ -1195,6 +1279,7 @@ fn handle_request(shared: &Shared, request: Request) -> Json {
                     ),
                 ),
                 ("store", store),
+                ("router", router),
             ])
         }
         Request::Metrics => Json::object([

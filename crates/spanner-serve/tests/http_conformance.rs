@@ -1,0 +1,404 @@
+//! HTTP/1.1 conformance and fuzz tests for the front end.
+//!
+//! The HTTP layer shares one dispatch path with the line protocol, so
+//! its correctness claims are (a) protocol-level: torn, pipelined, and
+//! oversized requests are contained with the right status codes (431
+//! past the head cap, 413 past the body cap, 400/404/405/501 where HTTP
+//! says so), keep-alive reuses one connection, and the chunked
+//! `query_corpus` stream reassembles to the **byte-identical** JSON the
+//! line protocol emits; and (b) robustness: a seed-driven mutation
+//! fuzzer over raw request bytes never kills the server — every
+//! connection is answered or closed cleanly, and `/healthz` still
+//! answers after each case.
+
+use spanner_serve::{Client, HttpClient, Json, ServeOptions, Server};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+type Handle = JoinHandle<std::io::Result<()>>;
+
+fn http_options() -> ServeOptions {
+    ServeOptions {
+        http: true,
+        threads: 4,
+        // Small caps so the rejection paths are cheap to reach.
+        max_head_bytes: 2 << 10,
+        max_body_bytes: 8 << 10,
+        idle_timeout: Duration::from_secs(2),
+        ..ServeOptions::default()
+    }
+}
+
+fn start_http(options: ServeOptions) -> (SocketAddr, Handle) {
+    Server::bind("127.0.0.1:0", options)
+        .expect("bind HTTP server")
+        .spawn()
+}
+
+fn shutdown(addr: SocketAddr, handle: Handle) {
+    let mut client = HttpClient::connect(addr).unwrap();
+    let response = client
+        .post_json("/v1/shutdown", &Json::object::<&str>([]))
+        .unwrap();
+    assert_eq!(response.status, 200);
+    handle.join().unwrap().unwrap();
+}
+
+/// Sends raw bytes on a fresh connection; returns everything read until
+/// EOF or timeout.
+fn raw_exchange(addr: SocketAddr, bytes: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let _ = stream.write_all(bytes);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut out = Vec::new();
+    let _ = stream.read_to_end(&mut out);
+    out
+}
+
+fn status_of(response: &[u8]) -> Option<u16> {
+    let text = String::from_utf8_lossy(response);
+    let mut parts = text.split_ascii_whitespace();
+    let _version = parts.next()?;
+    parts.next()?.parse().ok()
+}
+
+#[test]
+fn endpoints_round_trip_with_keep_alive() {
+    let (addr, handle) = start_http(http_options());
+    let mut client = HttpClient::connect(addr).unwrap();
+
+    let health = client.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    assert_eq!(
+        health.json().unwrap().get("ok").and_then(Json::as_bool),
+        Some(true)
+    );
+
+    let query = client
+        .post_json(
+            "/v1/query",
+            &Json::object([
+                ("program", Json::string("/{x:a+}b/")),
+                ("doc", Json::string("aab")),
+            ]),
+        )
+        .unwrap();
+    assert_eq!(query.status, 200);
+    let body = query.json().unwrap();
+    assert_eq!(body.get("count").and_then(Json::as_usize), Some(1));
+
+    let explain = client
+        .post_json(
+            "/v1/explain",
+            &Json::object([("program", Json::string("/{x:a+}/"))]),
+        )
+        .unwrap();
+    assert_eq!(explain.status, 200);
+
+    // A bad program is a 400 carrying the protocol's JSON error.
+    let bad = client
+        .post_json(
+            "/v1/query",
+            &Json::object([
+                ("program", Json::string("/{x:/")),
+                ("doc", Json::string("a")),
+            ]),
+        )
+        .unwrap();
+    assert_eq!(bad.status, 400);
+    assert_eq!(
+        bad.json().unwrap().get("ok").and_then(Json::as_bool),
+        Some(false)
+    );
+
+    // /metrics is the Prometheus exposition, and it has seen this very
+    // connection's requests — all on one kept-alive connection.
+    let metrics = client.get("/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    assert!(metrics
+        .header("content-type")
+        .is_some_and(|v| v.starts_with("text/plain")));
+    let text = metrics.text();
+    assert!(
+        text.contains("spanner_http_requests_total{class=\"2xx\"}"),
+        "{text}"
+    );
+    assert!(
+        text.contains("spanner_http_requests_total{class=\"4xx\"}"),
+        "{text}"
+    );
+
+    let stats = client.get("/v1/stats").unwrap();
+    assert_eq!(stats.status, 200);
+    let connections = stats
+        .json()
+        .unwrap()
+        .get("server")
+        .and_then(|s| s.get("connections"))
+        .and_then(Json::as_usize)
+        .unwrap();
+    assert_eq!(
+        connections, 1,
+        "every request above must share one connection"
+    );
+    shutdown(addr, handle);
+}
+
+/// The chunked `query_corpus` stream reassembles to the byte-identical
+/// JSON the line protocol returns for the same state and request.
+#[test]
+fn chunked_corpus_stream_matches_line_protocol_bytes() {
+    // Two daemons, same options modulo transport.
+    let (http_addr, http_handle) = start_http(http_options());
+    let (line_addr, line_handle) = Server::bind(
+        "127.0.0.1:0",
+        ServeOptions {
+            http: false,
+            ..http_options()
+        },
+    )
+    .expect("bind line server")
+    .spawn();
+
+    let corpus = "aa\nb\nabab\n\naaa bb";
+    let program = "/{x:a+}/";
+
+    let mut http = HttpClient::connect(http_addr).unwrap();
+    let loaded = http.post_text("/v1/corpus", corpus).unwrap();
+    assert_eq!(loaded.status, 200, "{}", loaded.text());
+
+    let mut line = Client::connect(line_addr).unwrap();
+    line.load_corpus(corpus).unwrap();
+
+    for text in [None, Some(corpus)] {
+        let mut fields = vec![("program", Json::string(program))];
+        if let Some(text) = text {
+            fields.push(("text", Json::string(text)));
+        }
+        let request = Json::object(fields.clone());
+        let http_response = http.post_json("/v1/query_corpus", &request).unwrap();
+        assert_eq!(http_response.status, 200);
+        assert!(
+            http_response
+                .header("transfer-encoding")
+                .is_some_and(|v| v.contains("chunked")),
+            "corpus responses must stream chunked"
+        );
+        let mut line_fields = vec![("op", Json::string("query_corpus"))];
+        line_fields.extend(fields);
+        let line_response = line
+            .request_line(&Json::object(line_fields).to_string())
+            .unwrap();
+        assert_eq!(
+            http_response.text(),
+            line_response,
+            "chunked reassembly must be byte-identical to the line protocol"
+        );
+        // And it decodes to a successful response with results.
+        let decoded = http_response.json().unwrap();
+        assert_eq!(decoded.get("ok").and_then(Json::as_bool), Some(true));
+        assert!(decoded.get("results").and_then(Json::as_array).is_some());
+    }
+
+    shutdown(http_addr, http_handle);
+    line.shutdown().unwrap();
+    line_handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn cap_and_method_rejections_use_the_right_status_codes() {
+    let (addr, handle) = start_http(http_options());
+
+    // Oversized head: a header far past max_head_bytes → 431.
+    let huge_header = format!(
+        "GET /healthz HTTP/1.1\r\nX-Filler: {}\r\n\r\n",
+        "x".repeat(4 << 10)
+    );
+    let response = raw_exchange(addr, huge_header.as_bytes());
+    assert_eq!(status_of(&response), Some(431), "oversized head");
+
+    // Oversized body, declared up front: rejected without reading → 413.
+    let huge_body = format!(
+        "POST /v1/query HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+        1 << 20
+    );
+    let response = raw_exchange(addr, huge_body.as_bytes());
+    assert_eq!(status_of(&response), Some(413), "oversized body");
+
+    // Unparseable Content-Length → 400.
+    let response = raw_exchange(
+        addr,
+        b"POST /v1/query HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+    );
+    assert_eq!(status_of(&response), Some(400), "bad content-length");
+
+    // Chunked request bodies are not supported → 501.
+    let response = raw_exchange(
+        addr,
+        b"POST /v1/query HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n",
+    );
+    assert_eq!(status_of(&response), Some(501), "chunked request");
+
+    // Unknown path → 404; known path, wrong method → 405 with Allow.
+    let response = raw_exchange(addr, b"GET /nope HTTP/1.1\r\n\r\n");
+    assert_eq!(status_of(&response), Some(404), "unknown path");
+    let response = raw_exchange(addr, b"DELETE /v1/query HTTP/1.1\r\n\r\n");
+    assert_eq!(status_of(&response), Some(405), "wrong method");
+    assert!(
+        String::from_utf8_lossy(&response).contains("Allow: POST"),
+        "405 must carry Allow"
+    );
+
+    // Unsupported version → 400. Malformed request line → 400.
+    let response = raw_exchange(addr, b"GET /healthz HTTP/2\r\n\r\n");
+    assert_eq!(status_of(&response), Some(400), "bad version");
+    let response = raw_exchange(addr, b"GARBAGE\r\n\r\n");
+    assert_eq!(status_of(&response), Some(400), "garbage request line");
+
+    // Malformed JSON body → 400 with the parse error in the JSON body.
+    let body = b"{\"program\": ";
+    let request = format!(
+        "POST /v1/query HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    let mut bytes = request.into_bytes();
+    bytes.extend_from_slice(body);
+    let response = raw_exchange(addr, &bytes);
+    assert_eq!(status_of(&response), Some(400), "malformed JSON body");
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn torn_and_pipelined_requests_are_framed_correctly() {
+    let (addr, handle) = start_http(http_options());
+
+    // Torn request: half a head, then close. The server must just close
+    // (nothing to respond to) and stay healthy.
+    let response = raw_exchange(addr, b"GET /heal");
+    assert!(response.is_empty(), "torn head gets no response");
+
+    // Torn body: head promises more bytes than arrive.
+    let response = raw_exchange(
+        addr,
+        b"POST /v1/query HTTP/1.1\r\nContent-Length: 50\r\n\r\n{",
+    );
+    assert!(response.is_empty(), "torn body gets no response");
+
+    // Pipelined: two requests in one write; two responses, in order, on
+    // one connection.
+    let response = raw_exchange(
+        addr,
+        b"GET /healthz HTTP/1.1\r\n\r\nGET /v1/stats HTTP/1.1\r\nConnection: close\r\n\r\n",
+    );
+    let text = String::from_utf8_lossy(&response);
+    let responses = text.matches("HTTP/1.1 200 OK").count();
+    assert_eq!(
+        responses, 2,
+        "pipelined requests each get a response:\n{text}"
+    );
+    assert!(text.contains("\"uptime_s\""), "{text}");
+    assert!(text.contains("\"cache\""), "{text}");
+
+    // An Expect: 100-continue request gets the interim response before
+    // the final one.
+    let body = b"{\"program\":\"/{x:a}/\",\"doc\":\"a\"}";
+    let head = format!(
+        "POST /v1/query HTTP/1.1\r\nExpect: 100-continue\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    let mut bytes = head.into_bytes();
+    bytes.extend_from_slice(body);
+    let response = raw_exchange(addr, &bytes);
+    let text = String::from_utf8_lossy(&response);
+    assert!(text.starts_with("HTTP/1.1 100 Continue"), "{text}");
+    assert!(text.contains("HTTP/1.1 200 OK"), "{text}");
+
+    // HTTP/1.0 defaults to close: the server answers and closes.
+    let response = raw_exchange(addr, b"GET /healthz HTTP/1.0\r\n\r\n");
+    assert_eq!(status_of(&response), Some(200));
+    assert!(
+        String::from_utf8_lossy(&response).contains("Connection: close"),
+        "HTTP/1.0 must not keep alive"
+    );
+
+    shutdown(addr, handle);
+}
+
+/// A tiny deterministic generator for the fuzzer.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        self.0 = x;
+        x
+    }
+}
+
+/// Seed-driven mutation fuzz over raw request bytes: whatever arrives,
+/// the server answers or closes cleanly — it never panics, never hangs,
+/// and `/healthz` answers after every case.
+#[test]
+fn fuzzed_request_bytes_never_kill_the_server() {
+    let (addr, handle) = start_http(http_options());
+
+    let bases: Vec<Vec<u8>> = vec![
+        b"GET /healthz HTTP/1.1\r\n\r\n".to_vec(),
+        b"GET /metrics HTTP/1.1\r\n\r\n".to_vec(),
+        b"POST /v1/query HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: 31\r\n\r\n{\"program\":\"/{x:a}/\",\"doc\":\"a\"}".to_vec(),
+        b"POST /v1/corpus HTTP/1.1\r\nContent-Length: 8\r\n\r\naa\nb\naaa".to_vec(),
+        b"POST /v1/query_corpus HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: 40\r\n\r\n{\"program\":\"/{x:a+}/\",\"text\":\"aa\\nb\\na\"}".to_vec(),
+    ];
+
+    for seed in 0..120u64 {
+        let mut rng = XorShift(seed);
+        let mut bytes = bases[(rng.next() as usize) % bases.len()].clone();
+        // 1–4 mutations: truncate, flip, insert garbage, duplicate a
+        // slice, or scramble a digit (Content-Length corruption).
+        for _ in 0..1 + rng.next() % 4 {
+            if bytes.is_empty() {
+                break;
+            }
+            let at = (rng.next() as usize) % bytes.len();
+            match rng.next() % 5 {
+                0 => bytes.truncate(at),
+                1 => bytes[at] = (rng.next() & 0xff) as u8,
+                2 => {
+                    let garbage: Vec<u8> = (0..rng.next() % 16)
+                        .map(|_| (rng.next() & 0xff) as u8)
+                        .collect();
+                    bytes.splice(at..at, garbage);
+                }
+                3 => {
+                    let end = at + ((rng.next() as usize) % (bytes.len() - at));
+                    let copy: Vec<u8> = bytes[at..end].to_vec();
+                    bytes.extend_from_slice(&copy);
+                }
+                _ => {
+                    if let Some(digit) = bytes.iter().position(u8::is_ascii_digit) {
+                        bytes[digit] = b'0' + (rng.next() % 10) as u8;
+                    }
+                }
+            }
+        }
+        // The server must resolve the connection: a response or a clean
+        // close, within the read timeout — never a hang, never a panic.
+        let _ = raw_exchange(addr, &bytes);
+
+        // Liveness probe after every case.
+        let mut probe = HttpClient::connect(addr).expect("server still accepting");
+        let health = probe.get("/healthz").expect("server still answering");
+        assert_eq!(health.status, 200, "seed {seed}: healthz after fuzz case");
+    }
+
+    shutdown(addr, handle);
+}

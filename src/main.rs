@@ -39,6 +39,15 @@
 //!                                                    time, and fast-path counters
 //! document-spanners serve    [addr [threads]]        long-running query daemon
 //!                                                    with a prepared-query cache
+//! document-spanners serve    --http [addr [threads]] the same daemon behind an
+//!                                                    HTTP/1.1 front end (/v1/*,
+//!                                                    /metrics, /healthz)
+//! document-spanners route    <addr> <backend>...     shard-router front end:
+//!                                                    partition the corpus across
+//!                                                    N backend daemons, fan
+//!                                                    corpus queries out, merge
+//!                                                    in corpus order (--http for
+//!                                                    the HTTP front end)
 //! document-spanners client   <addr> [json-line]      send one request line to a
 //!                                                    daemon (stdin when omitted)
 //! ```
@@ -71,7 +80,8 @@ const USAGE: &str = "usage:
   document-spanners query    --store --watch <program> <store> [threads]
   document-spanners explain  <program>
   document-spanners explain  --analyze <program> [file]
-  document-spanners serve    [addr [threads]]
+  document-spanners serve    [--http] [addr [threads]]
+  document-spanners route    [--http] <addr> <backend> [backend ...]
   document-spanners client   <addr> [json-line]
 
 a file or store argument of `-` reads from standard input; `--watch`
@@ -111,6 +121,15 @@ fn arity(command: &str, operands: &[String], min: usize, max: usize) -> Result<(
         ));
     }
     Ok(())
+}
+
+/// Strips a leading `--http` flag (the `serve`/`route` transport switch)
+/// from the operand list.
+fn strip_http_flag(operands: &[String]) -> (bool, &[String]) {
+    match operands.first() {
+        Some(flag) if flag == "--http" => (true, &operands[1..]),
+        _ => (false, operands),
+    }
 }
 
 /// Parses the optional worker-count operand (`0` = one worker per CPU).
@@ -325,20 +344,55 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "serve" => {
+            let (http, operands) = strip_http_flag(operands);
             arity(command, operands, 0, 2)?;
             let threads = parse_threads(operands.get(1))?;
             let addr = operands.first().map_or(DEFAULT_SERVE_ADDR, String::as_str);
             let options = spanner_serve::ServeOptions {
                 threads,
+                http,
                 ..spanner_serve::ServeOptions::default()
             };
             let server = spanner_serve::Server::bind(addr, options)
                 .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+            if http {
+                eprintln!(
+                    "listening on http://{} (endpoints: /healthz, /metrics, \
+                     /v1/prepare, /v1/query, /v1/query_corpus, /v1/explain, \
+                     /v1/corpus, /v1/corpus/append, /v1/corpus/update, \
+                     /v1/corpus/delete, /v1/stats, /v1/shutdown)",
+                    server.local_addr(),
+                );
+            } else {
+                eprintln!(
+                    "listening on {} (line-delimited JSON ops: prepare, query, \
+                     load_corpus, append_docs, update_doc, delete_docs, \
+                     query_corpus, explain, stats, metrics, shutdown)",
+                    server.local_addr(),
+                );
+            }
+            server.run().map_err(|e| e.to_string())
+        }
+        "route" => {
+            let (http, operands) = strip_http_flag(operands);
+            arity(command, operands, 2, usize::MAX)?;
+            let addr = operands[0].as_str();
+            let router = spanner_serve::RouterOptions {
+                backends: operands[1..].to_vec(),
+                ..spanner_serve::RouterOptions::default()
+            };
+            let options = spanner_serve::ServeOptions {
+                http,
+                ..spanner_serve::ServeOptions::default()
+            };
+            let shards = router.backends.len();
+            let server = spanner_serve::Server::bind_router(addr, options, router)
+                .map_err(|e| format!("cannot start router on {addr}: {e}"))?;
             eprintln!(
-                "listening on {} (line-delimited JSON ops: prepare, query, \
-                 load_corpus, append_docs, update_doc, delete_docs, \
-                 query_corpus, explain, stats, metrics, shutdown)",
+                "routing on {}{} across {shards} backend shard{}",
+                if http { "http://" } else { "" },
                 server.local_addr(),
+                if shards == 1 { "" } else { "s" },
             );
             server.run().map_err(|e| e.to_string())
         }
@@ -567,6 +621,7 @@ mod tests {
             &["explain", "/a/", "extra"],
             &["explain", "--analyze", "/a/", "file", "extra"],
             &["serve", "127.0.0.1:0", "2", "extra"],
+            &["serve", "--http", "127.0.0.1:0", "2", "extra"],
             &["client", "127.0.0.1:1", "{}", "extra"],
         ];
         for case in cases {
@@ -587,6 +642,9 @@ mod tests {
             &["query", "--store", "--watch", "/a/"],
             &["explain", "--analyze"],
             &["query", "--trace"],
+            &["route"],
+            &["route", "127.0.0.1:0"],
+            &["route", "--http", "127.0.0.1:0"],
         ] {
             let err = run(&argv(case)).unwrap_err();
             assert!(err.contains("needs at least"), "{case:?}: {err}");
@@ -832,6 +890,10 @@ mod tests {
         // Port 1 is never listening in the test environment.
         let err = run(&argv(&["client", "127.0.0.1:1", "{}"])).unwrap_err();
         assert!(err.contains("cannot connect"), "{err}");
+        let err = run(&argv(&["route", "not an address", "127.0.0.1:1"])).unwrap_err();
+        assert!(err.contains("cannot start router"), "{err}");
+        let err = run(&argv(&["route", "127.0.0.1:0", "not an address"])).unwrap_err();
+        assert!(err.contains("cannot start router"), "{err}");
     }
 
     #[test]
